@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks for the substrate crates: the hot paths every
+//! figure binary exercises (tensor math, real training epochs, kernels,
+//! clustering, profiling, storage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipetune_clustering::KMeans;
+use pipetune_data::{mnist_like, news20_like, ImageSpec, TextSpec};
+use pipetune_dnn::{LeNet5, LstmClassifier, Model, TextCnn, TrainConfig};
+use pipetune_kernels::{Bfs, BfsConfig, IterativeKernel, Jacobi, JacobiConfig, SpKMeans, SpKMeansConfig};
+use pipetune_perfmon::{Profiler, WorkloadSignature};
+use pipetune_tensor::Tensor;
+use pipetune_tsdb::{Database, Point, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    c.bench_function("tensor/matmul_64x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b).unwrap()))
+    });
+    let img = Tensor::randn(&[8, 1, 16, 16], 1.0, &mut rng);
+    let kernel = Tensor::randn(&[6, 1, 5, 5], 0.2, &mut rng);
+    let bias = Tensor::zeros(&[6]);
+    c.bench_function("tensor/conv2d_direct_8x16x16", |bench| {
+        bench.iter(|| std::hint::black_box(pipetune_tensor::conv2d(&img, &kernel, &bias).unwrap()))
+    });
+    c.bench_function("tensor/conv2d_gemm_8x16x16", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(pipetune_tensor::conv2d_gemm(&img, &kernel, &bias).unwrap())
+        })
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let spec = ImageSpec { train: 128, test: 32, ..ImageSpec::default() };
+    let (train, _) = mnist_like(&spec, 3).unwrap();
+    let cfg = TrainConfig { batch_size: 32, learning_rate: 0.02, ..TrainConfig::default() };
+    c.bench_function("dnn/lenet_epoch_128", |bench| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = LeNet5::with_input_size(16, 10, 0.0, &mut rng).unwrap();
+        bench.iter(|| model.train_epoch(&train, &cfg, &mut rng).unwrap())
+    });
+    let tspec = TextSpec { train: 96, test: 24, seq_len: 12, ..TextSpec::default() };
+    let (ttrain, _) = news20_like(&tspec, 3).unwrap();
+    c.bench_function("dnn/textcnn_epoch_96", |bench| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = TextCnn::new(tspec.vocab, tspec.seq_len, 16, 12, 20, 0.0, &mut rng).unwrap();
+        bench.iter(|| model.train_epoch(&ttrain, &cfg, &mut rng).unwrap())
+    });
+    c.bench_function("dnn/lstm_epoch_96", |bench| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model =
+            LstmClassifier::new(tspec.vocab, tspec.seq_len, 16, 16, 20, 0.0, &mut rng).unwrap();
+        bench.iter(|| model.train_epoch(&ttrain, &cfg, &mut rng).unwrap())
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    c.bench_function("kernels/jacobi_sweep_48", |bench| {
+        let mut j = Jacobi::new(&JacobiConfig::default(), 1);
+        bench.iter(|| j.step())
+    });
+    c.bench_function("kernels/bfs_4096", |bench| {
+        let mut b = Bfs::new(&BfsConfig::default(), 2);
+        bench.iter(|| b.step())
+    });
+    c.bench_function("kernels/spkmeans_2000", |bench| {
+        let mut k = SpKMeans::new(&SpKMeansConfig::default(), 3);
+        bench.iter(|| k.step())
+    });
+}
+
+fn bench_clustering_and_profiling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let profiler = Profiler::default();
+    let sig = WorkloadSignature {
+        flops_per_epoch: 1e11,
+        working_set_bytes: 3e9,
+        memory_intensity: 0.5,
+        branch_ratio: 0.1,
+    };
+    c.bench_function("perfmon/profile_epoch", |bench| {
+        bench.iter(|| std::hint::black_box(profiler.profile_epoch(&sig, 8, 100.0, &mut rng)))
+    });
+    let profiles: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            let s = WorkloadSignature {
+                flops_per_epoch: if i % 2 == 0 { 1e11 } else { 4e11 },
+                ..sig
+            };
+            profiler.profile_epoch(&s, 8, 100.0, &mut rng).features()
+        })
+        .collect();
+    c.bench_function("clustering/kmeans_64x58", |bench| {
+        bench.iter(|| KMeans::new(2).fit(&profiles, 9).unwrap())
+    });
+    let model = KMeans::new(2).fit(&profiles, 9).unwrap();
+    c.bench_function("clustering/silhouette_64x58", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(
+                pipetune_clustering::silhouette_score(&profiles, model.labels()).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_tsdb(c: &mut Criterion) {
+    c.bench_function("tsdb/write_point", |bench| {
+        let db = Database::new();
+        let mut i = 0u64;
+        bench.iter(|| {
+            i += 1;
+            db.write(Point::new("m", i).tag("w", "lenet").field("runtime", 1.0)).unwrap()
+        })
+    });
+    let db = Database::new();
+    for i in 0..10_000u64 {
+        db.write(
+            Point::new("m", i)
+                .tag("w", if i % 2 == 0 { "lenet" } else { "cnn" })
+                .field("runtime", i as f64),
+        )
+        .unwrap();
+    }
+    c.bench_function("tsdb/query_10k", |bench| {
+        let q = Query::measurement("m").with_tag("w", "lenet").from_us(5_000);
+        bench.iter(|| std::hint::black_box(db.query(&q).unwrap().len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_training,
+    bench_kernels,
+    bench_clustering_and_profiling,
+    bench_tsdb
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the tuning pipeline itself: scheduler rounds,
+//! the cost model, the full PipeTune job at test scale, and the figure
+//! paths' building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipetune::{
+    warm_start_ground_truth, ExperimentEnv, PipeTune, SlotSchedule, TuneV1, TunerOptions,
+    WorkloadSpec,
+};
+use pipetune_cluster::{CostModel, SystemConfig, WorkUnits};
+use pipetune_search::{HyperBand, ParamSpec, SearchSpace, TrialReport, TrialScheduler};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = CostModel::default();
+    let work = WorkUnits {
+        flops: 6e11,
+        iterations: 937,
+        working_set_bytes: 3e9,
+        memory_intensity: 0.5,
+    };
+    c.bench_function("cluster/epoch_duration", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(model.epoch_duration(
+                &work,
+                &SystemConfig::new(8, 16),
+                1.0,
+            ))
+        })
+    });
+    c.bench_function("runner/slot_schedule_64", |bench| {
+        let durations: Vec<f64> = (0..64).map(|i| (i % 7) as f64 + 1.0).collect();
+        bench.iter(|| std::hint::black_box(SlotSchedule::assign(&durations, 4)))
+    });
+}
+
+fn bench_hyperband(c: &mut Criterion) {
+    let space = SearchSpace::new(vec![
+        ParamSpec::float_range("lr", 0.001, 0.1, true),
+        ParamSpec::int_choice("batch", &[32, 64, 256, 1024]),
+    ]);
+    c.bench_function("search/hyperband_r27_synthetic", |bench| {
+        bench.iter(|| {
+            let mut hb = HyperBand::new(space.clone(), 27, 3, 7);
+            while !hb.is_finished() {
+                for r in hb.next_trials() {
+                    let score = r.config["lr"].as_f64();
+                    hb.report(TrialReport { id: r.id, score, epochs_run: r.epochs });
+                }
+            }
+            std::hint::black_box(hb.best())
+        })
+    });
+}
+
+fn bench_full_jobs(c: &mut Criterion) {
+    let options = TunerOptions::fast();
+    // Figure-path benchmarks: one HPT job per approach at test scale.
+    c.bench_function("pipetune/tune_v1_job_fast", |bench| {
+        bench.iter(|| {
+            let env = ExperimentEnv::distributed(900);
+            TuneV1::new(options).run(&env, &WorkloadSpec::lenet_mnist()).unwrap()
+        })
+    });
+    c.bench_function("pipetune/pipetune_job_fast_warm", |bench| {
+        let env = ExperimentEnv::distributed(901);
+        let gt =
+            warm_start_ground_truth(&env, &[WorkloadSpec::lenet_mnist()], &options).unwrap();
+        let mut tuner = PipeTune::with_ground_truth(options, gt);
+        bench.iter(|| tuner.run(&env, &WorkloadSpec::lenet_mnist()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cost_model, bench_hyperband, bench_full_jobs
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: ground-truth reuse on/off.
+//!
+//! PipeTune with a warm similarity model vs. PipeTune forced to probe every
+//! job from scratch (cold ground truth, never carried across jobs). The gap
+//! is the value of §5.4's history sharing.
+
+use pipetune::{warm_start_ground_truth, ExperimentEnv, PipeTune, WorkloadSpec};
+use pipetune_bench::{pct, secs, tuner_options, Report};
+
+fn main() {
+    let mut report = Report::new("ablation_groundtruth");
+    let options = tuner_options();
+    let spec = WorkloadSpec::lenet_mnist();
+    let jobs = 3usize;
+
+    // Warm: shared ground truth bootstrapped from the §7.2 campaign.
+    let env = ExperimentEnv::distributed(400);
+    let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options).expect("gt");
+    let mut warm = PipeTune::with_ground_truth(options, gt);
+    let warm_total: f64 =
+        (0..jobs).map(|_| warm.run(&env, &spec).expect("job runs").tuning_secs).sum();
+
+    // Cold: a fresh tuner per job — every job profiles and probes anew.
+    let cold_total: f64 = (0..jobs)
+        .map(|_| {
+            PipeTune::new(options).run(&env, &spec).expect("job runs").tuning_secs
+        })
+        .sum();
+
+    // Shared-but-initially-empty: the ground truth builds up over the jobs.
+    let mut building = PipeTune::new(options);
+    let building_each: Vec<f64> =
+        (0..jobs).map(|_| building.run(&env, &spec).expect("job runs").tuning_secs).collect();
+    let building_total: f64 = building_each.iter().sum();
+
+    report.table(
+        &["variant", "total tuning (3 jobs)", "vs cold"],
+        &[
+            vec!["cold (probe every job)".into(), secs(cold_total), "0.0%".into()],
+            vec![
+                "shared, built online".into(),
+                secs(building_total),
+                format!("{:+.1}%", pct(building_total, cold_total)),
+            ],
+            vec![
+                "warm-started".into(),
+                secs(warm_total),
+                format!("{:+.1}%", pct(warm_total, cold_total)),
+            ],
+        ],
+    );
+    report.line(&format!(
+        "\nonline build per-job trend: {:?} (later jobs benefit from earlier probes)",
+        building_each.iter().map(|s| format!("{s:.0}s")).collect::<Vec<_>>()
+    ));
+    report.json("totals", [("cold", cold_total), ("online", building_total), ("warm", warm_total)]);
+    report.finish();
+
+    assert!(warm_total <= cold_total, "warm ground truth must not be slower than cold");
+    assert!(
+        building_total <= cold_total * 1.02,
+        "online sharing must roughly amortise probing"
+    );
+}

@@ -1,0 +1,51 @@
+//! Ablation: probing optimisation function.
+//!
+//! Algorithm 1 picks the configuration that best fits the optimisation
+//! function — "e.g., shortest runtime, lowest energy consumption". This
+//! ablation runs all three goals and shows the runtime/energy trade they
+//! make.
+
+use pipetune::{ExperimentEnv, PipeTune, ProbeGoal, TunerOptions, WorkloadSpec};
+use pipetune_bench::{kj, secs, tuner_options, Report};
+
+fn main() {
+    let mut report = Report::new("ablation_probe_goal");
+    let base = tuner_options();
+    let spec = WorkloadSpec::lenet_mnist();
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (name, goal) in [
+        ("runtime", ProbeGoal::Runtime),
+        ("energy", ProbeGoal::Energy),
+        ("energy-delay", ProbeGoal::EnergyDelay),
+    ] {
+        let options = TunerOptions { probe_goal: goal, ..base };
+        let env = ExperimentEnv::distributed(420);
+        // Cold tuner: probing (whose goal we ablate) decides the configs.
+        let mut tuner = PipeTune::new(options);
+        // Two jobs: the second reuses what the first's probes recorded.
+        let _ = tuner.run(&env, &spec).expect("first job");
+        let out = tuner.run(&env, &spec).expect("second job");
+        rows.push(vec![
+            name.to_string(),
+            secs(out.tuning_secs),
+            kj(out.tuning_energy_j),
+            format!("{:.1}%", out.best_accuracy * 100.0),
+        ]);
+        series.push((name, out.tuning_secs, out.tuning_energy_j));
+    }
+    report.table(&["probe goal", "tuning time", "tuning energy", "accuracy"], &rows);
+    report.json("series", &series);
+    report.finish();
+
+    // The energy goal must not consume more energy than the runtime goal.
+    let runtime = series.iter().find(|s| s.0 == "runtime").unwrap();
+    let energy = series.iter().find(|s| s.0 == "energy").unwrap();
+    assert!(
+        energy.2 <= runtime.2 * 1.05,
+        "energy-goal probing should conserve energy: {} vs {}",
+        energy.2,
+        runtime.2
+    );
+}

@@ -1,0 +1,47 @@
+//! Ablation: profiling overhead.
+//!
+//! §7.3 argues the per-epoch profiling cost is outweighed by the tuning
+//! gains. This ablation sweeps the profiled-epoch overhead from 0 to 30 %
+//! and finds where PipeTune's advantage over Tune V1 disappears.
+
+use pipetune::{
+    warm_start_ground_truth, ExperimentEnv, PipeTune, TuneV1, WorkloadSpec,
+};
+use pipetune_bench::{pct, secs, tuner_options, Report};
+
+fn main() {
+    let mut report = Report::new("ablation_profiling_overhead");
+    let options = tuner_options();
+    let spec = WorkloadSpec::lenet_mnist();
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for overhead in [0.0f64, 0.02, 0.10, 0.30] {
+        let mut env = ExperimentEnv::distributed(430);
+        env.profile_overhead = overhead;
+        let v1 = TuneV1::new(options).run(&env, &spec).expect("v1 runs");
+        let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
+            .expect("warm start");
+        let pt = PipeTune::with_ground_truth(options, gt).run(&env, &spec).expect("pipetune runs");
+        let gain = -pct(pt.tuning_secs, v1.tuning_secs);
+        rows.push(vec![
+            format!("{:.0}%", overhead * 100.0),
+            secs(pt.tuning_secs),
+            secs(v1.tuning_secs),
+            format!("{gain:+.1}%"),
+        ]);
+        series.push((overhead, pt.tuning_secs, v1.tuning_secs, gain));
+    }
+    report.table(&["profile overhead", "PipeTune tuning", "V1 tuning", "PipeTune gain"], &rows);
+    report.line("\npaper §7.3: the profiling overhead is outweighed by the tuning gains.");
+    report.json("series", &series);
+    report.finish();
+
+    // At the paper's (small) overhead the gain must survive; gains shrink as
+    // the overhead grows.
+    assert!(series[1].3 > 0.0, "PipeTune must win at 2% overhead");
+    assert!(
+        series[0].3 >= series[3].3,
+        "gains must not grow with overhead: {series:?}"
+    );
+}

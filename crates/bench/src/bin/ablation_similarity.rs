@@ -1,0 +1,50 @@
+//! Ablation: pluggable similarity functions (§5.4).
+//!
+//! The paper fixes k-means (k = 2) but stresses that scikit-learn's other
+//! clusterers plug in. This compares k-means against DBSCAN as the
+//! ground-truth gate, on the same warm-started history and workload.
+
+use pipetune::{
+    warm_start_ground_truth, ExperimentEnv, PipeTune, SimilarityKind, TunerOptions, WorkloadSpec,
+};
+use pipetune_bench::{secs, tuner_options, Report};
+
+fn main() {
+    let mut report = Report::new("ablation_similarity");
+    let base = tuner_options();
+    let spec = WorkloadSpec::lenet_mnist();
+
+    let kinds = [
+        ("kmeans k=2", SimilarityKind::KMeans { k: 2 }),
+        ("kmeans k=4", SimilarityKind::KMeans { k: 4 }),
+        ("dbscan", SimilarityKind::Dbscan { min_points: 4, eps_factor: 3.0 }),
+    ];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (name, kind) in kinds {
+        let options = TunerOptions { similarity: kind, ..base };
+        let env = ExperimentEnv::distributed(450);
+        let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
+            .expect("warm start");
+        let out =
+            PipeTune::with_ground_truth(options, gt).run(&env, &spec).expect("job runs");
+        rows.push(vec![
+            name.to_string(),
+            out.gt_stats.hits.to_string(),
+            out.gt_stats.misses.to_string(),
+            secs(out.tuning_secs),
+            format!("{:.1}%", out.best_accuracy * 100.0),
+        ]);
+        series.push((name, out.gt_stats.hits, out.gt_stats.misses, out.tuning_secs));
+    }
+    report.table(&["similarity", "hits", "misses", "tuning", "accuracy"], &rows);
+    report.line("\nthe gate is pluggable (§5.4): any function that recognises a family enables reuse.");
+    report.json("series", &series);
+    report.finish();
+
+    // Both k-means variants and DBSCAN must enable reuse on a workload the
+    // warm start has seen.
+    for (name, hits, _, _) in &series {
+        assert!(*hits > 0, "{name} produced no reuse");
+    }
+}

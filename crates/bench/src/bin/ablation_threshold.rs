@@ -1,0 +1,46 @@
+//! Ablation: similarity-threshold sensitivity.
+//!
+//! Sweeps the confidence threshold factor (§5.6): too tight and every job
+//! probes (no reuse), too loose and dissimilar jobs reuse configurations
+//! tuned for someone else.
+
+use pipetune::{warm_start_ground_truth, ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+use pipetune_bench::{secs, tuner_options, Report};
+
+fn main() {
+    let mut report = Report::new("ablation_threshold");
+    let base = tuner_options();
+    let spec = WorkloadSpec::cnn_news20();
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for factor in [0.0f64, 0.5, 1.0, 3.0, 10.0, 100.0] {
+        let options = TunerOptions { threshold_factor: factor, ..base };
+        let env = ExperimentEnv::distributed(410);
+        let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
+            .expect("warm start");
+        let mut tuner = PipeTune::with_ground_truth(options, gt);
+        let out = tuner.run(&env, &spec).expect("job runs");
+        rows.push(vec![
+            format!("{factor}"),
+            out.gt_stats.hits.to_string(),
+            out.gt_stats.misses.to_string(),
+            secs(out.tuning_secs),
+            format!("{:.1}%", out.best_accuracy * 100.0),
+        ]);
+        series.push((factor, out.gt_stats.hits, out.gt_stats.misses, out.tuning_secs));
+    }
+    report.table(&["threshold", "hits", "misses", "tuning", "accuracy"], &rows);
+    report.line("\nthreshold 0 disables reuse (all misses); large thresholds accept everything.");
+    report.json("series", &series);
+    report.finish();
+
+    let zero = &series[0];
+    let loose = series.last().unwrap();
+    assert_eq!(zero.1, 0, "zero threshold must never hit");
+    assert!(loose.1 > 0, "loose threshold must hit");
+    assert!(
+        loose.3 <= zero.3,
+        "reuse should not be slower than probe-always here"
+    );
+}

@@ -1,0 +1,63 @@
+//! Extension: CPU frequency as a third system parameter.
+//!
+//! §7.1.4: "the same mechanisms can be applied to any other parameter of
+//! interest (e.g., CPU frequency, CPU voltage)". This experiment enables
+//! DVFS candidates in the system space and shows that energy-goal probing
+//! discovers down-clocked configurations (dynamic power falls with f³ while
+//! compute time only grows with 1/f), while runtime-goal probing sticks to
+//! the nominal clock.
+
+use pipetune::{ExperimentEnv, PipeTune, ProbeGoal, TunerOptions, WorkloadSpec};
+use pipetune_bench::{kj, secs, tuner_options, Report};
+use pipetune_cluster::SystemConfig;
+
+fn main() {
+    let mut report = Report::new("extension_frequency");
+    let base = tuner_options();
+    let spec = WorkloadSpec::lenet_mnist();
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (name, goal, dvfs) in [
+        ("runtime, no DVFS", ProbeGoal::Runtime, false),
+        ("runtime, DVFS", ProbeGoal::Runtime, true),
+        ("energy, DVFS", ProbeGoal::Energy, true),
+        ("energy-delay, DVFS", ProbeGoal::EnergyDelay, true),
+    ] {
+        let options = TunerOptions { probe_goal: goal, ..base };
+        let mut env = ExperimentEnv::distributed(460);
+        if dvfs {
+            env.system_space.freq_mhz = vec![1800, 2600, SystemConfig::NOMINAL_FREQ_MHZ];
+        }
+        // Two jobs: first probes (now including a frequency sweep), second
+        // reuses; report the second.
+        let mut tuner = PipeTune::new(options);
+        let _ = tuner.run(&env, &spec).expect("first job");
+        let out = tuner.run(&env, &spec).expect("second job");
+        rows.push(vec![
+            name.to_string(),
+            out.best_system.to_string(),
+            secs(out.tuning_secs),
+            kj(out.tuning_energy_j),
+        ]);
+        series.push((name, out.best_system.freq_mhz, out.tuning_secs, out.tuning_energy_j));
+    }
+    report.table(&["probe goal / DVFS", "chosen config", "tuning time", "tuning energy"], &rows);
+    report.line("\nenergy-goal probing exploits the f**3 dynamic-power law; runtime probing keeps the clock high.");
+    report.json("series", &series);
+    report.finish();
+
+    let runtime_dvfs = series.iter().find(|s| s.0 == "runtime, DVFS").unwrap();
+    let energy_dvfs = series.iter().find(|s| s.0 == "energy, DVFS").unwrap();
+    assert_eq!(
+        runtime_dvfs.1,
+        SystemConfig::NOMINAL_FREQ_MHZ,
+        "runtime goal should keep the nominal clock"
+    );
+    assert!(
+        energy_dvfs.3 < runtime_dvfs.3,
+        "energy-goal DVFS should consume less energy: {} vs {}",
+        energy_dvfs.3,
+        runtime_dvfs.3
+    );
+}

@@ -1,0 +1,68 @@
+//! Extension: choosing `k` with silhouette analysis, and the §5.3
+//! correlated-event filter.
+//!
+//! The paper fixes `k = 2` and leaves other values "for future work"
+//! (§5.4); silhouette scores over the real warm-start profile history let
+//! the data pick. It also states that highly correlated events are filtered
+//! before profiling (§5.3); part (b) measures how much of the 58-event list
+//! actually carries independent information.
+
+use pipetune::{warm_start_ground_truth, ExperimentEnv, WorkloadSpec};
+use pipetune_bench::{tuner_options, Report};
+use pipetune_clustering::select_k;
+use pipetune_perfmon::decorrelated_events;
+
+fn main() {
+    let mut report = Report::new("extension_k_selection");
+    let options = tuner_options();
+    let env = ExperimentEnv::distributed(490);
+    let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
+        .expect("warm start");
+    let features = gt.feature_history();
+
+    // (a) k selection by silhouette over the real profile history.
+    let (best_k, scores) =
+        select_k(&features, &[2, 3, 4, 5, 6], env.subseed(0x4B)).expect("selection runs");
+    let rows: Vec<Vec<String>> =
+        scores.iter().map(|(k, s)| vec![k.to_string(), format!("{s:.3}")]).collect();
+    report.line("(a) silhouette score per k over the §7.2 profile history");
+    report.table(&["k", "silhouette"], &rows);
+    report.line(&format!("best k = {best_k} (the paper's choice is k = 2)"));
+
+    // (b) §5.3's correlation filter over the same history.
+    let profiles: Vec<pipetune_perfmon::EpochProfile> = {
+        // Rebuild epoch profiles from fresh probes (features lost raw counts).
+        use pipetune::{EpochWorkload, HyperParams};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(env.subseed(0x4C));
+        WorkloadSpec::all_type12()
+            .into_iter()
+            .flat_map(|spec| {
+                let spec = spec.with_scale(options.scale);
+                (0..4u64).map(move |rep| (spec, rep))
+            })
+            .map(|(spec, rep)| {
+                let hp = HyperParams {
+                    batch_size: [32, 64, 512, 1024][rep as usize % 4],
+                    ..HyperParams::default()
+                };
+                let w = spec.instantiate(&hp, 600 + rep).expect("builds");
+                let dur = env.cost.epoch_duration(&w.work_units(), &env.default_system, 1.0);
+                env.profiler.profile_epoch(&w.signature(), env.default_system.cores, dur, &mut rng)
+            })
+            .collect()
+    };
+    let mut rows2 = Vec::new();
+    for threshold in [0.99f64, 0.9, 0.7] {
+        let kept = decorrelated_events(&profiles, threshold);
+        rows2.push(vec![format!("{threshold}"), format!("{}/58", kept.len())]);
+    }
+    report.line("\n(b) events surviving the §5.3 correlation filter");
+    report.table(&["|corr| threshold", "events kept"], &rows2);
+    report.json("k_scores", &scores);
+    report.finish();
+
+    // The two workload families are the dominant structure, so silhouette
+    // must prefer a small k (the paper's k = 2 regime).
+    assert!(best_k <= 3, "silhouette picked k = {best_k}, expected the family structure");
+}

@@ -1,0 +1,71 @@
+//! Figure 1: exhaustive grid tuning time and EC2 cost grow exponentially in
+//! the number of tuned parameters (LeNet/MNIST, 1–6 parameters × 3 values,
+//! three ML-optimised instance types).
+
+use pipetune::{ExperimentEnv, HyperParams, WorkloadSpec};
+use pipetune_bench::{pct, Report};
+use pipetune_search::{GridSearch, ParamSpec, SearchSpace};
+
+/// On-demand hourly prices (us-east-1, 2020) for the paper's instances.
+const INSTANCES: [(&str, f64); 3] =
+    [("m4.4xlarge", 0.80), ("m5.12xlarge", 2.304), ("m5.24xlarge", 4.608)];
+
+/// Relative throughput of each instance vs. the reference node.
+const SPEEDUP: [f64; 3] = [1.0, 2.4, 4.4];
+
+fn main() {
+    let mut report = Report::new("fig01_grid_explosion");
+    let env = ExperimentEnv::distributed(1);
+    // The six parameters in the order they are added to the grid; each takes
+    // 3 values (the paper: "each parameter was configured to take up to 3
+    // different values").
+    let all_params = [
+        ParamSpec::int_choice("batch_size", &[32, 256, 1024]),
+        ParamSpec::float_choice("learning_rate", &[0.001, 0.01, 0.1]),
+        ParamSpec::float_choice("dropout", &[0.0, 0.25, 0.5]),
+        ParamSpec::int_choice("epochs", &[10, 30, 50]),
+        ParamSpec::int_choice("embedding_dim", &[8, 32, 64]),
+        ParamSpec::float_choice("momentum", &[0.0, 0.5, 0.9]),
+    ];
+
+    // Reference epoch duration for the default LeNet/MNIST trial.
+    let spec = WorkloadSpec::lenet_mnist().with_scale(0.2);
+    let hp = HyperParams::default();
+    let workload = spec.instantiate(&hp, 1).expect("workload builds");
+    use pipetune::EpochWorkload;
+    let epoch_secs = env.cost.epoch_duration(&workload.work_units(), &env.default_system, 1.0);
+
+    let mut rows = Vec::new();
+    let mut series: Vec<(usize, f64, [f64; 3])> = Vec::new();
+    for n in 1..=all_params.len() {
+        let space = SearchSpace::new(all_params[..n].to_vec());
+        // Average epochs hyperparameter value = 30 (middle of the grid).
+        let grid = GridSearch::new(space, 3, 30);
+        let trials = grid.num_trials();
+        let serial_secs = trials as f64 * 30.0 * epoch_secs;
+        // The paper runs the grid on one instance at a time.
+        let hours = serial_secs / 3600.0;
+        let mut costs = [0.0f64; 3];
+        let mut row = vec![n.to_string(), trials.to_string(), format!("{hours:.2} h")];
+        for (i, ((_, price), speed)) in INSTANCES.iter().zip(SPEEDUP).enumerate() {
+            costs[i] = hours / speed * price;
+            row.push(format!("${:.2}", costs[i]));
+        }
+        rows.push(row);
+        series.push((n, hours, costs));
+    }
+    report.table(
+        &["params", "grid points", "tuning time", INSTANCES[0].0, INSTANCES[1].0, INSTANCES[2].0],
+        &rows,
+    );
+
+    // Paper claim: growth is exponential — each added parameter multiplies
+    // the cost by the value count (3x).
+    let growth = pct(series[5].1, series[4].1) / 100.0 + 1.0;
+    report.line(&format!(
+        "\ngrowth factor per added parameter: {growth:.1}x (expected 3x — exponential blow-up)"
+    ));
+    report.json("series", &series);
+    report.finish();
+    assert!((2.5..3.5).contains(&growth), "grid growth should be ~3x");
+}

@@ -1,0 +1,74 @@
+//! Figure 2: 58 hardware events averaged per epoch while training a CNN on
+//! News20 — the repetitive per-epoch pattern PipeTune exploits.
+//!
+//! Prints the heatmap as magnitude buckets (the paper's legend: >1e8,
+//! 1e8–1e6, 1e6–1e4, 1e4–1e2, <1e2) for the initialisation phase plus five
+//! epochs.
+
+use pipetune::{EpochWorkload, ExperimentEnv, HyperParams, WorkloadSpec};
+use pipetune_bench::Report;
+use pipetune_perfmon::EVENT_NAMES;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bucket(v: f64) -> char {
+    // One glyph per legend bucket, dark → light.
+    if v > 1e8 {
+        '#'
+    } else if v > 1e6 {
+        '+'
+    } else if v > 1e4 {
+        'o'
+    } else if v > 1e2 {
+        '.'
+    } else {
+        ' '
+    }
+}
+
+fn main() {
+    let mut report = Report::new("fig02_profile_heatmap");
+    let env = ExperimentEnv::distributed(2);
+    let spec = WorkloadSpec::cnn_news20().with_scale(0.3);
+    let hp = HyperParams { batch_size: 64, embedding_dim: 32, ..HyperParams::default() };
+    let workload = spec.instantiate(&hp, 2).expect("workload builds");
+    let sig = workload.signature();
+    // Paper setup: 16 cores, 32 GB.
+    let sys = pipetune_cluster::SystemConfig::new(16, 32);
+    let epoch_secs = env.cost.epoch_duration(&workload.work_units(), &sys, 1.0);
+
+    let mut rng = StdRng::seed_from_u64(22);
+    // Initialisation phase: a fraction of an epoch's work (JVM + data load).
+    let init_sig = pipetune_perfmon::WorkloadSignature {
+        flops_per_epoch: sig.flops_per_epoch * 0.1,
+        memory_intensity: sig.memory_intensity * 1.5,
+        ..sig
+    };
+    let mut columns = vec![env.profiler.profile_epoch(&init_sig, sys.cores, epoch_secs * 0.3, &mut rng)];
+    for _ in 0..5 {
+        columns.push(env.profiler.profile_epoch(&sig, sys.cores, epoch_secs, &mut rng));
+    }
+
+    report.line("event (rows) x {Init, epoch 1..5} (cols); glyphs: '#'>1e8  '+'1e8-1e6  'o'1e6-1e4  '.'1e4-1e2  ' '<1e2\n");
+    let mut json_rows = Vec::new();
+    for (i, name) in EVENT_NAMES.iter().enumerate() {
+        let cells: String =
+            columns.iter().map(|c| bucket(c.counts()[i])).collect::<Vec<char>>().iter().map(|ch| format!(" {ch}")).collect();
+        report.line(&format!("{name:<36}{cells}"));
+        json_rows.push((name.to_string(), columns.iter().map(|c| c.counts()[i]).collect::<Vec<f64>>()));
+    }
+
+    // The Fig. 2 observation: per-event counts repeat across epochs. Verify
+    // the relative spread of the training epochs is small for a busy event.
+    let idx = pipetune_perfmon::event_index("instructions").expect("known event");
+    let vals: Vec<f64> = columns[1..].iter().map(|c| c.counts()[idx]).collect();
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let sd = (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt();
+    report.line(&format!(
+        "\ninstructions/epoch relative spread across epochs: {:.1}% (repetitive, as in Fig. 2)",
+        sd / mean * 100.0
+    ));
+    report.json("heatmap", &json_rows);
+    report.finish();
+    assert!(sd / mean < 0.2, "epochs should repeat");
+}

@@ -1,0 +1,106 @@
+//! Figure 3: impact of hyper and system parameters on accuracy, runtime and
+//! energy for LeNet/MNIST.
+//!
+//! (a) batch-size impact vs. the batch-32 baseline (accuracy from *real*
+//!     training; duration/energy from the calibrated models);
+//! (b) cores impact on duration per batch size vs. 1 core;
+//! (c) cores impact on energy per batch size vs. 1 core.
+
+use pipetune::{EpochWorkload, ExperimentEnv, HyperParams, SystemTuner, TrialExecution, WorkloadSpec};
+use pipetune_bench::{pct, Report};
+use pipetune_cluster::SystemConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_once(
+    env: &ExperimentEnv,
+    batch: usize,
+    sys: SystemConfig,
+    epochs: u32,
+    scale: f32,
+) -> (f32, f64, f64) {
+    let hp = HyperParams { batch_size: batch, learning_rate: 0.02, epochs, ..HyperParams::default() };
+    let spec = WorkloadSpec::lenet_mnist().with_scale(scale);
+    let workload = spec.instantiate(&hp, 33).expect("workload builds");
+    let mut trial = TrialExecution::new(workload, SystemTuner::Fixed(sys));
+    let mut rng = StdRng::seed_from_u64(33);
+    trial.run_epochs(env, epochs, None, 1.0, &mut rng).expect("epochs run");
+    let acc = trial.accuracy().expect("eval");
+    (acc, trial.duration_secs(), trial.energy_j())
+}
+
+fn main() {
+    let quick = pipetune_bench::quick_mode();
+    let scale = if quick { 0.2 } else { 0.6 };
+    let epochs = if quick { 4 } else { 10 };
+    let mut report = Report::new("fig03_param_impact");
+    let env = ExperimentEnv::distributed(3);
+
+    // (a) batch size at the paper's fixed system configuration.
+    let sys = SystemConfig::new(8, 16);
+    let (acc0, dur0, en0) = run_once(&env, 32, sys, epochs, scale);
+    let mut rows = Vec::new();
+    let mut series_a = Vec::new();
+    for batch in [64usize, 256, 1024] {
+        let (acc, dur, en) = run_once(&env, batch, sys, epochs, scale);
+        let d_acc = pct(f64::from(acc), f64::from(acc0));
+        let d_dur = pct(dur, dur0);
+        let d_en = pct(en, en0);
+        rows.push(vec![
+            batch.to_string(),
+            format!("{d_acc:+.1}%"),
+            format!("{d_dur:+.1}%"),
+            format!("{d_en:+.1}%"),
+        ]);
+        series_a.push((batch, d_acc, d_dur, d_en));
+    }
+    report.line("(a) batch-size impact vs batch = 32 (accuracy / duration / energy)");
+    report.table(&["batch", "accuracy", "duration", "energy"], &rows);
+
+    // (b)+(c): cores impact per batch size vs 1 core. Accuracy is untouched
+    // (same hyperparameters); only time/energy move.
+    let mut rows_d = Vec::new();
+    let mut rows_e = Vec::new();
+    let mut series_bc = Vec::new();
+    for batch in [64usize, 256, 1024] {
+        let hp = HyperParams { batch_size: batch, ..HyperParams::default() };
+        let spec = WorkloadSpec::lenet_mnist().with_scale(scale);
+        let workload = spec.instantiate(&hp, 33).expect("workload builds");
+        let work = workload.work_units();
+        let base_sys = SystemConfig::new(1, 16);
+        let base_dur = env.cost.epoch_duration(&work, &base_sys, 1.0);
+        let base_en = env.trial_power_watts(1) * base_dur;
+        let mut row_d = vec![format!("batch {batch}")];
+        let mut row_e = vec![format!("batch {batch}")];
+        for cores in [2u32, 4, 8] {
+            let s = SystemConfig::new(cores, 16);
+            let dur = env.cost.epoch_duration(&work, &s, 1.0);
+            let en = env.trial_power_watts(cores) * dur;
+            row_d.push(format!("{:+.1}%", pct(dur, base_dur)));
+            row_e.push(format!("{:+.1}%", pct(en, base_en)));
+            series_bc.push((batch, cores, pct(dur, base_dur), pct(en, base_en)));
+        }
+        rows_d.push(row_d);
+        rows_e.push(row_e);
+    }
+    report.line("\n(b) cores impact on duration vs 1 core");
+    report.table(&["", "2 cores", "4 cores", "8 cores"], &rows_d);
+    report.line("\n(c) cores impact on energy vs 1 core");
+    report.table(&["", "2 cores", "4 cores", "8 cores"], &rows_e);
+
+    // Shape checks from the paper:
+    // batch 1024 trains faster but less accurately than batch 32 (a);
+    let (_, a1024_acc, a1024_dur, _) = series_a[2];
+    assert!(a1024_acc < 5.0, "large batch should not beat small batch accuracy");
+    assert!(a1024_dur < 0.0, "large batch should be faster");
+    // batch 64 slows down at 8 cores, batch 1024 speeds up (b).
+    let slow = series_bc.iter().find(|x| x.0 == 64 && x.1 == 8).unwrap().2;
+    let fast = series_bc.iter().find(|x| x.0 == 1024 && x.1 == 8).unwrap().2;
+    report.line(&format!(
+        "\ncrossover: batch 64 @8 cores {slow:+.0}% vs batch 1024 @8 cores {fast:+.0}% (paper: ≈+45% / −40%)"
+    ));
+    report.json("a", &series_a);
+    report.json("bc", &series_bc);
+    report.finish();
+    assert!(slow > 0.0 && fast < 0.0, "Fig. 3b crossover must reproduce");
+}

@@ -1,0 +1,71 @@
+//! Figure 5: Tune V2's error and runtime improvement relative to a single
+//! Tune V1 job, under varying cores × co-located jobs (the paper pins the
+//! tuning job and its background jobs to the same cores).
+
+use pipetune::{ExperimentEnv, TuneV1, TuneV2, WorkloadSpec};
+use pipetune_bench::{pct, tuner_options, Report};
+use pipetune_cluster::SystemConfig;
+
+fn main() {
+    let mut report = Report::new("fig05_tune_characterization");
+    let options = tuner_options();
+    let spec = WorkloadSpec::lenet_mnist();
+
+    // Baseline: one Tune V1 job on dedicated default cores.
+    let env = ExperimentEnv::distributed(55);
+    let base = TuneV1::new(options).run(&env, &spec).expect("baseline runs");
+    let base_err = f64::from(1.0 - base.best_accuracy);
+    let base_train = base.training_secs;
+    report.line(&format!(
+        "baseline Tune V1: error {:.1}%, training {:.0}s\n",
+        base_err * 100.0,
+        base_train
+    ));
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for jobs in [2usize, 3, 4] {
+        let mut row = vec![format!("{jobs} jobs")];
+        for cores in [1u32, 2, 4, 8] {
+            // The V2 tuning job shares `cores` with `jobs-1` background jobs
+            // pinned to the same logical cores: its searchable core counts
+            // are capped and its busy time is multiplied by the job count.
+            // Each cell is an independent run (own seed), as in the paper's
+            // characterization campaign.
+            let mut env = ExperimentEnv::distributed(5500 + u64::from(cores) * 10 + jobs as u64);
+            env.system_space.cores = match cores {
+                1 => vec![1],
+                2 => vec![1, 2],
+                4 => vec![2, 4],
+                _ => vec![4, 8],
+            };
+            env.default_system = SystemConfig { cores, memory_gb: 8, ..SystemConfig::default() };
+            let contention = jobs as f64;
+            let out = TuneV2::new(options)
+                .run_with_contention(&env, &spec, contention)
+                .expect("v2 runs");
+            let err = f64::from(1.0 - out.best_accuracy);
+            let err_impr = pct(base_err, err); // positive = error improved
+            let rt_impr = pct(base_train, out.training_secs);
+            row.push(format!("{err_impr:+.0}%/{rt_impr:+.0}%"));
+            series.push((jobs, cores, err_impr, rt_impr));
+        }
+        rows.push(row);
+    }
+    report.line("cells: error improvement % / runtime improvement % vs single Tune V1 job");
+    report.table(&["", "1 core", "2 cores", "4 cores", "8 cores"], &rows);
+
+    // Paper observation: "only a few system configurations yielded
+    // improvements over the baseline for error and training time".
+    let both_better = series.iter().filter(|(_, _, e, r)| *e > 0.0 && *r > 0.0).count();
+    report.line(&format!(
+        "\nconfigurations improving BOTH error and runtime: {both_better}/{} (paper: only a few)",
+        series.len()
+    ));
+    report.json("series", &series);
+    report.finish();
+    assert!(
+        both_better < series.len(),
+        "some configurations must trade accuracy for speed"
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 8: k-means (k = 2) over profiling data groups workloads into the
+//! Type-I and Type-II families, both when grouped by model and by dataset.
+
+use pipetune::{warm_start_ground_truth, EpochWorkload, ExperimentEnv, HyperParams, WorkloadSpec};
+use pipetune_bench::{tuner_options, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut report = Report::new("fig08_clustering");
+    let options = tuner_options();
+    let env = ExperimentEnv::distributed(88);
+    let specs = WorkloadSpec::all_type12();
+    let gt = warm_start_ground_truth(&env, &specs, &options).expect("warm start");
+
+    // Fresh probe profiles for each workload; ask the fitted model where
+    // they land and what the default-config epoch duration is (the bar
+    // height in Fig. 8).
+    let mut rng = StdRng::seed_from_u64(888);
+    let mut rows = Vec::new();
+    let mut assignments: Vec<(String, usize, f64)> = Vec::new();
+    for spec in &specs {
+        let spec = spec.with_scale(options.scale);
+        let w = spec.instantiate(&HyperParams::default(), 99).expect("builds");
+        let dur = env.cost.epoch_duration(&w.work_units(), &env.default_system, 1.0);
+        let profile =
+            env.profiler.profile_epoch(&w.signature(), env.default_system.cores, dur, &mut rng);
+        let cluster = gt.cluster_of(&profile.features()).expect("model fitted");
+        rows.push(vec![
+            spec.name().to_string(),
+            spec.model_name().to_string(),
+            spec.dataset_name().to_string(),
+            spec.job_type().label().to_string(),
+            format!("cluster{}", cluster + 1),
+            format!("{dur:.0} s"),
+        ]);
+        assignments.push((spec.name().to_string(), cluster, dur));
+    }
+    report.table(&["workload", "model", "dataset", "type", "cluster", "epoch duration"], &rows);
+
+    // The paper's claim: Type-I lands in one cluster, Type-II in the other.
+    let t1: Vec<usize> = assignments
+        .iter()
+        .filter(|(n, _, _)| n.starts_with("lenet"))
+        .map(|(_, c, _)| *c)
+        .collect();
+    let t2: Vec<usize> = assignments
+        .iter()
+        .filter(|(n, _, _)| !n.starts_with("lenet"))
+        .map(|(_, c, _)| *c)
+        .collect();
+    let t1_uniform = t1.windows(2).all(|w| w[0] == w[1]);
+    let t2_uniform = t2.windows(2).all(|w| w[0] == w[1]);
+    report.line(&format!(
+        "\nType-I uniform: {t1_uniform}; Type-II uniform: {t2_uniform}; families separated: {}",
+        t1[0] != t2[0]
+    ));
+    report.json("assignments", &assignments);
+    report.finish();
+    assert!(t1_uniform && t2_uniform && t1[0] != t2[0], "clusters must separate the families");
+}

@@ -1,0 +1,114 @@
+//! Figures 9 & 10: convergence of accuracy and of per-trial time over the
+//! tuning wall clock for the CNN/News20 workload, PipeTune vs Tune V1/V2.
+
+use pipetune::{
+    warm_start_ground_truth, ConvergencePoint, ExperimentEnv, PipeTune, TuneV1, TuneV2,
+    WorkloadSpec,
+};
+use pipetune_bench::{tuner_options, Report};
+
+/// Wall-clock time at which the running-best accuracy first reaches `target`.
+fn time_to_accuracy(points: &[ConvergencePoint], target: f32) -> Option<f64> {
+    let mut best = 0.0f32;
+    for p in points {
+        best = best.max(p.accuracy);
+        if best >= target {
+            return Some(p.wall_secs);
+        }
+    }
+    None
+}
+
+fn running_best(points: &[ConvergencePoint]) -> Vec<(f64, f32)> {
+    let mut best = 0.0f32;
+    points
+        .iter()
+        .map(|p| {
+            best = best.max(p.accuracy);
+            (p.wall_secs, best)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut report = Report::new("fig09_accuracy_convergence");
+    let options = tuner_options();
+    let env = ExperimentEnv::distributed(99);
+    let spec = WorkloadSpec::cnn_news20();
+
+    let v1 = TuneV1::new(options).run(&env, &spec).expect("v1");
+    let v2 = TuneV2::new(options).run(&env, &spec).expect("v2");
+    let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options).expect("gt");
+    let pt = PipeTune::with_ground_truth(options, gt).run(&env, &spec).expect("pipetune");
+
+    // Fig. 9: best-so-far accuracy vs wall clock (downsampled trace).
+    report.line("(Fig. 9) best-so-far accuracy over tuning wall clock");
+    let mut rows = Vec::new();
+    for (name, out) in [("TuneV1", &v1), ("TuneV2", &v2), ("PipeTune", &pt)] {
+        let trace = running_best(&out.convergence);
+        let cells: Vec<String> = trace
+            .iter()
+            .step_by((trace.len() / 8).max(1))
+            .map(|(t, a)| format!("{:.0}s:{:.0}%", t, a * 100.0))
+            .collect();
+        rows.push(vec![name.to_string(), cells.join("  ")]);
+    }
+    report.table(&["approach", "trace (wall clock : best accuracy)"], &rows);
+
+    // Time to reach a common accuracy target — the speed-up the paper quotes
+    // ("on average our approach is 1.5x and 2x faster than V1 and V2").
+    let peak_common = pt
+        .convergence
+        .iter()
+        .map(|p| p.accuracy)
+        .fold(0.0f32, f32::max)
+        .min(v1.convergence.iter().map(|p| p.accuracy).fold(0.0f32, f32::max));
+    let target = peak_common * 0.8;
+    let tt_pt = time_to_accuracy(&pt.convergence, target);
+    let tt_v1 = time_to_accuracy(&v1.convergence, target);
+    let tt_v2 = time_to_accuracy(&v2.convergence, target);
+    report.line(&format!(
+        "\ntime to {:.0}% accuracy: PipeTune {:?}s, V1 {:?}s, V2 {:?}s",
+        target * 100.0,
+        tt_pt.map(|t| t as i64),
+        tt_v1.map(|t| t as i64),
+        tt_v2.map(|t| t as i64)
+    ));
+    if let (Some(p), Some(a)) = (tt_pt, tt_v1) {
+        report.line(&format!("speed-up vs V1: {:.2}x (paper: ~1.5x)", a / p));
+    }
+
+    // Fig. 10: per-trial duration trace (trial time convergence).
+    report.line("\n(Fig. 10) trial durations over tuning wall clock");
+    let mut rows10 = Vec::new();
+    for (name, out) in [("TuneV1", &v1), ("TuneV2", &v2), ("PipeTune", &pt)] {
+        let cells: Vec<String> = out
+            .convergence
+            .iter()
+            .step_by((out.convergence.len() / 8).max(1))
+            .map(|p| format!("{:.0}s:{:.0}s", p.wall_secs, p.trial_secs))
+            .collect();
+        rows10.push(vec![name.to_string(), cells.join("  ")]);
+    }
+    report.table(&["approach", "trace (wall clock : trial time)"], &rows10);
+
+    // PipeTune's mean trial time should be the shortest (Fig. 10's claim:
+    // "PipeTune consistently presents shorter trial times").
+    let mean_trial = |o: &pipetune::TuningOutcome| {
+        o.convergence.iter().map(|p| p.trial_secs).sum::<f64>() / o.convergence.len() as f64
+    };
+    let (m_pt, m_v1) = (mean_trial(&pt), mean_trial(&v1));
+    report.line(&format!(
+        "\nmean trial time: PipeTune {m_pt:.0}s, V1 {m_v1:.0}s, V2 {:.0}s",
+        mean_trial(&v2)
+    ));
+    report.json(
+        "convergence",
+        [("v1", &v1.convergence), ("v2", &v2.convergence), ("pipetune", &pt.convergence)],
+    );
+    report.finish();
+    assert!(m_pt < m_v1, "PipeTune trials should be shorter than V1's");
+    if let (Some(p), Some(a)) = (tt_pt, tt_v1) {
+        assert!(p <= a * 1.05, "PipeTune should reach target accuracy no later than V1");
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 10: training-trial-time convergence over the tuning wall clock
+//! for CNN/News20 — PipeTune's trials must run consistently shorter than
+//! Tune V1's and V2's throughout the process.
+//!
+//! (Fig. 9's accuracy-convergence counterpart lives in
+//! `fig09_accuracy_convergence`, which also prints this figure's trace; this
+//! binary isolates the trial-time statistics and their running envelope.)
+
+use pipetune::{warm_start_ground_truth, ExperimentEnv, PipeTune, TuneV1, TuneV2, WorkloadSpec};
+use pipetune_bench::{tuner_options, Report};
+
+/// Running mean of trial durations in completion order.
+fn running_mean(points: &[pipetune::ConvergencePoint]) -> Vec<(f64, f64)> {
+    let mut sum = 0.0;
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            sum += p.trial_secs;
+            (p.wall_secs, sum / (i + 1) as f64)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut report = Report::new("fig10_trialtime_convergence");
+    let options = tuner_options();
+    let env = ExperimentEnv::distributed(99); // same run as fig09
+    let spec = WorkloadSpec::cnn_news20();
+
+    let v1 = TuneV1::new(options).run(&env, &spec).expect("v1");
+    let v2 = TuneV2::new(options).run(&env, &spec).expect("v2");
+    let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options).expect("gt");
+    let pt = PipeTune::with_ground_truth(options, gt).run(&env, &spec).expect("pipetune");
+
+    let mut rows = Vec::new();
+    let mut means = Vec::new();
+    for (name, out) in [("TuneV1", &v1), ("TuneV2", &v2), ("PipeTune", &pt)] {
+        let trace = running_mean(&out.convergence);
+        let cells: Vec<String> = trace
+            .iter()
+            .step_by((trace.len() / 8).max(1))
+            .map(|(t, m)| format!("{t:.0}s:{m:.0}s"))
+            .collect();
+        let final_mean = trace.last().map(|(_, m)| *m).unwrap_or(0.0);
+        rows.push(vec![name.to_string(), format!("{final_mean:.0} s"), cells.join("  ")]);
+        means.push((name, final_mean));
+    }
+    report.table(
+        &["approach", "mean trial time", "running mean (wall clock : mean)"],
+        &rows,
+    );
+    let pt_mean = means.iter().find(|m| m.0 == "PipeTune").unwrap().1;
+    let v1_mean = means.iter().find(|m| m.0 == "TuneV1").unwrap().1;
+    let v2_mean = means.iter().find(|m| m.0 == "TuneV2").unwrap().1;
+    report.line(&format!(
+        "\nPipeTune mean trial time {pt_mean:.0}s vs V1 {v1_mean:.0}s / V2 {v2_mean:.0}s — \"consistently shorter trial times\" (§7.2)"
+    ));
+    report.json("means", &means);
+    report.finish();
+
+    assert!(pt_mean < v1_mean, "PipeTune must beat V1");
+    assert!(pt_mean < v2_mean, "PipeTune must beat V2");
+}

@@ -1,0 +1,69 @@
+//! Figure 11: single-tenancy evaluation of accuracy, training duration,
+//! tuning duration and tuning energy for the four Type-I/II workloads under
+//! Tune V1, Tune V2 and PipeTune.
+
+use pipetune::{single_tenancy, ExperimentEnv, WorkloadSpec};
+use pipetune_bench::{kj, pct, secs, tuner_options, Report};
+
+fn main() {
+    let mut report = Report::new("fig11_single_tenancy");
+    let options = tuner_options();
+    let env = ExperimentEnv::distributed(111);
+    let specs = if pipetune_bench::quick_mode() {
+        vec![WorkloadSpec::lenet_mnist(), WorkloadSpec::cnn_news20()]
+    } else {
+        WorkloadSpec::all_type12()
+    };
+    let rows = single_tenancy(&env, &specs, &options).expect("single tenancy runs");
+
+    let mut table = Vec::new();
+    for r in &rows {
+        table.push(vec![
+            r.workload.clone(),
+            r.approach.to_string(),
+            format!("{:.1}%", r.accuracy * 100.0),
+            secs(r.training_secs),
+            secs(r.tuning_secs),
+            kj(r.tuning_energy_j),
+        ]);
+    }
+    report.table(
+        &["workload", "approach", "accuracy", "training", "tuning", "tuning energy"],
+        &table,
+    );
+
+    // Summaries per the paper's §7.3 bullets.
+    let mut v1_tuning = 0.0;
+    let mut pt_tuning = 0.0;
+    let mut v1_energy = 0.0;
+    let mut pt_energy = 0.0;
+    let mut acc_gaps = Vec::new();
+    for w in rows.chunks(3) {
+        let (v1, v2, pt) = (&w[0], &w[1], &w[2]);
+        assert_eq!(v1.approach, "TuneV1");
+        assert_eq!(v2.approach, "TuneV2");
+        v1_tuning += v1.tuning_secs;
+        pt_tuning += pt.tuning_secs;
+        v1_energy += v1.tuning_energy_j;
+        pt_energy += pt.tuning_energy_j;
+        acc_gaps.push(f64::from(pt.accuracy - v1.accuracy));
+    }
+    let tuning_red = -pct(pt_tuning, v1_tuning);
+    let energy_red = -pct(pt_energy, v1_energy);
+    report.line(&format!(
+        "\nPipeTune vs Tune V1: tuning time −{tuning_red:.1}% (paper: up to 23%), energy −{energy_red:.1}% (paper: up to 29%)"
+    ));
+    report.line(&format!(
+        "accuracy gap PipeTune − V1 per workload: {:?} (paper: negligible)",
+        acc_gaps.iter().map(|g| format!("{:+.1}pp", g * 100.0)).collect::<Vec<_>>()
+    ));
+    report.json("rows", &rows);
+    report.finish();
+
+    assert!(tuning_red > 5.0, "PipeTune must reduce aggregate tuning time, got {tuning_red:.1}%");
+    assert!(energy_red > 5.0, "PipeTune must reduce aggregate tuning energy, got {energy_red:.1}%");
+    assert!(
+        acc_gaps.iter().all(|g| *g > -0.10),
+        "PipeTune accuracy must stay close to V1: {acc_gaps:?}"
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 12: the same single-tenancy metrics for the Type-III kernels
+//! (Jacobi, spk-means, BFS) on the single-node testbed — the short-epoch
+//! stress test for PipeTune's per-epoch profiling.
+
+use pipetune::{single_tenancy, ExperimentEnv, WorkloadSpec};
+use pipetune_bench::{kj, pct, secs, tuner_options, Report};
+
+fn main() {
+    let mut report = Report::new("fig12_type3");
+    let options = tuner_options();
+    let env = ExperimentEnv::single_node(112);
+    let specs = WorkloadSpec::all_type3();
+    let rows = single_tenancy(&env, &specs, &options).expect("type-3 single tenancy runs");
+
+    let mut table = Vec::new();
+    for r in &rows {
+        table.push(vec![
+            r.workload.clone(),
+            r.approach.to_string(),
+            format!("{:.1}%", r.accuracy * 100.0),
+            secs(r.training_secs),
+            secs(r.tuning_secs),
+            kj(r.tuning_energy_j),
+        ]);
+    }
+    report.table(
+        &["kernel", "approach", "score", "training", "tuning", "tuning energy"],
+        &table,
+    );
+
+    let mut v1_tuning = 0.0;
+    let mut pt_tuning = 0.0;
+    let mut v1_energy = 0.0;
+    let mut pt_energy = 0.0;
+    let mut score_gaps = Vec::new();
+    for w in rows.chunks(3) {
+        let (v1, _v2, pt) = (&w[0], &w[1], &w[2]);
+        v1_tuning += v1.tuning_secs;
+        pt_tuning += pt.tuning_secs;
+        v1_energy += v1.tuning_energy_j;
+        pt_energy += pt.tuning_energy_j;
+        score_gaps.push(f64::from(pt.accuracy - v1.accuracy));
+    }
+    let tuning_red = -pct(pt_tuning, v1_tuning);
+    let energy_red = -pct(pt_energy, v1_energy);
+    report.line(&format!(
+        "\nPipeTune vs Tune V1 (short epochs): tuning −{tuning_red:.1}%, energy −{energy_red:.1}%"
+    ));
+    report.line(&format!(
+        "score gap PipeTune − V1: {:?} (paper: comparable or better)",
+        score_gaps.iter().map(|g| format!("{:+.1}pp", g * 100.0)).collect::<Vec<_>>()
+    ));
+    report.json("rows", &rows);
+    report.finish();
+
+    // Paper §7.3: "PipeTune also achieves the expected results in this more
+    // challenging scenario and reduces both training and tuning time".
+    assert!(tuning_red > 0.0, "PipeTune must still win with short epochs, got {tuning_red:.1}%");
+    assert!(
+        score_gaps.iter().all(|g| *g > -0.10),
+        "kernel scores must stay comparable: {score_gaps:?}"
+    );
+}

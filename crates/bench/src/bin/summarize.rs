@@ -1,0 +1,125 @@
+//! Assembles the headline paper-vs-measured table from the JSON artefacts
+//! the figure binaries wrote to `target/experiments/` (run `run_all` first).
+
+use pipetune_bench::{artifacts_dir, pct, Report};
+use serde_json::Value;
+
+fn load(name: &str) -> Option<Value> {
+    let path = artifacts_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn main() {
+    let mut report = Report::new("summary");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut missing = Vec::new();
+
+    // Table 2: tuning reduction & training speed-up on LeNet/MNIST.
+    if let Some(t2) = load("table2_approaches") {
+        let find = |name: &str| -> Option<(f64, f64, f64)> {
+            t2["rows"].as_array()?.iter().find_map(|r| {
+                let a = r.as_array()?;
+                if a[0].as_str()? == name {
+                    Some((a[1].as_f64()?, a[2].as_f64()?, a[3].as_f64().unwrap_or(f64::NAN)))
+                } else {
+                    None
+                }
+            })
+        };
+        if let (Some(v1), Some(pt)) = (find("TuneV1"), find("PipeTune")) {
+            rows.push(vec![
+                "tuning-time reduction vs V1 (Table 2)".into(),
+                "−25 %".into(),
+                format!("{:+.1} %", pct(pt.2, v1.2)),
+            ]);
+            rows.push(vec![
+                "training speed-up (Table 2)".into(),
+                "up to 1.7x".into(),
+                format!("{:.2}x", v1.1 / pt.1),
+            ]);
+            rows.push(vec![
+                "accuracy gap vs V1 (Table 2)".into(),
+                "on par".into(),
+                format!("{:+.1} pp", (pt.0 - v1.0) * 100.0),
+            ]);
+        }
+    } else {
+        missing.push("table2_approaches");
+    }
+
+    // Fig. 11: aggregate tuning & energy reduction.
+    if let Some(f11) = load("fig11_single_tenancy") {
+        if let Some(rows11) = f11["rows"].as_array() {
+            let sum = |approach: &str, field: &str| -> f64 {
+                rows11
+                    .iter()
+                    .filter(|r| r["approach"] == approach)
+                    .filter_map(|r| r[field].as_f64())
+                    .sum()
+            };
+            let (v1t, ptt) = (sum("TuneV1", "tuning_secs"), sum("PipeTune", "tuning_secs"));
+            let (v1e, pte) =
+                (sum("TuneV1", "tuning_energy_j"), sum("PipeTune", "tuning_energy_j"));
+            rows.push(vec![
+                "tuning reduction, Type-I/II (Fig. 11c)".into(),
+                "up to 23 %".into(),
+                format!("{:.1} %", -pct(ptt, v1t)),
+            ]);
+            rows.push(vec![
+                "energy reduction, Type-I/II (Fig. 11d)".into(),
+                "up to 29 %".into(),
+                format!("{:.1} %", -pct(pte, v1e)),
+            ]);
+        }
+    } else {
+        missing.push("fig11_single_tenancy");
+    }
+
+    // Fig. 13: multi-tenancy response-time reduction ("all" group).
+    if let Some(f13) = load("fig13_multitenant") {
+        if let Some(groups) = f13["groups"].as_array() {
+            if let Some(all) = groups.iter().find(|g| g[0] == "all") {
+                let (v1, pt) = (all[1].as_f64().unwrap_or(0.0), all[3].as_f64().unwrap_or(0.0));
+                rows.push(vec![
+                    "response-time reduction (Fig. 13)".into(),
+                    "up to 30 %".into(),
+                    format!("{:.1} %", -pct(pt, v1)),
+                ]);
+            }
+        }
+    } else {
+        missing.push("fig13_multitenant");
+    }
+
+    // Fig. 3: the crossover magnitudes.
+    if let Some(f3) = load("fig03_param_impact") {
+        if let Some(bc) = f3["bc"].as_array() {
+            let cell = |batch: i64, cores: i64| -> Option<f64> {
+                bc.iter().find_map(|e| {
+                    let a = e.as_array()?;
+                    (a[0].as_i64()? == batch && a[1].as_i64()? == cores)
+                        .then(|| a[2].as_f64())?
+                })
+            };
+            if let (Some(slow), Some(fast)) = (cell(64, 8), cell(1024, 8)) {
+                rows.push(vec![
+                    "Fig. 3b crossover (batch 64 / 1024 @ 8 cores)".into(),
+                    "≈ +45 % / −40 %".into(),
+                    format!("{slow:+.0} % / {fast:+.0} %"),
+                ]);
+            }
+        }
+    } else {
+        missing.push("fig03_param_impact");
+    }
+
+    report.table(&["claim", "paper", "measured"], &rows);
+    if !missing.is_empty() {
+        report.line(&format!(
+            "\nmissing artefacts (run `run_all` first): {missing:?}"
+        ));
+    }
+    report.finish();
+    assert!(!rows.is_empty(), "no artefacts found — run run_all first");
+}

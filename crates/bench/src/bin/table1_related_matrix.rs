@@ -1,0 +1,41 @@
+//! Table 1: the state-of-the-art comparison matrix, reprinted from the
+//! static data encoded in `pipetune::related`.
+
+use pipetune::related_systems;
+use pipetune_bench::Report;
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+fn main() {
+    let mut report = Report::new("table1_related_matrix");
+    let rows: Vec<Vec<String>> = related_systems()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                tick(s.cpu).into(),
+                tick(s.gpu).into(),
+                tick(s.distributed_training).into(),
+                tick(s.tunes_hyper).into(),
+                tick(s.tunes_system).into(),
+                s.frameworks.join("/"),
+                tick(s.open_source).into(),
+            ]
+        })
+        .collect();
+    report.table(
+        &["system", "cpu", "gpu", "distributed", "hyper", "system", "frameworks", "open source"],
+        &rows,
+    );
+    report.line(
+        "\nPipeTune is the only open-source CPU system tuning hyper AND system parameters with BigDL support.",
+    );
+    report.finish();
+    assert_eq!(related_systems().len(), 16);
+}

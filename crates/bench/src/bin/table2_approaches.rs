@@ -1,0 +1,91 @@
+//! Table 2: accuracy, training time and tuning time for Arbitrary, Tune V1,
+//! Tune V2 and PipeTune on LeNet/MNIST.
+
+use pipetune::{
+    run_arbitrary, warm_start_ground_truth, ExperimentEnv, HyperParams, PipeTune, TuneV1, TuneV2,
+    WorkloadSpec,
+};
+use pipetune_bench::{tuner_options, Report};
+
+fn main() {
+    let mut report = Report::new("table2_approaches");
+    let options = tuner_options();
+    let env = ExperimentEnv::distributed(202);
+    let spec = WorkloadSpec::lenet_mnist();
+
+    // Arbitrary: deliberately mis-set hyperparameters (too-hot learning
+    // rate, oversized batch — the "if not correctly chosen" row).
+    let arbitrary_hp = HyperParams {
+        batch_size: 1024,
+        learning_rate: 0.09,
+        epochs: options.epochs_range.1 as u32,
+        ..HyperParams::default()
+    };
+    let (arb_acc, arb_train) =
+        run_arbitrary(&env, &spec, &arbitrary_hp, options.scale).expect("arbitrary runs");
+
+    let v1 = TuneV1::new(options).run(&env, &spec).expect("v1 runs");
+    let v2 = TuneV2::new(options).run(&env, &spec).expect("v2 runs");
+    let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
+        .expect("warm start");
+    let pt = PipeTune::with_ground_truth(options, gt).run(&env, &spec).expect("pipetune runs");
+
+    let rows = vec![
+        vec![
+            "Arbitrary".to_string(),
+            format!("{:.2}", arb_acc * 100.0),
+            format!("{arb_train:.0}"),
+            "-".to_string(),
+        ],
+        vec![
+            "Tune V1".to_string(),
+            format!("{:.2}", v1.best_accuracy * 100.0),
+            format!("{:.0}", v1.training_secs),
+            format!("{:.0}", v1.tuning_secs),
+        ],
+        vec![
+            "Tune V2".to_string(),
+            format!("{:.2}", v2.best_accuracy * 100.0),
+            format!("{:.0}", v2.training_secs),
+            format!("{:.0}", v2.tuning_secs),
+        ],
+        vec![
+            "PipeTune".to_string(),
+            format!("{:.2}", pt.best_accuracy * 100.0),
+            format!("{:.0}", pt.training_secs),
+            format!("{:.0}", pt.tuning_secs),
+        ],
+    ];
+    report.table(&["approach", "accuracy [%]", "training [s]", "tuning [s]"], &rows);
+    report.line("\npaper: Arbitrary 84.47/445/-, V1 91.54/272/4575, V2 81.76/187/4817, PipeTune 92.70/188/3415");
+    report.json(
+        "rows",
+        [
+            ("Arbitrary", f64::from(arb_acc), arb_train, f64::NAN),
+            ("TuneV1", f64::from(v1.best_accuracy), v1.training_secs, v1.tuning_secs),
+            ("TuneV2", f64::from(v2.best_accuracy), v2.training_secs, v2.tuning_secs),
+            ("PipeTune", f64::from(pt.best_accuracy), pt.training_secs, pt.tuning_secs),
+        ],
+    );
+    report.finish();
+
+    // Shape assertions from the paper's reading of Table 2:
+    // 1. Arbitrary values lead to worse accuracy than tuned approaches.
+    assert!(pt.best_accuracy > arb_acc, "tuning must beat arbitrary");
+    // 2. PipeTune accuracy on par with (or better than) Tune V1.
+    assert!(
+        pt.best_accuracy >= v1.best_accuracy - 0.05,
+        "PipeTune accuracy {} should be on par with V1 {}",
+        pt.best_accuracy,
+        v1.best_accuracy
+    );
+    // 3. PipeTune tunes faster than both baselines.
+    assert!(pt.tuning_secs < v1.tuning_secs, "PipeTune should tune faster than V1");
+    assert!(pt.tuning_secs < v2.tuning_secs, "PipeTune should tune faster than V2");
+    // 4. The ratio objective buys V2 a short-training model at an accuracy
+    //    cost (Table 2's V2 row). Known deviation from the paper: our V2
+    //    *wall-clock tuning* comes out faster than V1, not slower — the
+    //    selection effect of promoting fast trials outweighs the larger
+    //    search space in this simulator (recorded in EXPERIMENTS.md).
+    assert!(v2.training_secs < v1.training_secs, "V2 should find a faster-training model");
+}

@@ -1,0 +1,152 @@
+//! Shared harness utilities for the figure/table binaries.
+//!
+//! Every binary regenerates one table or figure of the paper: it prints a
+//! human-readable table to stdout and writes the same data as JSON under
+//! `target/experiments/` so `EXPERIMENTS.md` can be assembled from artefacts.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Percent difference of `new` relative to `base` (the paper's Fig. 3/5
+/// convention: negative = improvement for durations).
+pub fn pct(new: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// A report being assembled by one experiment binary.
+#[derive(Debug)]
+pub struct Report {
+    name: String,
+    text: String,
+    json: serde_json::Map<String, serde_json::Value>,
+}
+
+impl Report {
+    /// Starts a report for `name` (e.g. `fig11_single_tenancy`).
+    pub fn new(name: &str) -> Self {
+        let mut r = Report { name: name.to_string(), text: String::new(), json: Default::default() };
+        r.line(&format!("== {name} =="));
+        r
+    }
+
+    /// Appends a free-form line.
+    pub fn line(&mut self, text: &str) {
+        self.text.push_str(text);
+        self.text.push('\n');
+    }
+
+    /// Appends an aligned table.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut line = String::new();
+        for (h, w) in headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        self.line(line.trim_end());
+        let sep: String = widths.iter().map(|w| format!("{}  ", "-".repeat(*w))).collect();
+        self.line(sep.trim_end());
+        for row in rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            self.line(line.trim_end());
+        }
+    }
+
+    /// Attaches a JSON value to the machine-readable artefact.
+    pub fn json(&mut self, key: &str, value: impl serde::Serialize) {
+        if let Ok(v) = serde_json::to_value(value) {
+            self.json.insert(key.to_string(), v);
+        }
+    }
+
+    /// Prints the report and writes `target/experiments/<name>.{txt,json}`.
+    pub fn finish(self) {
+        println!("{}", self.text);
+        let dir = artifacts_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{}.txt", self.name)), &self.text);
+            if !self.json.is_empty() {
+                if let Ok(js) = serde_json::to_string_pretty(&self.json) {
+                    let _ = std::fs::write(dir.join(format!("{}.json", self.name)), js);
+                }
+            }
+        }
+    }
+}
+
+/// Directory experiment artefacts land in.
+pub fn artifacts_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Formats seconds compactly.
+pub fn secs(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.2}e3 s", v / 1000.0)
+    } else {
+        format!("{v:.1} s")
+    }
+}
+
+/// Formats joules as kJ.
+pub fn kj(v: f64) -> String {
+    format!("{:.2} kJ", v / 1000.0)
+}
+
+/// `--quick` on the command line shrinks experiment scale for smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Tuner options honouring `--quick`.
+pub fn tuner_options() -> pipetune::TunerOptions {
+    if quick_mode() {
+        pipetune::TunerOptions::fast()
+    } else {
+        // Harness profile: paper-shaped budgets but sized so the whole
+        // `run_all` suite completes in minutes of real training.
+        pipetune::TunerOptions {
+            r_max: 9,
+            eta: 3,
+            epochs_range: (3, 9),
+            scale: 0.5,
+            probe_goal: pipetune::ProbeGoal::Runtime,
+            threshold_factor: 3.0,
+            scheduler: pipetune::SchedulerKind::HyperBand,
+            similarity: pipetune::SimilarityKind::KMeans { k: 2 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_matches_paper_convention() {
+        assert_eq!(pct(150.0, 100.0), 50.0);
+        assert_eq!(pct(50.0, 100.0), -50.0);
+        assert_eq!(pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn report_renders_aligned_tables() {
+        let mut r = Report::new("t");
+        r.table(&["a", "bbb"], &[vec!["1".into(), "2".into()]]);
+        assert!(r.text.contains("bbb"));
+        assert!(r.text.contains("---"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic discrete-event simulator of a CPU deep-learning cluster.
+//!
+//! The paper evaluates on 4 Intel E3 nodes (8 cores, 64 GiB each) plus a
+//! single-node E5 testbed. This crate simulates that infrastructure so the
+//! reproduction can measure *time* and *placement* effects without the
+//! hardware:
+//!
+//! * [`SimTime`] / [`EventQueue`] — a microsecond-resolution event engine.
+//! * [`SystemConfig`] — the system parameters PipeTune tunes (cores, memory).
+//! * [`CostModel`] — epoch duration as a function of work and system
+//!   configuration. It encodes the mechanism the paper describes in §3.2:
+//!   synchronous mini-batch SGD pays a per-iteration synchronisation cost
+//!   that grows with core count, so *small* batches slow down on more cores
+//!   while large batches speed up (Fig. 3b's crossover).
+//! * [`ClusterSpec`] / [`Allocator`] — node inventory and core/memory
+//!   accounting with oversubscription-driven contention (Fig. 5, §7.4).
+//! * [`PoissonArrivals`] — exponential interarrival job traces for the
+//!   multi-tenancy experiments (§7.4).
+//!
+//! Everything is deterministic under a seed; times are simulated, never wall
+//! clock.
+
+mod arrivals;
+mod cost;
+mod sim;
+mod system;
+mod topology;
+
+pub use arrivals::PoissonArrivals;
+pub use cost::{CostModel, WorkUnits};
+pub use sim::{EventQueue, SimTime};
+pub use system::{SystemConfig, SystemSpace};
+pub use topology::{Allocation, Allocator, ClusterError, ClusterSpec, Node, NodeId};

@@ -1,0 +1,246 @@
+//! Pluggable similarity functions (the ground-truth decision of §5.6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DbscanLabel, DbscanModel, KMeansModel};
+
+/// Outcome of a similarity check for a new job profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityVerdict {
+    /// Cluster the profile is nearest to.
+    pub cluster: usize,
+    /// Squared distance to that cluster's centroid.
+    pub distance_sq: f64,
+    /// Normalised score: `distance² / (threshold × mean-inertia)`; below 1.0
+    /// means confident.
+    pub score: f64,
+    /// Whether the known configuration for `cluster` may be reused (the
+    /// paper's "score within confidence level", Algorithm 1 line 9).
+    pub confident: bool,
+}
+
+/// A similarity function over profile feature vectors.
+///
+/// The paper makes this component pluggable ("our design allows the
+/// similarity function to be pluggable", §5.4); PipeTune's middleware only
+/// depends on this trait.
+pub trait Similarity {
+    /// Judges how similar `features` is to the historical profile clusters.
+    fn judge(&self, features: &[f64]) -> SimilarityVerdict;
+
+    /// Number of historical clusters.
+    fn num_clusters(&self) -> usize;
+}
+
+/// The default similarity function: k-means distance vs. model inertia.
+///
+/// A new profile is *confident* when its squared distance to the nearest
+/// centroid is at most `threshold_factor ×` the model's mean per-point
+/// inertia — i.e. the new point looks like a typical member of the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansSimilarity {
+    model: KMeansModel,
+    threshold_factor: f64,
+}
+
+impl KMeansSimilarity {
+    /// Wraps a fitted model with the confidence threshold.
+    ///
+    /// The paper does not publish its factor; 2.0 accepts points up to twice
+    /// the average member distance and is swept in the threshold-sensitivity
+    /// ablation.
+    pub fn new(model: KMeansModel, threshold_factor: f64) -> Self {
+        KMeansSimilarity { model, threshold_factor: threshold_factor.max(0.0) }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &KMeansModel {
+        &self.model
+    }
+
+    /// The configured threshold factor.
+    pub fn threshold_factor(&self) -> f64 {
+        self.threshold_factor
+    }
+}
+
+impl Similarity for KMeansSimilarity {
+    fn judge(&self, features: &[f64]) -> SimilarityVerdict {
+        let (cluster, distance_sq) = self.model.predict(features);
+        let yardstick = self.threshold_factor * self.model.variance_estimate();
+        let score = if yardstick > 0.0 { distance_sq / yardstick } else { f64::INFINITY };
+        SimilarityVerdict { cluster, distance_sq, score, confident: score <= 1.0 }
+    }
+
+    fn num_clusters(&self) -> usize {
+        self.model.centroids().len()
+    }
+}
+
+/// Alternative similarity function: nearest historical *point* within an
+/// absolute radius. Used by the pluggable-similarity ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NearestNeighborSimilarity {
+    points: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    radius_sq: f64,
+}
+
+impl NearestNeighborSimilarity {
+    /// Builds from labelled historical feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `labels` lengths differ.
+    pub fn new(points: Vec<Vec<f64>>, labels: Vec<usize>, radius: f64) -> Self {
+        assert_eq!(points.len(), labels.len(), "one label per point");
+        NearestNeighborSimilarity { points, labels, radius_sq: radius * radius }
+    }
+}
+
+impl Similarity for NearestNeighborSimilarity {
+    fn judge(&self, features: &[f64]) -> SimilarityVerdict {
+        let mut best = (0usize, f64::INFINITY);
+        for (p, &l) in self.points.iter().zip(&self.labels) {
+            let d: f64 = p.iter().zip(features).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best.1 {
+                best = (l, d);
+            }
+        }
+        let score = if self.radius_sq > 0.0 { best.1 / self.radius_sq } else { f64::INFINITY };
+        SimilarityVerdict {
+            cluster: best.0,
+            distance_sq: best.1,
+            score,
+            confident: score <= 1.0,
+        }
+    }
+
+    fn num_clusters(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+/// Density-based alternative: a fitted [`DbscanModel`] gates confidence.
+///
+/// A new profile is confident exactly when DBSCAN would classify it into a
+/// cluster (it lies within `eps` of a core point); density noise is a miss.
+/// One of the scikit-learn alternatives §5.4 says can replace k-means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbscanSimilarity {
+    model: DbscanModel,
+}
+
+impl DbscanSimilarity {
+    /// Wraps a fitted DBSCAN model.
+    pub fn new(model: DbscanModel) -> Self {
+        DbscanSimilarity { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DbscanModel {
+        &self.model
+    }
+}
+
+impl Similarity for DbscanSimilarity {
+    fn judge(&self, features: &[f64]) -> SimilarityVerdict {
+        let (label, distance_sq) = self.model.predict(features);
+        match label {
+            DbscanLabel::Cluster(cluster) => SimilarityVerdict {
+                cluster,
+                distance_sq,
+                score: 0.0,
+                confident: true,
+            },
+            DbscanLabel::Noise => SimilarityVerdict {
+                cluster: 0,
+                distance_sq,
+                score: f64::INFINITY,
+                confident: false,
+            },
+        }
+    }
+
+    fn num_clusters(&self) -> usize {
+        self.model.num_clusters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dbscan, KMeans};
+
+    fn fitted() -> KMeansSimilarity {
+        let mut data = Vec::new();
+        for i in 0..10 {
+            let j = f64::from(i) * 0.05;
+            data.push(vec![0.0 + j, 0.0]);
+            data.push(vec![10.0 + j, 10.0]);
+        }
+        let model = KMeans::new(2).fit(&data, 1).unwrap();
+        KMeansSimilarity::new(model, 2.0)
+    }
+
+    #[test]
+    fn member_like_points_are_confident() {
+        let sim = fitted();
+        let v = sim.judge(&[0.1, 0.05]);
+        assert!(v.confident, "score {}", v.score);
+    }
+
+    #[test]
+    fn outliers_are_rejected() {
+        let sim = fitted();
+        let v = sim.judge(&[5.0, 5.0]);
+        assert!(!v.confident, "score {}", v.score);
+        assert!(v.score > 1.0);
+    }
+
+    #[test]
+    fn clusters_are_distinguished() {
+        let sim = fitted();
+        let a = sim.judge(&[0.0, 0.0]).cluster;
+        let b = sim.judge(&[10.0, 10.0]).cluster;
+        assert_ne!(a, b);
+        assert_eq!(sim.num_clusters(), 2);
+    }
+
+    #[test]
+    fn zero_threshold_never_confident() {
+        let sim = KMeansSimilarity::new(fitted().model().clone(), 0.0);
+        assert!(!sim.judge(&[0.0, 0.0]).confident);
+    }
+
+    #[test]
+    fn dbscan_similarity_gates_on_density() {
+        let mut data = Vec::new();
+        for i in 0..8 {
+            let j = f64::from(i) * 0.05;
+            data.push(vec![0.0 + j, 0.0]);
+            data.push(vec![10.0 + j, 10.0]);
+        }
+        let model = Dbscan::new(0.5, 3).fit(&data).unwrap();
+        let sim = DbscanSimilarity::new(model);
+        assert_eq!(sim.num_clusters(), 2);
+        let near = sim.judge(&[0.1, 0.05]);
+        assert!(near.confident);
+        let far = sim.judge(&[5.0, 5.0]);
+        assert!(!far.confident);
+        assert_ne!(sim.judge(&[0.0, 0.0]).cluster, sim.judge(&[10.0, 10.0]).cluster);
+    }
+
+    #[test]
+    fn nearest_neighbor_alternative_behaves() {
+        let sim = NearestNeighborSimilarity::new(
+            vec![vec![0.0, 0.0], vec![10.0, 10.0]],
+            vec![0, 1],
+            1.0,
+        );
+        assert!(sim.judge(&[0.1, 0.1]).confident);
+        assert!(!sim.judge(&[5.0, 5.0]).confident);
+        assert_eq!(sim.judge(&[9.5, 9.9]).cluster, 1);
+        assert_eq!(sim.num_clusters(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Experiment environment: the simulated testbed every run executes against.
+
+use pipetune_cluster::{ClusterSpec, CostModel, SystemConfig, SystemSpace};
+use pipetune_energy::PowerModel;
+use pipetune_perfmon::Profiler;
+
+/// Bundles the simulated infrastructure (§7.1.1): cluster inventory, cost
+/// model, power model, PMU, system-parameter grid, default trial
+/// configuration and trial parallelism.
+#[derive(Debug, Clone)]
+pub struct ExperimentEnv {
+    /// Node inventory.
+    pub cluster: ClusterSpec,
+    /// Epoch-duration model.
+    pub cost: CostModel,
+    /// Node power model.
+    pub power: PowerModel,
+    /// Simulated PMU.
+    pub profiler: Profiler,
+    /// System-parameter grid PipeTune probes.
+    pub system_space: SystemSpace,
+    /// System configuration trials run with before tuning (and always, for
+    /// Tune V1).
+    pub default_system: SystemConfig,
+    /// Trials that can run concurrently (the paper spawns trials across the
+    /// cluster asynchronously).
+    pub parallel_slots: usize,
+    /// Relative wall-clock overhead profiling adds to a profiled epoch
+    /// (§7.3 reports it as small; the profiling-overhead ablation sweeps it).
+    pub profile_overhead: f64,
+    /// Profile through the 1 Hz sampling pipeline (counter multiplexing,
+    /// blind spots on short epochs) instead of the closed-form epoch
+    /// average. Off by default; the sampling extension turns it on.
+    pub sampled_profiling: bool,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+}
+
+impl ExperimentEnv {
+    /// The distributed Type-I/II testbed: 4 nodes, default 4-core/4-GiB
+    /// trial slots, paper system grid.
+    pub fn distributed(seed: u64) -> Self {
+        ExperimentEnv {
+            cluster: ClusterSpec::paper_distributed(),
+            cost: CostModel::default(),
+            power: PowerModel::default(),
+            profiler: Profiler::default(),
+            system_space: SystemSpace::default(),
+            default_system: SystemConfig::new(8, 32),
+            parallel_slots: 4,
+            profile_overhead: 0.02,
+            sampled_profiling: false,
+            seed,
+        }
+    }
+
+    /// The single-node Type-III testbed (one 8-core/24-GiB node, smaller
+    /// grid, 2 concurrent trials).
+    pub fn single_node(seed: u64) -> Self {
+        ExperimentEnv {
+            cluster: ClusterSpec::paper_single_node(),
+            cost: CostModel::default(),
+            power: PowerModel::default(),
+            profiler: Profiler::default(),
+            system_space: SystemSpace {
+                cores: vec![2, 4, 8],
+                memory_gb: vec![4, 8, 16],
+                freq_mhz: vec![SystemConfig::NOMINAL_FREQ_MHZ],
+            },
+            default_system: SystemConfig::new(4, 8),
+            parallel_slots: 2,
+            profile_overhead: 0.02,
+            sampled_profiling: false,
+            seed,
+        }
+    }
+
+    /// Whole-cluster power draw while one trial runs on `cores` busy cores
+    /// — the quantity the paper's PDU measures (every node idles at its
+    /// floor regardless of where the trial is placed).
+    pub fn trial_power_watts(&self, cores: u32) -> f64 {
+        let idle_floor = self.power.idle_watts * self.cluster.nodes.len() as f64;
+        idle_floor + (self.power.power_watts(cores, 1.0) - self.power.idle_watts)
+    }
+
+    /// Frequency-aware variant of [`ExperimentEnv::trial_power_watts`]:
+    /// dynamic power follows the DVFS cubic law.
+    pub fn trial_power(&self, sys: &SystemConfig) -> f64 {
+        let idle_floor = self.power.idle_watts * self.cluster.nodes.len() as f64;
+        idle_floor
+            + (self.power.power_watts_at_freq(sys.cores, 1.0, sys.freq_ratio())
+                - self.power.idle_watts)
+    }
+
+    /// Derives a sub-seed for a named component, decorrelated from others.
+    pub fn subseed(&self, tag: u64) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag)
+            .rotate_left(17)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbeds_match_section_7_1() {
+        let d = ExperimentEnv::distributed(1);
+        assert_eq!(d.cluster.nodes.len(), 4);
+        assert_eq!(d.system_space.len(), 12);
+        let s = ExperimentEnv::single_node(1);
+        assert_eq!(s.cluster.nodes.len(), 1);
+        assert!(s.system_space.len() < d.system_space.len());
+    }
+
+    #[test]
+    fn trial_power_includes_cluster_idle_floor_and_dvfs() {
+        let env = ExperimentEnv::distributed(3);
+        let nominal = env.trial_power(&SystemConfig::new(8, 16));
+        assert_eq!(nominal, env.trial_power_watts(8));
+        let slow = env.trial_power(&SystemConfig {
+            freq_mhz: SystemConfig::NOMINAL_FREQ_MHZ / 2,
+            ..SystemConfig::new(8, 16)
+        });
+        assert!(slow < nominal, "down-clocking must cut power");
+        let idle_floor = env.power.idle_watts * env.cluster.nodes.len() as f64;
+        assert!(slow > idle_floor, "idle floor always drawn");
+    }
+
+    #[test]
+    fn subseeds_differ_by_tag_and_seed() {
+        let e = ExperimentEnv::distributed(7);
+        assert_ne!(e.subseed(1), e.subseed(2));
+        assert_ne!(e.subseed(1), ExperimentEnv::distributed(8).subseed(1));
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+use pipetune_cluster::ClusterError;
+use pipetune_clustering::ClusteringError;
+use pipetune_dnn::DnnError;
+use pipetune_tsdb::TsdbError;
+
+/// Error type for PipeTune middleware operations.
+#[derive(Debug)]
+pub enum PipeTuneError {
+    /// Training substrate failure.
+    Dnn(DnnError),
+    /// Cluster allocation failure.
+    Cluster(ClusterError),
+    /// Ground-truth clustering failure.
+    Clustering(ClusteringError),
+    /// Metric-store failure.
+    Tsdb(TsdbError),
+    /// An experiment or tuner configuration is invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PipeTuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipeTuneError::Dnn(e) => write!(f, "training error: {e}"),
+            PipeTuneError::Cluster(e) => write!(f, "cluster error: {e}"),
+            PipeTuneError::Clustering(e) => write!(f, "clustering error: {e}"),
+            PipeTuneError::Tsdb(e) => write!(f, "metric store error: {e}"),
+            PipeTuneError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PipeTuneError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipeTuneError::Dnn(e) => Some(e),
+            PipeTuneError::Cluster(e) => Some(e),
+            PipeTuneError::Clustering(e) => Some(e),
+            PipeTuneError::Tsdb(e) => Some(e),
+            PipeTuneError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<DnnError> for PipeTuneError {
+    fn from(e: DnnError) -> Self {
+        PipeTuneError::Dnn(e)
+    }
+}
+
+impl From<ClusterError> for PipeTuneError {
+    fn from(e: ClusterError) -> Self {
+        PipeTuneError::Cluster(e)
+    }
+}
+
+impl From<ClusteringError> for PipeTuneError {
+    fn from(e: ClusteringError) -> Self {
+        PipeTuneError::Clustering(e)
+    }
+}
+
+impl From<TsdbError> for PipeTuneError {
+    fn from(e: TsdbError) -> Self {
+        PipeTuneError::Tsdb(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sub_errors_with_sources() {
+        let e: PipeTuneError = DnnError::InvalidConfig { reason: "x".into() }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("training error"));
+        let e = PipeTuneError::InvalidConfig { reason: "bad".into() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,356 @@
+//! Experiment drivers: single-tenancy (Figs. 11 & 12, Table 2) and
+//! multi-tenancy (Figs. 13 & 14).
+
+use pipetune_cluster::PoissonArrivals;
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::{TuneV1, TuneV2};
+use crate::tuner::{PipeTune, TunerOptions};
+use crate::workload::EpochWorkload;
+use crate::{ExperimentEnv, GroundTruth, PipeTuneError, WorkloadSpec};
+
+/// One row of the single-tenancy comparison (one workload × one approach).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleTenancyRow {
+    /// Workload name (`lenet/mnist`, …).
+    pub workload: String,
+    /// `TuneV1`, `TuneV2` or `PipeTune`.
+    pub approach: &'static str,
+    /// Accuracy of the selected model.
+    pub accuracy: f32,
+    /// Training duration of the selected model, seconds.
+    pub training_secs: f64,
+    /// Wall-clock tuning duration, seconds.
+    pub tuning_secs: f64,
+    /// Cluster tuning energy, joules.
+    pub tuning_energy_j: f64,
+}
+
+/// Warm-starts a ground truth the way §7.2 does: profile every workload
+/// under representative system configurations and store each family's best
+/// configuration (judged by the probe goal on the cost model).
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn warm_start_ground_truth(
+    env: &ExperimentEnv,
+    specs: &[WorkloadSpec],
+    options: &TunerOptions,
+) -> Result<GroundTruth, PipeTuneError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut gt = GroundTruth::with_similarity(options.similarity, options.threshold_factor, env.subseed(0x57A7));
+    let mut rng = StdRng::seed_from_u64(env.subseed(0x57A8));
+    let grid = env.system_space.configurations();
+    // §7.2's profiling campaign varies batch size (32/64/512/1024) and the
+    // system configuration (48 combinations per workload, each repeated
+    // twice). The variation is what gives each cluster a realistic spread,
+    // so later trials with arbitrary hyperparameters still land inside the
+    // confidence threshold.
+    let batches = [32usize, 64, 512, 1024];
+    let embeddings = [8usize, 64];
+    for (wi, spec) in specs.iter().enumerate() {
+        let spec = spec.with_scale(options.scale);
+        for (vi, (&batch, &embedding)) in batches
+            .iter()
+            .flat_map(|b| embeddings.iter().map(move |e| (b, e)))
+            .enumerate()
+        {
+            let hp = crate::HyperParams {
+                batch_size: batch,
+                embedding_dim: embedding,
+                ..crate::HyperParams::default()
+            };
+            let workload =
+                spec.instantiate(&hp, env.subseed(1000 + wi as u64 * 16 + vi as u64))?;
+            let work = workload.work_units();
+            let sig = workload.signature();
+            // Best configuration over the grid by probe cost (what actual
+            // probing would find for this working set).
+            let (best, best_cost) = grid
+                .iter()
+                .map(|sys| {
+                    let dur = env.cost.epoch_duration(&work, sys, 1.0);
+                    let energy = env.trial_power(sys) * dur;
+                    (*sys, options.probe_goal.cost(dur, energy))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty grid");
+            // Profile under several core allocations, twice each (§7.2
+            // repeats every configuration to absorb unseen variation).
+            for &cores in &env.system_space.cores {
+                let sys = pipetune_cluster::SystemConfig {
+                    cores,
+                    ..env.default_system
+                };
+                let dur = env.cost.epoch_duration(&work, &sys, 1.0);
+                for _rep in 0..2 {
+                    let profile = env.profiler.profile_epoch(&sig, cores, dur, &mut rng);
+                    gt.record(spec.name(), &profile.features(), best, best_cost)?;
+                }
+            }
+        }
+    }
+    gt.refit()?;
+    Ok(gt)
+}
+
+/// Runs the single-tenancy comparison: each workload tuned by Tune V1,
+/// Tune V2 and PipeTune on a dedicated cluster (Figs. 11 & 12).
+///
+/// # Errors
+///
+/// Propagates substrate and configuration errors.
+pub fn single_tenancy(
+    env: &ExperimentEnv,
+    specs: &[WorkloadSpec],
+    options: &TunerOptions,
+) -> Result<Vec<SingleTenancyRow>, PipeTuneError> {
+    let mut rows = Vec::new();
+    // PipeTune starts from the §7.2 warm-started similarity model.
+    let gt = warm_start_ground_truth(env, specs, options)?;
+    let mut pipetune = PipeTune::with_ground_truth(*options, gt);
+    let mut v1 = TuneV1::new(*options);
+    let mut v2 = TuneV2::new(*options);
+    for spec in specs {
+        let o1 = v1.run(env, spec)?;
+        rows.push(SingleTenancyRow {
+            workload: spec.name().to_string(),
+            approach: "TuneV1",
+            accuracy: o1.best_accuracy,
+            training_secs: o1.training_secs,
+            tuning_secs: o1.tuning_secs,
+            tuning_energy_j: o1.tuning_energy_j,
+        });
+        let o2 = v2.run(env, spec)?;
+        rows.push(SingleTenancyRow {
+            workload: spec.name().to_string(),
+            approach: "TuneV2",
+            accuracy: o2.best_accuracy,
+            training_secs: o2.training_secs,
+            tuning_secs: o2.tuning_secs,
+            tuning_energy_j: o2.tuning_energy_j,
+        });
+        let op = pipetune.run(env, spec)?;
+        rows.push(SingleTenancyRow {
+            workload: spec.name().to_string(),
+            approach: "PipeTune",
+            accuracy: op.best_accuracy,
+            training_secs: op.training_secs,
+            tuning_secs: op.tuning_secs,
+            tuning_energy_j: op.tuning_energy_j,
+        });
+    }
+    Ok(rows)
+}
+
+/// Multi-tenancy trace parameters (§7.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenancyOptions {
+    /// Number of HPT jobs in the trace.
+    pub jobs: usize,
+    /// Poisson arrival rate, jobs per (simulated) second.
+    pub arrival_rate_per_sec: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for MultiTenancyOptions {
+    fn default() -> Self {
+        MultiTenancyOptions { jobs: 8, arrival_rate_per_sec: 1.0 / 3000.0, seed: 7 }
+    }
+}
+
+/// Per-approach response-time summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenancyOutcome {
+    /// `TuneV1`, `TuneV2` or `PipeTune`.
+    pub approach: &'static str,
+    /// Mean response time (completion − arrival) per workload, seconds,
+    /// keyed by workload name.
+    pub per_workload_secs: Vec<(String, f64)>,
+    /// Mean response time over all jobs, seconds.
+    pub overall_secs: f64,
+}
+
+/// Runs the multi-tenancy experiment: jobs arrive with exponential
+/// interarrival times and are served FIFO (§5.1); within a job, trials use
+/// the whole cluster. Workloads rotate round-robin over `specs`, so later
+/// jobs repeat families seen earlier — the repetition PipeTune's ground
+/// truth exploits. The first arrival of each family plays the paper's
+/// "unseen job" role (with `specs.len()` families and the default 8-job
+/// trace this is ~25 % unseen, close to the paper's 20 %).
+///
+/// # Errors
+///
+/// Propagates substrate and configuration errors.
+pub fn multi_tenancy(
+    env: &ExperimentEnv,
+    specs: &[WorkloadSpec],
+    options: &TunerOptions,
+    mt: &MultiTenancyOptions,
+) -> Result<Vec<MultiTenancyOutcome>, PipeTuneError> {
+    if specs.is_empty() || mt.jobs == 0 {
+        return Err(PipeTuneError::InvalidConfig {
+            reason: "multi-tenancy needs at least one spec and one job".into(),
+        });
+    }
+    let mut arrivals = PoissonArrivals::new(mt.arrival_rate_per_sec, mt.seed);
+    let schedule: Vec<(f64, WorkloadSpec)> = (0..mt.jobs)
+        .map(|i| (arrivals.next_arrival().as_secs_f64(), specs[i % specs.len()]))
+        .collect();
+
+    let mut results = Vec::new();
+    for approach in ["TuneV1", "TuneV2", "PipeTune"] {
+        let mut v1 = TuneV1::new(*options);
+        let mut v2 = TuneV2::new(*options);
+        // PipeTune starts cold here: the ground truth is built *by the
+        // trace itself* (§7.4 measures exactly this amortisation).
+        let mut pt = PipeTune::new(*options);
+        let mut prev_completion = 0.0f64;
+        let mut per: std::collections::BTreeMap<String, (f64, usize)> = Default::default();
+        let mut total = 0.0f64;
+        for (arrival, spec) in &schedule {
+            let tuning_secs = match approach {
+                "TuneV1" => v1.run(env, spec)?.tuning_secs,
+                "TuneV2" => v2.run(env, spec)?.tuning_secs,
+                _ => pt.run(env, spec)?.tuning_secs,
+            };
+            let start = prev_completion.max(*arrival);
+            let completion = start + tuning_secs;
+            prev_completion = completion;
+            let response = completion - arrival;
+            total += response;
+            let e = per.entry(spec.name().to_string()).or_insert((0.0, 0));
+            e.0 += response;
+            e.1 += 1;
+        }
+        results.push(MultiTenancyOutcome {
+            approach,
+            per_workload_secs: per
+                .into_iter()
+                .map(|(k, (sum, n))| (k, sum / n as f64))
+                .collect(),
+            overall_secs: total / mt.jobs as f64,
+        });
+    }
+    Ok(results)
+}
+
+/// Shared-cluster variant of [`multi_tenancy`]: jobs start on arrival and
+/// processor-share the cluster (Fig. 5's co-location regime) instead of
+/// queueing FIFO. Service times are each approach's dedicated tuning times;
+/// the sharing simulation converts them into overlapped completions.
+///
+/// # Errors
+///
+/// Propagates substrate and configuration errors.
+pub fn multi_tenancy_shared(
+    env: &ExperimentEnv,
+    specs: &[WorkloadSpec],
+    options: &TunerOptions,
+    mt: &MultiTenancyOptions,
+) -> Result<Vec<MultiTenancyOutcome>, PipeTuneError> {
+    if specs.is_empty() || mt.jobs == 0 {
+        return Err(PipeTuneError::InvalidConfig {
+            reason: "multi-tenancy needs at least one spec and one job".into(),
+        });
+    }
+    let mut arrivals = PoissonArrivals::new(mt.arrival_rate_per_sec, mt.seed);
+    let schedule: Vec<(f64, WorkloadSpec)> = (0..mt.jobs)
+        .map(|i| (arrivals.next_arrival().as_secs_f64(), specs[i % specs.len()]))
+        .collect();
+
+    let mut results = Vec::new();
+    for approach in ["TuneV1", "TuneV2", "PipeTune"] {
+        let mut v1 = TuneV1::new(*options);
+        let mut v2 = TuneV2::new(*options);
+        let mut pt = PipeTune::new(*options);
+        let jobs: Vec<crate::SharedJob> = schedule
+            .iter()
+            .map(|(arrival, spec)| {
+                let tuning_secs = match approach {
+                    "TuneV1" => v1.run(env, spec)?.tuning_secs,
+                    "TuneV2" => v2.run(env, spec)?.tuning_secs,
+                    _ => pt.run(env, spec)?.tuning_secs,
+                };
+                Ok(crate::SharedJob { arrival_secs: *arrival, service_secs: tuning_secs })
+            })
+            .collect::<Result<_, PipeTuneError>>()?;
+        let completions = crate::simulate_processor_sharing(&jobs)?;
+        let mut per: std::collections::BTreeMap<String, (f64, usize)> = Default::default();
+        let mut total = 0.0f64;
+        for c in &completions {
+            total += c.response_secs;
+            let name = schedule[c.job].1.name().to_string();
+            let e = per.entry(name).or_insert((0.0, 0));
+            e.0 += c.response_secs;
+            e.1 += 1;
+        }
+        results.push(MultiTenancyOutcome {
+            approach,
+            per_workload_secs: per
+                .into_iter()
+                .map(|(k, (sum, n))| (k, sum / n as f64))
+                .collect(),
+            overall_secs: total / mt.jobs as f64,
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_start_builds_a_usable_ground_truth() {
+        let env = ExperimentEnv::distributed(31);
+        let specs = [WorkloadSpec::lenet_mnist(), WorkloadSpec::lstm_news20()];
+        let gt = warm_start_ground_truth(&env, &specs, &TunerOptions::fast()).unwrap();
+        assert_eq!(gt.len(), 96); // 2 workloads × 8 hp variants × 3 core counts × 2 reps
+        assert!(gt.stats().refits >= 1);
+    }
+
+    #[test]
+    fn single_tenancy_produces_three_rows_per_workload() {
+        let env = ExperimentEnv::distributed(32);
+        let specs = [WorkloadSpec::lenet_mnist()];
+        let rows = single_tenancy(&env, &specs, &TunerOptions::fast()).unwrap();
+        assert_eq!(rows.len(), 3);
+        let approaches: Vec<&str> = rows.iter().map(|r| r.approach).collect();
+        assert_eq!(approaches, vec!["TuneV1", "TuneV2", "PipeTune"]);
+        assert!(rows.iter().all(|r| r.tuning_secs > 0.0 && r.accuracy > 0.0));
+    }
+
+    #[test]
+    fn multi_tenancy_reports_all_three_approaches() {
+        let env = ExperimentEnv::distributed(33);
+        let specs = [WorkloadSpec::lenet_mnist()];
+        let mt = MultiTenancyOptions { jobs: 2, arrival_rate_per_sec: 1.0 / 1000.0, seed: 3 };
+        let out = multi_tenancy(&env, &specs, &TunerOptions::fast(), &mt).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|o| o.overall_secs > 0.0));
+        assert!(out.iter().all(|o| o.per_workload_secs.len() == 1));
+    }
+
+    #[test]
+    fn shared_mode_also_reports_and_pipetune_wins() {
+        let env = ExperimentEnv::distributed(35);
+        let specs = [WorkloadSpec::lenet_mnist()];
+        let mt = MultiTenancyOptions { jobs: 3, arrival_rate_per_sec: 1.0 / 500.0, seed: 5 };
+        let out = multi_tenancy_shared(&env, &specs, &TunerOptions::fast(), &mt).unwrap();
+        assert_eq!(out.len(), 3);
+        let v1 = out.iter().find(|o| o.approach == "TuneV1").unwrap().overall_secs;
+        let pt = out.iter().find(|o| o.approach == "PipeTune").unwrap().overall_secs;
+        assert!(pt < v1, "sharing should not erase PipeTune's advantage: {pt} vs {v1}");
+    }
+
+    #[test]
+    fn multi_tenancy_rejects_empty_traces() {
+        let env = ExperimentEnv::distributed(34);
+        let mt = MultiTenancyOptions { jobs: 0, ..Default::default() };
+        assert!(multi_tenancy(&env, &[WorkloadSpec::bfs()], &TunerOptions::fast(), &mt).is_err());
+    }
+}

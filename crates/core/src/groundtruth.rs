@@ -1,0 +1,442 @@
+//! The ground-truth phase (§5.4–§5.6): historical profiles → known-best
+//! system configurations.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use pipetune_cluster::SystemConfig;
+use pipetune_clustering::{
+    Dbscan, DbscanSimilarity, KMeans, KMeansSimilarity, Similarity, SimilarityVerdict,
+};
+use pipetune_tsdb::{Database, Point, Query};
+use serde::{Deserialize, Serialize};
+
+use crate::PipeTuneError;
+
+/// Which similarity function the ground truth fits (§5.4: "our design
+/// allows the similarity function to be pluggable").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimilarityKind {
+    /// k-means with `k` clusters and a variance-based confidence threshold
+    /// (the paper's default, k = 2).
+    KMeans {
+        /// Number of clusters.
+        k: usize,
+    },
+    /// DBSCAN with a data-driven radius: `eps = eps_factor ×` the median
+    /// nearest-neighbour distance of the history.
+    Dbscan {
+        /// Minimum neighbours for a core point.
+        min_points: usize,
+        /// Multiplier on the median nearest-neighbour distance.
+        eps_factor: f64,
+    },
+}
+
+impl Default for SimilarityKind {
+    fn default() -> Self {
+        SimilarityKind::KMeans { k: 2 }
+    }
+}
+
+/// A fitted similarity function (enum dispatch keeps `GroundTruth: Debug`).
+#[derive(Debug, Clone)]
+enum FittedSimilarity {
+    KMeans(KMeansSimilarity),
+    Dbscan(DbscanSimilarity),
+}
+
+impl FittedSimilarity {
+    fn judge(&self, features: &[f64]) -> SimilarityVerdict {
+        match self {
+            FittedSimilarity::KMeans(s) => s.judge(features),
+            FittedSimilarity::Dbscan(s) => s.judge(features),
+        }
+    }
+}
+
+/// Counters describing ground-truth behaviour over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroundTruthStats {
+    /// Profiles recorded (one per probed trial).
+    pub recorded: usize,
+    /// Lookups that reused a known configuration.
+    pub hits: usize,
+    /// Lookups that fell through to probing.
+    pub misses: usize,
+    /// Re-clustering passes performed.
+    pub refits: usize,
+}
+
+/// Historical profile store + similarity function + per-cluster best configs.
+///
+/// New HPT jobs ask [`GroundTruth::lookup`] with their first-epoch profile
+/// features; a confident match returns the cluster's best known
+/// [`SystemConfig`] immediately (Algorithm 1 lines 8–10). Probing outcomes
+/// are fed back via [`GroundTruth::record`], and the k-means model is
+/// re-fitted as history grows (§5.6's re-clustering).
+#[derive(Debug)]
+pub struct GroundTruth {
+    db: Database,
+    history: Vec<(Vec<f64>, SystemConfig, f64)>,
+    kind: SimilarityKind,
+    similarity: Option<FittedSimilarity>,
+    labels: Vec<usize>,
+    cluster_best: HashMap<usize, (SystemConfig, f64)>,
+    threshold_factor: f64,
+    k: usize,
+    min_history: usize,
+    records_since_fit: usize,
+    refit_every: usize,
+    seed: u64,
+    stats: GroundTruthStats,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth with the paper's `k = 2` and a given
+    /// similarity threshold factor.
+    pub fn new(k: usize, threshold_factor: f64, seed: u64) -> Self {
+        Self::with_similarity(SimilarityKind::KMeans { k }, threshold_factor, seed)
+    }
+
+    /// Creates a ground truth with an arbitrary similarity function.
+    pub fn with_similarity(kind: SimilarityKind, threshold_factor: f64, seed: u64) -> Self {
+        let k = match kind {
+            SimilarityKind::KMeans { k } => k.max(1),
+            SimilarityKind::Dbscan { min_points, .. } => min_points.max(1),
+        };
+        GroundTruth {
+            db: Database::new(),
+            history: Vec::new(),
+            kind,
+            similarity: None,
+            labels: Vec::new(),
+            cluster_best: HashMap::new(),
+            threshold_factor,
+            k,
+            min_history: k * 2,
+            records_since_fit: 0,
+            refit_every: 4,
+            seed,
+            stats: GroundTruthStats::default(),
+        }
+    }
+
+    /// The paper's configuration: k-means with k = 2. The paper does not
+    /// publish its confidence threshold; 3× the unbiased within-cluster
+    /// variance accepts typical members even when clusters are small (see
+    /// the threshold-sensitivity ablation).
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(2, 3.0, seed)
+    }
+
+    /// Records a probed profile and its discovered best configuration (with
+    /// the probe cost achieved), persisting to the metric store and
+    /// re-clustering periodically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError`] when persistence or re-clustering fails.
+    pub fn record(
+        &mut self,
+        workload: &str,
+        features: &[f64],
+        best: SystemConfig,
+        cost: f64,
+    ) -> Result<(), PipeTuneError> {
+        self.db.write(
+            Point::new("ground_truth", self.history.len() as u64)
+                .tag("workload", workload)
+                .field_vec("feat", features)
+                .field("cores", f64::from(best.cores))
+                .field("memory_gb", f64::from(best.memory_gb))
+                .field("cost", cost),
+        )?;
+        self.history.push((features.to_vec(), best, cost));
+        self.stats.recorded += 1;
+        self.records_since_fit += 1;
+        if self.history.len() >= self.min_history
+            && (self.similarity.is_none() || self.records_since_fit >= self.refit_every)
+        {
+            self.refit()?;
+        }
+        Ok(())
+    }
+
+    /// Re-fits the k-means model and per-cluster best configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::Clustering`] when fitting fails.
+    pub fn refit(&mut self) -> Result<(), PipeTuneError> {
+        if self.history.len() < self.k {
+            return Ok(());
+        }
+        let data: Vec<Vec<f64>> = self.history.iter().map(|(f, _, _)| f.clone()).collect();
+        match self.kind {
+            SimilarityKind::KMeans { k } => {
+                let model = KMeans::new(k.max(1)).fit(&data, self.seed)?;
+                self.labels = model.labels().to_vec();
+                self.similarity =
+                    Some(FittedSimilarity::KMeans(KMeansSimilarity::new(model, self.threshold_factor)));
+            }
+            SimilarityKind::Dbscan { min_points, eps_factor } => {
+                let eps = eps_factor.max(0.1) * median_nn_distance(&data);
+                let model = Dbscan::new(eps, min_points.max(1)).fit(&data)?;
+                // Noise records keep a sentinel label outside every cluster
+                // so the nearest-record filter skips them.
+                self.labels = model
+                    .labels()
+                    .iter()
+                    .map(|l| l.cluster().unwrap_or(usize::MAX))
+                    .collect();
+                self.similarity = Some(FittedSimilarity::Dbscan(DbscanSimilarity::new(model)));
+            }
+        }
+        self.cluster_best.clear();
+        for ((_, cfg, cost), &label) in self.history.iter().zip(&self.labels) {
+            let entry = self.cluster_best.entry(label).or_insert((*cfg, *cost));
+            if *cost < entry.1 {
+                *entry = (*cfg, *cost);
+            }
+        }
+        self.records_since_fit = 0;
+        self.stats.refits += 1;
+        Ok(())
+    }
+
+    /// Looks up a new profile. The k-means verdict gates confidence
+    /// (Algorithm 1 line 9); on a confident match the configuration of the
+    /// *nearest historical record in that cluster* is returned. Nearest-
+    /// record selection matters because the optimal system configuration
+    /// depends on the trial's working set (Fig. 3b's batch-size crossover):
+    /// a profile close to a stored large-batch probe gets that probe's
+    /// many-core configuration, not a cluster-wide compromise.
+    pub fn lookup(&mut self, features: &[f64]) -> Option<(SystemConfig, SimilarityVerdict)> {
+        let sim = self.similarity.as_ref()?;
+        let verdict = sim.judge(features);
+        if verdict.confident {
+            let nearest = self
+                .history
+                .iter()
+                .zip(&self.labels)
+                .filter(|(_, &l)| l == verdict.cluster)
+                .map(|((f, cfg, _), _)| {
+                    let d: f64 =
+                        f.iter().zip(features).map(|(a, b)| (a - b) * (a - b)).sum();
+                    (d, *cfg)
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((_, cfg)) = nearest {
+                self.stats.hits += 1;
+                return Some((cfg, verdict));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Cluster assignment of a profile (used by the Fig. 8 experiment),
+    /// or `None` before the first fit.
+    pub fn cluster_of(&self, features: &[f64]) -> Option<usize> {
+        self.similarity.as_ref().map(|s| s.judge(features).cluster)
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> GroundTruthStats {
+        self.stats
+    }
+
+    /// The recorded feature vectors, in insertion order (k-selection and
+    /// analysis tooling).
+    pub fn feature_history(&self) -> Vec<Vec<f64>> {
+        self.history.iter().map(|(f, _, _)| f.clone()).collect()
+    }
+
+    /// Number of recorded profiles.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Returns `true` when no profiles were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Persists the underlying metric store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::Tsdb`] on I/O failures.
+    pub fn save(&self, path: &Path) -> Result<(), PipeTuneError> {
+        Ok(self.db.save(path)?)
+    }
+
+    /// Rebuilds a ground truth from a persisted metric store (warm start).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::Tsdb`] on I/O or decode failures.
+    pub fn load(path: &Path, k: usize, threshold_factor: f64, seed: u64) -> Result<Self, PipeTuneError> {
+        let db = Database::load(path)?;
+        let mut gt = GroundTruth::new(k, threshold_factor, seed);
+        for p in db.query(&Query::measurement("ground_truth"))? {
+            let features = p.field_vec_values("feat");
+            let cfg = SystemConfig {
+                cores: p.field_value("cores").unwrap_or(4.0) as u32,
+                memory_gb: p.field_value("memory_gb").unwrap_or(4.0) as u32,
+                freq_mhz: p
+                    .field_value("freq_mhz")
+                    .map_or(SystemConfig::NOMINAL_FREQ_MHZ, |f| f as u32),
+            };
+            let cost = p.field_value("cost").unwrap_or(f64::INFINITY);
+            gt.history.push((features, cfg, cost));
+        }
+        gt.db = db;
+        gt.stats.recorded = gt.history.len();
+        if gt.history.len() >= gt.min_history {
+            gt.refit()?;
+        }
+        Ok(gt)
+    }
+}
+
+/// Median nearest-neighbour distance of a feature set (DBSCAN radius
+/// heuristic). Returns 1.0 on degenerate inputs.
+fn median_nn_distance(data: &[Vec<f64>]) -> f64 {
+    if data.len() < 2 {
+        return 1.0;
+    }
+    let mut nn: Vec<f64> = data
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            data.iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| {
+                    p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    nn.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let m = nn[nn.len() / 2];
+    if m.is_finite() && m > 0.0 {
+        m
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(base: f64) -> Vec<f64> {
+        (0..8).map(|i| base + i as f64 * 0.01).collect()
+    }
+
+    fn fast_cfg() -> SystemConfig {
+        SystemConfig::new(16, 32)
+    }
+
+    fn small_cfg() -> SystemConfig {
+        SystemConfig::new(4, 8)
+    }
+
+    fn seeded() -> GroundTruth {
+        let mut gt = GroundTruth::paper_default(3);
+        for i in 0..4 {
+            gt.record("a", &feat(0.0 + i as f64 * 0.001), fast_cfg(), 10.0 + i as f64).unwrap();
+            gt.record("b", &feat(5.0 + i as f64 * 0.001), small_cfg(), 20.0 + i as f64).unwrap();
+        }
+        gt
+    }
+
+    #[test]
+    fn similar_profiles_hit_with_cluster_best() {
+        let mut gt = seeded();
+        let (cfg, verdict) = gt.lookup(&feat(0.002)).expect("should hit");
+        assert_eq!(cfg, fast_cfg());
+        assert!(verdict.confident);
+        let (cfg_b, _) = gt.lookup(&feat(5.002)).expect("should hit");
+        assert_eq!(cfg_b, small_cfg());
+        assert_eq!(gt.stats().hits, 2);
+    }
+
+    #[test]
+    fn dissimilar_profiles_miss() {
+        let mut gt = seeded();
+        assert!(gt.lookup(&feat(50.0)).is_none());
+        assert_eq!(gt.stats().misses, 1);
+    }
+
+    #[test]
+    fn empty_ground_truth_never_hits() {
+        let mut gt = GroundTruth::paper_default(1);
+        assert!(gt.lookup(&feat(0.0)).is_none());
+        assert!(gt.is_empty());
+    }
+
+    #[test]
+    fn nearest_record_in_cluster_supplies_the_config() {
+        let mut gt = GroundTruth::paper_default(1);
+        // Same cluster, two sub-populations with different best configs
+        // (e.g. small-batch vs large-batch probes).
+        for i in 0..3 {
+            gt.record("a", &feat(0.0), SystemConfig::new(8, 8), 30.0 - i as f64)
+                .unwrap();
+        }
+        gt.record("a", &feat(0.4), fast_cfg(), 1.0).unwrap();
+        gt.record("b", &feat(5.0), small_cfg(), 9.0).unwrap();
+        gt.record("b", &feat(5.001), small_cfg(), 9.0).unwrap();
+        gt.refit().unwrap();
+        // A profile near the 0.4 sub-population reuses *its* config.
+        let (cfg, _) = gt.lookup(&feat(0.39)).expect("hit");
+        assert_eq!(cfg, fast_cfg());
+        // A profile near the 0.0 sub-population reuses the other config.
+        let (cfg, _) = gt.lookup(&feat(0.01)).expect("hit");
+        assert_eq!(cfg, SystemConfig::new(8, 8));
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_behaviour() {
+        let gt = seeded();
+        let dir = std::env::temp_dir().join("pipetune_gt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gt.json");
+        gt.save(&path).unwrap();
+        let mut loaded = GroundTruth::load(&path, 2, 2.0, 3).unwrap();
+        assert_eq!(loaded.len(), gt.len());
+        assert!(loaded.lookup(&feat(0.002)).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dbscan_similarity_also_gates_and_reuses() {
+        let mut gt = GroundTruth::with_similarity(
+            SimilarityKind::Dbscan { min_points: 2, eps_factor: 3.0 },
+            0.0, // threshold unused by DBSCAN
+            3,
+        );
+        for i in 0..4 {
+            gt.record("a", &feat(0.0 + i as f64 * 0.001), fast_cfg(), 10.0).unwrap();
+            gt.record("b", &feat(5.0 + i as f64 * 0.001), small_cfg(), 20.0).unwrap();
+        }
+        gt.refit().unwrap();
+        let (cfg, v) = gt.lookup(&feat(0.002)).expect("dense region should hit");
+        assert_eq!(cfg, fast_cfg());
+        assert!(v.confident);
+        assert!(gt.lookup(&feat(50.0)).is_none(), "density noise should miss");
+        assert_ne!(gt.cluster_of(&feat(0.0)), gt.cluster_of(&feat(5.0)));
+    }
+
+    #[test]
+    fn clusters_separate_the_two_families_fig8() {
+        let gt = seeded();
+        let ca = gt.cluster_of(&feat(0.0)).unwrap();
+        let cb = gt.cluster_of(&feat(5.0)).unwrap();
+        assert_ne!(ca, cb);
+    }
+}

@@ -1,0 +1,70 @@
+//! # PipeTune: pipelined hyper- and system-parameter tuning
+//!
+//! Reproduction of *PipeTune: Pipeline Parallelism of Hyper and System
+//! Parameters Tuning for Deep Learning Clusters* (Rocha et al., Middleware
+//! 2020). PipeTune is a middleware between a hyperparameter tuner (HyperBand
+//! over the paper's five hyperparameters) and the training substrate. While
+//! each trial trains, PipeTune tunes **system parameters** (CPU cores,
+//! memory) at epoch granularity:
+//!
+//! 1. **profile** the first epoch with hardware counters
+//!    ([`pipetune_perfmon`]),
+//! 2. consult the **ground truth** (k-means over historical profiles,
+//!    [`GroundTruth`]) and reuse a known-best system configuration when the
+//!    profile is similar enough,
+//! 3. otherwise **probe**: one system configuration per epoch over the grid,
+//!    then apply the best for the remaining epochs and remember it.
+//!
+//! The crate also implements the paper's baselines — [`TuneV1`]
+//! (hyperparameters only, maximise accuracy) and [`TuneV2`] (system
+//! parameters folded into the search space, maximise accuracy/time) — plus
+//! single- and multi-tenancy experiment drivers used by the benchmark
+//! harness to regenerate every figure and table.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+//!
+//! let env = ExperimentEnv::distributed(42);
+//! let spec = WorkloadSpec::lenet_mnist();
+//! let outcome = PipeTune::new(TunerOptions::fast()).run(&env, &spec)?;
+//! println!("accuracy {:.1}%, tuning {:.0}s", 100.0 * outcome.best_accuracy,
+//!          outcome.tuning_secs);
+//! # Ok::<(), pipetune::PipeTuneError>(())
+//! ```
+
+mod baselines;
+mod env;
+mod error;
+mod experiments;
+mod groundtruth;
+mod hyper;
+mod objective;
+mod related;
+mod runner;
+mod scheduler_choice;
+mod sharing;
+mod trial;
+mod tuner;
+mod workload;
+
+pub use baselines::{run_arbitrary, TuneV1, TuneV2};
+pub use env::ExperimentEnv;
+pub use error::PipeTuneError;
+pub use experiments::{
+    multi_tenancy, multi_tenancy_shared, single_tenancy, warm_start_ground_truth,
+    MultiTenancyOptions, MultiTenancyOutcome, SingleTenancyRow,
+};
+pub use groundtruth::{GroundTruth, GroundTruthStats, SimilarityKind};
+pub use hyper::{HyperParams, HyperSpace};
+pub use objective::{Objective, ProbeGoal};
+pub use related::{related_systems, RelatedSystem};
+pub use runner::{SlotSchedule, TrialOutcome};
+pub use scheduler_choice::SchedulerKind;
+pub use sharing::{simulate_fifo, simulate_processor_sharing, SharedCompletion, SharedJob};
+pub use trial::{EpochPhase, EpochRecord, SystemTuner, TrialExecution};
+pub use tuner::{ConvergencePoint, PipeTune, TunerOptions, TuningOutcome};
+pub use workload::{
+    AnyModel, EpochOutcome, EpochWorkload, JobType, WorkloadInstance, WorkloadSpec,
+};

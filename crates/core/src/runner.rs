@@ -1,0 +1,218 @@
+//! Scheduler-driven run loop: executes trials on simulated parallel slots.
+
+use std::collections::HashMap;
+
+use pipetune_search::{Config, TrialId, TrialReport, TrialScheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::objective::Objective;
+use crate::trial::{SystemTuner, TrialExecution};
+use crate::{ExperimentEnv, GroundTruth, HyperParams, PipeTuneError, WorkloadSpec};
+
+/// Completion record for one trial request (one scheduler rung's worth of
+/// epochs for one configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// Scheduler trial id.
+    pub id: u64,
+    /// Hyperparameters of the trial.
+    pub hp: HyperParams,
+    /// Held-out accuracy after this request's epochs.
+    pub accuracy: f32,
+    /// Cumulative trial duration so far (simulated seconds).
+    pub trial_secs: f64,
+    /// Simulated wall-clock time at which the request finished.
+    pub completed_at_secs: f64,
+}
+
+/// Greedy FIFO list scheduling onto `slots` parallel executors.
+///
+/// Returns per-item completion offsets (relative to the round start) and the
+/// round makespan. This is how a batch of asynchronous trials shares the
+/// cluster: each new trial goes to the least-loaded slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotSchedule;
+
+impl SlotSchedule {
+    /// Assigns `durations` (in arrival order) to `slots` executors.
+    pub fn assign(durations: &[f64], slots: usize) -> (Vec<f64>, f64) {
+        let slots = slots.max(1);
+        let mut load = vec![0.0f64; slots];
+        let mut completions = Vec::with_capacity(durations.len());
+        for &d in durations {
+            let (idx, _) = load
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("at least one slot");
+            load[idx] += d.max(0.0);
+            completions.push(load[idx]);
+        }
+        let makespan = load.iter().copied().fold(0.0, f64::max);
+        (completions, makespan)
+    }
+}
+
+/// Result of driving one scheduler to completion.
+#[derive(Debug, Clone)]
+pub(crate) struct RunResult {
+    pub best_accuracy: f32,
+    /// Scheduler trial id of the winner (its workload seed is
+    /// `env.subseed(best_trial_id)`).
+    pub best_trial_id: u64,
+    /// Trained weights of the selected model (None for kernel workloads).
+    pub best_weights: Option<Vec<pipetune_tensor::Tensor>>,
+    pub best_hp: HyperParams,
+    pub best_final_system: pipetune_cluster::SystemConfig,
+    pub best_training_secs: f64,
+    pub tuning_secs: f64,
+    pub tuning_energy_j: f64,
+    pub epochs_total: u64,
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+/// Drives `scheduler` to completion for one workload.
+///
+/// `policy` builds each new trial's [`SystemTuner`] from its configuration
+/// (fixed default for V1, fixed per-config system for V2, pipelined for
+/// PipeTune). The ground truth, when supplied, is shared across trials (and,
+/// via the caller, across jobs).
+pub(crate) fn run_scheduler<F>(
+    env: &ExperimentEnv,
+    spec: &WorkloadSpec,
+    scheduler: &mut dyn TrialScheduler,
+    objective: Objective,
+    mut policy: F,
+    mut ground_truth: Option<&mut GroundTruth>,
+    contention: f64,
+) -> Result<RunResult, PipeTuneError>
+where
+    F: FnMut(&Config) -> SystemTuner,
+{
+    let mut trials: HashMap<TrialId, TrialExecution> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(env.subseed(0xEE));
+    let mut clock = 0.0f64;
+    let mut energy = 0.0f64;
+    let mut outcomes = Vec::new();
+    let mut best: Option<(f64, TrialId)> = None;
+    let mut round_guard = 0usize;
+
+    while !scheduler.is_finished() {
+        let reqs = scheduler.next_trials();
+        if reqs.is_empty() {
+            round_guard += 1;
+            if round_guard > 10_000 {
+                return Err(PipeTuneError::InvalidConfig {
+                    reason: "scheduler made no progress for 10000 rounds".into(),
+                });
+            }
+            continue;
+        }
+        round_guard = 0;
+
+        let mut durations = Vec::with_capacity(reqs.len());
+        let mut reports = Vec::with_capacity(reqs.len());
+        for req in &reqs {
+            let trial = match trials.entry(req.id) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let hp = HyperParams::from_config(&req.config);
+                    let workload = spec.instantiate(&hp, env.subseed(req.id.0))?;
+                    e.insert(TrialExecution::new(workload, policy(&req.config)))
+                }
+            };
+            let secs_before = trial.duration_secs();
+            let energy_before = trial.energy_j();
+            trial.run_epochs(env, req.epochs, ground_truth.as_deref_mut(), contention, &mut rng)?;
+            let delta_secs = trial.duration_secs() - secs_before;
+            energy += trial.energy_j() - energy_before;
+            durations.push(delta_secs);
+
+            let accuracy = trial.accuracy()?;
+            let score = objective.score(f64::from(accuracy), trial.duration_secs());
+            reports.push((req.id, accuracy, score));
+        }
+
+        let (completions, makespan) = SlotSchedule::assign(&durations, env.parallel_slots);
+        for (((id, accuracy, score), offset), _d) in
+            reports.iter().zip(&completions).zip(&durations)
+        {
+            let trial = &trials[id];
+            outcomes.push(TrialOutcome {
+                id: id.0,
+                hp: *trial.workload().hyperparams(),
+                accuracy: *accuracy,
+                trial_secs: trial.duration_secs(),
+                completed_at_secs: clock + offset,
+            });
+            if best.as_ref().is_none_or(|(s, _)| *score > *s) {
+                best = Some((*score, *id));
+            }
+            scheduler.report(TrialReport { id: *id, score: *score, epochs_run: 0 });
+        }
+        clock += makespan;
+    }
+
+    let (_, best_id) = best.ok_or_else(|| PipeTuneError::InvalidConfig {
+        reason: "scheduler finished without any trial".into(),
+    })?;
+    let best_trial = trials.get_mut(&best_id).expect("best trial exists");
+    let best_accuracy = best_trial.accuracy()?;
+    let best_hp = *best_trial.workload().hyperparams();
+    let best_final_system = best_trial.final_system(env);
+    let best_training_secs = best_trial.training_time_secs(env, best_hp.epochs);
+    let best_weights = best_trial.workload_mut().export_weights();
+
+    Ok(RunResult {
+        best_accuracy,
+        best_trial_id: best_id.0,
+        best_weights,
+        best_hp,
+        best_final_system,
+        best_training_secs,
+        tuning_secs: clock,
+        tuning_energy_j: energy,
+        epochs_total: scheduler.epochs_issued(),
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_schedule_packs_greedily() {
+        let (completions, makespan) = SlotSchedule::assign(&[4.0, 3.0, 2.0, 1.0], 2);
+        // Slot A: 4 → +1 = 5; Slot B: 3 → +2 = 5.
+        assert_eq!(completions, vec![4.0, 3.0, 5.0, 5.0]);
+        assert_eq!(makespan, 5.0);
+    }
+
+    #[test]
+    fn one_slot_serialises() {
+        let (completions, makespan) = SlotSchedule::assign(&[1.0, 2.0, 3.0], 1);
+        assert_eq!(completions, vec![1.0, 3.0, 6.0]);
+        assert_eq!(makespan, 6.0);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs_are_safe() {
+        let (c, m) = SlotSchedule::assign(&[], 4);
+        assert!(c.is_empty());
+        assert_eq!(m, 0.0);
+        let (c, m) = SlotSchedule::assign(&[0.0, -1.0], 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(m, 0.0);
+    }
+
+    #[test]
+    fn more_slots_never_increase_makespan() {
+        let d = [5.0, 4.0, 3.0, 2.0, 1.0, 1.0];
+        let (_, m1) = SlotSchedule::assign(&d, 1);
+        let (_, m2) = SlotSchedule::assign(&d, 2);
+        let (_, m4) = SlotSchedule::assign(&d, 4);
+        assert!(m1 >= m2 && m2 >= m4);
+    }
+}

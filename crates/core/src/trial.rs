@@ -1,0 +1,509 @@
+//! Trial execution: Algorithm 1's pipelined per-epoch system tuning.
+//!
+//! A [`TrialExecution`] owns one live workload instance and runs it epoch by
+//! epoch. Under the [`SystemTuner::Pipelined`] policy it executes the
+//! paper's pipeline: profile the first epoch, consult the ground truth, and
+//! either apply a known-best system configuration immediately or probe one
+//! grid configuration per epoch before settling on the argmin (Algorithm 1).
+//! Under [`SystemTuner::Fixed`] every epoch runs with one configuration —
+//! the Tune V1/V2 behaviour.
+
+use pipetune_cluster::SystemConfig;
+use rand::rngs::StdRng;
+
+use crate::objective::ProbeGoal;
+use crate::workload::EpochWorkload;
+use crate::{ExperimentEnv, GroundTruth, PipeTuneError, WorkloadInstance};
+
+/// Which phase of Algorithm 1 an epoch executed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochPhase {
+    /// First epoch: running under the default configuration while the
+    /// profiler collects counters.
+    Profile,
+    /// Ground truth was confident: known-best configuration applied.
+    Reused,
+    /// Grid probing: a candidate configuration held for this epoch.
+    Probe,
+    /// Post-probing: the argmin configuration applied.
+    Tuned,
+    /// Fixed-policy epoch (baselines).
+    Fixed,
+}
+
+/// One executed epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// 1-based epoch index within the trial.
+    pub epoch: u32,
+    /// System configuration the epoch ran with.
+    pub system: SystemConfig,
+    /// Simulated duration, seconds.
+    pub duration_secs: f64,
+    /// Energy attributed to the trial, joules.
+    pub energy_j: f64,
+    /// Training score after the epoch.
+    pub train_score: f32,
+    /// Pipeline phase.
+    pub phase: EpochPhase,
+}
+
+/// The per-trial system-parameter policy.
+#[derive(Debug)]
+pub enum SystemTuner {
+    /// Run every epoch with one fixed configuration (Tune V1/V2, Arbitrary).
+    Fixed(SystemConfig),
+    /// PipeTune's pipelined tuning (profile → ground truth → probe).
+    ///
+    /// Probing is coordinate-wise, matching Algorithm 1's `O(n)` complexity
+    /// claim ("n is the number of distinct system parameters considered"):
+    /// first one epoch per candidate core count (at the default memory),
+    /// then one epoch per candidate memory size (at the best core count).
+    Pipelined {
+        /// What probing minimises.
+        goal: ProbeGoal,
+        /// Configurations still to probe in the current sweep.
+        probe_queue: Vec<SystemConfig>,
+        /// Which sweep the prober is in.
+        probe_phase: ProbePhase,
+        /// Probe measurements: `(config, cost)`.
+        probe_results: Vec<(SystemConfig, f64)>,
+        /// First-epoch profile features (set after the profile epoch).
+        features: Option<Vec<f64>>,
+        /// Configuration in force once decided.
+        chosen: Option<SystemConfig>,
+    },
+}
+
+/// Coordinate-probing progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbePhase {
+    /// Sweeping candidate core counts at the default memory size.
+    Cores,
+    /// Sweeping candidate memory sizes at the best core count found.
+    Memory,
+    /// Sweeping candidate CPU frequencies at the best cores+memory (only
+    /// when the system space enables DVFS — the paper's frequency
+    /// extension, §7.1.4).
+    Freq,
+}
+
+impl SystemTuner {
+    /// A fresh pipelined tuner.
+    pub fn pipelined(goal: ProbeGoal) -> Self {
+        SystemTuner::Pipelined {
+            goal,
+            probe_queue: Vec::new(),
+            probe_phase: ProbePhase::Cores,
+            probe_results: Vec::new(),
+            features: None,
+            chosen: None,
+        }
+    }
+
+    /// The configuration the tuner settled on, if any.
+    pub fn chosen(&self) -> Option<SystemConfig> {
+        match self {
+            SystemTuner::Fixed(c) => Some(*c),
+            SystemTuner::Pipelined { chosen, .. } => *chosen,
+        }
+    }
+}
+
+/// A trial in flight: workload + tuning policy + accounting.
+#[derive(Debug)]
+pub struct TrialExecution {
+    workload: WorkloadInstance,
+    tuner: SystemTuner,
+    records: Vec<EpochRecord>,
+    total_secs: f64,
+    total_energy_j: f64,
+}
+
+impl TrialExecution {
+    /// Wraps a freshly instantiated workload with a policy.
+    pub fn new(workload: WorkloadInstance, tuner: SystemTuner) -> Self {
+        TrialExecution { workload, tuner, records: Vec::new(), total_secs: 0.0, total_energy_j: 0.0 }
+    }
+
+    /// The live workload.
+    pub fn workload_mut(&mut self) -> &mut WorkloadInstance {
+        &mut self.workload
+    }
+
+    /// The live workload (shared).
+    pub fn workload(&self) -> &WorkloadInstance {
+        &self.workload
+    }
+
+    /// The tuning policy.
+    pub fn tuner(&self) -> &SystemTuner {
+        &self.tuner
+    }
+
+    /// Executed epoch log.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Accumulated simulated duration, seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.total_secs
+    }
+
+    /// Accumulated trial energy, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Current held-out accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn accuracy(&mut self) -> Result<f32, PipeTuneError> {
+        self.workload.accuracy()
+    }
+
+    /// The system configuration a *final* training run would use: the tuned
+    /// choice when decided, otherwise the environment default.
+    pub fn final_system(&self, env: &ExperimentEnv) -> SystemConfig {
+        self.tuner.chosen().unwrap_or(env.default_system)
+    }
+
+    /// Simulated duration of re-training the final model for `epochs` under
+    /// the trial's final configuration (Table 2's "training time").
+    pub fn training_time_secs(&self, env: &ExperimentEnv, epochs: u32) -> f64 {
+        let work = self.workload.work_units();
+        let sys = self.final_system(env);
+        env.cost.epoch_duration(&work, &sys, 1.0) * f64::from(epochs)
+    }
+
+    /// Runs `epochs` additional epochs under the policy.
+    ///
+    /// For the pipelined policy, `ground_truth` supplies history sharing
+    /// across trials and jobs; pass `None` to disable reuse (ablation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures; ground-truth persistence failures.
+    pub fn run_epochs(
+        &mut self,
+        env: &ExperimentEnv,
+        epochs: u32,
+        mut ground_truth: Option<&mut GroundTruth>,
+        contention: f64,
+        rng: &mut StdRng,
+    ) -> Result<(), PipeTuneError> {
+        for _ in 0..epochs {
+            let epoch_idx = self.workload.epochs_run() + 1;
+            let work = self.workload.work_units();
+            // Decide this epoch's system configuration and phase.
+            let (sys, phase) = match &mut self.tuner {
+                SystemTuner::Fixed(c) => (*c, EpochPhase::Fixed),
+                SystemTuner::Pipelined { probe_queue, chosen, features, .. } => {
+                    if let Some(c) = chosen {
+                        (*c, EpochPhase::Tuned)
+                    } else if features.is_none() {
+                        (env.default_system, EpochPhase::Profile)
+                    } else if let Some(c) = probe_queue.pop() {
+                        (c, EpochPhase::Probe)
+                    } else {
+                        // Probing exhausted but nothing chosen yet (should
+                        // not happen; defensive default).
+                        (env.default_system, EpochPhase::Profile)
+                    }
+                }
+            };
+
+            // Real training work.
+            let outcome = self.workload.run_epoch()?;
+            // Simulated time & energy at paper scale.
+            let mut duration = env.cost.epoch_duration(&work, &sys, contention);
+            if matches!(phase, EpochPhase::Profile) {
+                duration *= 1.0 + env.profile_overhead.max(0.0);
+            }
+            let energy = env.trial_power(&sys) * duration;
+            self.total_secs += duration;
+            self.total_energy_j += energy;
+            self.records.push(EpochRecord {
+                epoch: epoch_idx,
+                system: sys,
+                duration_secs: duration,
+                energy_j: energy,
+                train_score: outcome.train_score,
+                phase,
+            });
+
+            // Pipelined post-epoch bookkeeping.
+            if let SystemTuner::Pipelined {
+                goal,
+                probe_queue,
+                probe_phase,
+                probe_results,
+                features,
+                chosen,
+            } = &mut self.tuner
+            {
+                if chosen.is_none() {
+                    if features.is_none() {
+                        // Profile epoch just finished: extract counters and
+                        // consult the ground truth.
+                        let sig = self.workload.signature();
+                        let profile = if env.sampled_profiling {
+                            // Full 1 Hz pipeline: short epochs leave blind
+                            // spots (events never scheduled read as zero).
+                            env.profiler.sample_epoch(&sig, sys.cores, duration, rng).scale_to_epoch()
+                        } else {
+                            env.profiler.profile_epoch(&sig, sys.cores, duration, rng)
+                        };
+                        let feats = profile.features();
+                        if let Some(gt) = ground_truth.as_deref_mut() {
+                            if let Some((cfg, _verdict)) = gt.lookup(&feats) {
+                                *chosen = Some(cfg);
+                            }
+                        }
+                        if chosen.is_none() {
+                            // Miss: schedule the cores sweep (reversed so
+                            // `pop` walks it in order).
+                            let mem = env.default_system.memory_gb;
+                            *probe_phase = ProbePhase::Cores;
+                            *probe_queue = env
+                                .system_space
+                                .cores
+                                .iter()
+                                .rev()
+                                .map(|&c| SystemConfig::new(c, mem))
+                                .collect();
+                        }
+                        *features = Some(feats);
+                    } else if matches!(phase, EpochPhase::Probe) {
+                        probe_results.push((sys, goal.cost(duration, energy)));
+                        if probe_queue.is_empty() {
+                            let best = probe_results
+                                .iter()
+                                .min_by(|a, b| {
+                                    a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+                                })
+                                .map(|&(cfg, cost)| (cfg, cost));
+                            match (*probe_phase, best) {
+                                (ProbePhase::Cores, Some((best_cfg, _))) => {
+                                    // Cores sweep done: sweep memory at the
+                                    // best core count (skipping the already
+                                    // measured default memory).
+                                    *probe_phase = ProbePhase::Memory;
+                                    *probe_queue = env
+                                        .system_space
+                                        .memory_gb
+                                        .iter()
+                                        .rev()
+                                        .filter(|&&m| m != env.default_system.memory_gb)
+                                        .map(|&m| SystemConfig {
+                                            memory_gb: m,
+                                            ..best_cfg
+                                        })
+                                        .collect();
+                                    if probe_queue.is_empty() {
+                                        // Degenerate one-memory space: the
+                                        // cores sweep was the whole search.
+                                        *chosen = Some(best_cfg);
+                                        if let (Some(gt), Some(feats)) =
+                                            (ground_truth.as_deref_mut(), features.as_ref())
+                                        {
+                                            let cost = best.expect("non-empty results").1;
+                                            gt.record(
+                                                self.workload.spec().name(),
+                                                feats,
+                                                best_cfg,
+                                                cost,
+                                            )?;
+                                        }
+                                    }
+                                }
+                                (ProbePhase::Memory, Some((best_cfg, cost))) => {
+                                    // Frequency sweep only when DVFS is on
+                                    // (more than the nominal entry).
+                                    let freqs: Vec<u32> = env
+                                        .system_space
+                                        .freq_mhz
+                                        .iter()
+                                        .rev()
+                                        .copied()
+                                        .filter(|&f| f != best_cfg.freq_mhz)
+                                        .collect();
+                                    if freqs.is_empty() {
+                                        // Probing complete: apply argmin,
+                                        // persist.
+                                        *chosen = Some(best_cfg);
+                                        if let (Some(gt), Some(feats)) =
+                                            (ground_truth.as_deref_mut(), features.as_ref())
+                                        {
+                                            gt.record(
+                                                self.workload.spec().name(),
+                                                feats,
+                                                best_cfg,
+                                                cost,
+                                            )?;
+                                        }
+                                    } else {
+                                        *probe_phase = ProbePhase::Freq;
+                                        *probe_queue = freqs
+                                            .into_iter()
+                                            .map(|f| SystemConfig {
+                                                freq_mhz: f,
+                                                ..best_cfg
+                                            })
+                                            .collect();
+                                    }
+                                }
+                                (ProbePhase::Freq, Some((best_cfg, cost))) => {
+                                    *chosen = Some(best_cfg);
+                                    if let (Some(gt), Some(feats)) =
+                                        (ground_truth.as_deref_mut(), features.as_ref())
+                                    {
+                                        gt.record(
+                                            self.workload.spec().name(),
+                                            feats,
+                                            best_cfg,
+                                            cost,
+                                        )?;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HyperParams, WorkloadSpec};
+    use rand::SeedableRng;
+
+    fn env() -> ExperimentEnv {
+        ExperimentEnv::distributed(5)
+    }
+
+    fn hp(batch: usize) -> HyperParams {
+        HyperParams { batch_size: batch, learning_rate: 0.02, epochs: 20, ..HyperParams::default() }
+    }
+
+    fn make_trial(batch: usize, tuner: SystemTuner) -> TrialExecution {
+        let w = WorkloadSpec::lenet_mnist()
+            .with_scale(0.2)
+            .instantiate(&hp(batch), 3)
+            .unwrap();
+        TrialExecution::new(w, tuner)
+    }
+
+    #[test]
+    fn fixed_policy_never_changes_configuration() {
+        let e = env();
+        let cfg = SystemConfig::new(8, 16);
+        let mut t = make_trial(256, SystemTuner::Fixed(cfg));
+        let mut rng = StdRng::seed_from_u64(1);
+        t.run_epochs(&e, 4, None, 1.0, &mut rng).unwrap();
+        assert_eq!(t.records().len(), 4);
+        assert!(t.records().iter().all(|r| r.system == cfg && r.phase == EpochPhase::Fixed));
+        assert!(t.duration_secs() > 0.0);
+        assert!(t.energy_j() > 0.0);
+    }
+
+    #[test]
+    fn pipelined_probes_coordinates_then_settles_on_argmin() {
+        let e = env();
+        let mut gt = GroundTruth::paper_default(1);
+        let mut t = make_trial(1024, SystemTuner::pipelined(ProbeGoal::Runtime));
+        let mut rng = StdRng::seed_from_u64(2);
+        // Coordinate probing: |cores| + |memory| − 1 epochs (Algorithm 1's
+        // O(n) over distinct parameter values).
+        let probes = (e.system_space.cores.len() + e.system_space.memory_gb.len() - 1) as u32;
+        t.run_epochs(&e, 1 + probes + 3, Some(&mut gt), 1.0, &mut rng).unwrap();
+        let phases: Vec<EpochPhase> = t.records().iter().map(|r| r.phase).collect();
+        assert_eq!(phases[0], EpochPhase::Profile);
+        assert!(phases[1..=probes as usize].iter().all(|p| *p == EpochPhase::Probe));
+        assert!(phases[probes as usize + 1..].iter().all(|p| *p == EpochPhase::Tuned));
+        // Chosen config is the fastest probed one.
+        let chosen = t.tuner().chosen().unwrap();
+        let probed: Vec<(SystemConfig, f64)> = t
+            .records()
+            .iter()
+            .filter(|r| r.phase == EpochPhase::Probe)
+            .map(|r| (r.system, r.duration_secs))
+            .collect();
+        let best = probed
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(chosen, best);
+        // And the probe result was recorded for future jobs.
+        assert_eq!(gt.stats().recorded, 1);
+    }
+
+    #[test]
+    fn ground_truth_hit_skips_probing() {
+        let e = env();
+        let mut gt = GroundTruth::paper_default(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Job 1..4 probe and populate the ground truth (two families so the
+        // k=2 fit is meaningful).
+        for seed in 0..4 {
+            let spec = if seed % 2 == 0 {
+                WorkloadSpec::lenet_mnist()
+            } else {
+                WorkloadSpec::lstm_news20()
+            };
+            let w = spec.with_scale(0.2).instantiate(&hp(256), seed).unwrap();
+            let mut t = TrialExecution::new(w, SystemTuner::pipelined(ProbeGoal::Runtime));
+            let probes = (e.system_space.cores.len() + e.system_space.memory_gb.len() - 1) as u32;
+            t.run_epochs(&e, 1 + probes, Some(&mut gt), 1.0, &mut rng)
+                .unwrap();
+        }
+        // Job 5: same family → should reuse without probing.
+        let mut t = make_trial(256, SystemTuner::pipelined(ProbeGoal::Runtime));
+        t.run_epochs(&e, 4, Some(&mut gt), 1.0, &mut rng).unwrap();
+        let phases: Vec<EpochPhase> = t.records().iter().map(|r| r.phase).collect();
+        assert_eq!(phases[0], EpochPhase::Profile);
+        assert!(
+            phases[1..].iter().all(|p| *p == EpochPhase::Tuned),
+            "expected reuse, got {phases:?}"
+        );
+        assert!(gt.stats().hits >= 1);
+    }
+
+    #[test]
+    fn tuned_trials_run_faster_than_default_for_large_batches() {
+        // Large batches want many cores; the default 4c/4GB is slow. After
+        // probing, tuned epochs must beat default-config epochs.
+        let e = env();
+        let mut gt = GroundTruth::paper_default(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut t = make_trial(1024, SystemTuner::pipelined(ProbeGoal::Runtime));
+        let probes = (e.system_space.cores.len() + e.system_space.memory_gb.len() - 1) as u32;
+        t.run_epochs(&e, 1 + probes + 2, Some(&mut gt), 1.0, &mut rng)
+            .unwrap();
+        let profile_dur = t.records()[0].duration_secs;
+        let tuned_dur = t.records().last().unwrap().duration_secs;
+        assert!(
+            tuned_dur < profile_dur,
+            "tuned {tuned_dur:.1}s should beat default {profile_dur:.1}s"
+        );
+    }
+
+    #[test]
+    fn training_time_uses_final_configuration() {
+        let e = env();
+        let t_default = make_trial(1024, SystemTuner::Fixed(e.default_system));
+        let t_big = make_trial(1024, SystemTuner::Fixed(SystemConfig::new(16, 32)));
+        let tt_default = t_default.training_time_secs(&e, 10);
+        let tt_big = t_big.training_time_secs(&e, 10);
+        assert!(tt_big < tt_default);
+    }
+}

@@ -1,0 +1,232 @@
+//! IDX file parsing — the format real MNIST/Fashion-MNIST ship in.
+//!
+//! The synthetic generators stand in for the datasets in this offline
+//! reproduction, but a downstream user with `train-images-idx3-ubyte` on
+//! disk can load the real thing through [`dataset_from_idx`]. Format per
+//! Yann LeCun's spec: a 4-byte magic `[0, 0, dtype, ndims]`, `ndims`
+//! big-endian `u32` dimensions, then row-major payload.
+
+use std::path::Path;
+
+use pipetune_dnn::{Dataset, DnnError, Features};
+use pipetune_tensor::Tensor;
+
+/// A parsed IDX payload: dimensions plus flat `f32` data (u8 payloads are
+/// scaled to `[0, 1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdxArray {
+    /// Dimension sizes, outermost first.
+    pub dims: Vec<usize>,
+    /// Flattened values (ubyte payloads are scaled to `[0, 1]`).
+    pub data: Vec<f32>,
+    /// IDX element-type byte (0x08 = ubyte, 0x0D = float, ...).
+    pub dtype: u8,
+}
+
+fn corrupt(reason: impl Into<String>) -> DnnError {
+    DnnError::InvalidDataset { reason: reason.into() }
+}
+
+/// Parses IDX bytes.
+///
+/// Supports the unsigned-byte (0x08), signed-byte (0x09), int (0x0C) and
+/// float (0x0D) element types; ubyte values are scaled by 1/255.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidDataset`] on truncated input, bad magic,
+/// unsupported element types or size mismatches.
+pub fn parse_idx(bytes: &[u8]) -> Result<IdxArray, DnnError> {
+    if bytes.len() < 4 {
+        return Err(corrupt("idx file shorter than its magic"));
+    }
+    if bytes[0] != 0 || bytes[1] != 0 {
+        return Err(corrupt("bad idx magic"));
+    }
+    let dtype = bytes[2];
+    let ndims = bytes[3] as usize;
+    let header_len = 4 + 4 * ndims;
+    if bytes.len() < header_len {
+        return Err(corrupt("idx header truncated"));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for d in 0..ndims {
+        let off = 4 + 4 * d;
+        let dim = u32::from_be_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
+        dims.push(dim as usize);
+    }
+    let count: usize = dims.iter().product();
+    let payload = &bytes[header_len..];
+    let data = match dtype {
+        0x08 => {
+            if payload.len() != count {
+                return Err(corrupt(format!(
+                    "expected {count} ubyte elements, found {}",
+                    payload.len()
+                )));
+            }
+            payload.iter().map(|&b| f32::from(b) / 255.0).collect()
+        }
+        0x09 => {
+            if payload.len() != count {
+                return Err(corrupt("sbyte payload size mismatch"));
+            }
+            payload.iter().map(|&b| f32::from(b as i8)).collect()
+        }
+        0x0C => {
+            if payload.len() != count * 4 {
+                return Err(corrupt("int payload size mismatch"));
+            }
+            payload
+                .chunks_exact(4)
+                .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]) as f32)
+                .collect()
+        }
+        0x0D => {
+            if payload.len() != count * 4 {
+                return Err(corrupt("float payload size mismatch"));
+            }
+            payload
+                .chunks_exact(4)
+                .map(|c| f32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        }
+        other => return Err(corrupt(format!("unsupported idx element type 0x{other:02x}"))),
+    };
+    Ok(IdxArray { dims, data, dtype })
+}
+
+/// Loads and parses one IDX file.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidDataset`] on I/O failures or malformed
+/// content.
+pub fn load_idx(path: &Path) -> Result<IdxArray, DnnError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| corrupt(format!("cannot read {}: {e}", path.display())))?;
+    parse_idx(&bytes)
+}
+
+/// Builds a [`Dataset`] from an IDX image file (`[n, h, w]` ubyte) and an
+/// IDX label file (`[n]` ubyte) — the real MNIST layout.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidDataset`] when the files disagree on the
+/// example count, the images are not rank 3, or labels exceed `classes`.
+pub fn dataset_from_idx(
+    images_path: &Path,
+    labels_path: &Path,
+    classes: usize,
+) -> Result<Dataset, DnnError> {
+    let images = load_idx(images_path)?;
+    let labels = load_idx(labels_path)?;
+    dataset_from_arrays(images, labels, classes)
+}
+
+/// In-memory variant of [`dataset_from_idx`] (used by tests and loaders
+/// that fetch bytes elsewhere).
+///
+/// # Errors
+///
+/// Same conditions as [`dataset_from_idx`].
+pub fn dataset_from_arrays(
+    images: IdxArray,
+    labels: IdxArray,
+    classes: usize,
+) -> Result<Dataset, DnnError> {
+    if images.dims.len() != 3 {
+        return Err(corrupt(format!("images must be rank 3, got {:?}", images.dims)));
+    }
+    if labels.dims.len() != 1 {
+        return Err(corrupt(format!("labels must be rank 1, got {:?}", labels.dims)));
+    }
+    let (n, h, w) = (images.dims[0], images.dims[1], images.dims[2]);
+    if labels.dims[0] != n {
+        return Err(corrupt(format!("{n} images but {} labels", labels.dims[0])));
+    }
+    let tensor = Tensor::from_vec(images.data, &[n, 1, h, w])?;
+    // Label files store class ids; undo the unit scaling ubyte images get.
+    let scale = if labels.dtype == 0x08 { 255.0 } else { 1.0 };
+    let labels: Vec<usize> =
+        labels.data.iter().map(|&v| (v * scale).round() as usize).collect();
+    Dataset::new(Features::Images(tensor), labels, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds IDX bytes for a ubyte array.
+    fn idx_ubyte(dims: &[u32], payload: &[u8]) -> Vec<u8> {
+        let mut out = vec![0, 0, 0x08, dims.len() as u8];
+        for d in dims {
+            out.extend_from_slice(&d.to_be_bytes());
+        }
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn parses_ubyte_images_scaled_to_unit() {
+        let bytes = idx_ubyte(&[2, 2, 2], &[0, 255, 128, 0, 1, 2, 3, 4]);
+        let arr = parse_idx(&bytes).unwrap();
+        assert_eq!(arr.dims, vec![2, 2, 2]);
+        assert_eq!(arr.data[1], 1.0);
+        assert!((arr.data[2] - 128.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_float_and_int_payloads() {
+        let mut bytes = vec![0, 0, 0x0D, 1, 0, 0, 0, 2];
+        bytes.extend_from_slice(&1.5f32.to_be_bytes());
+        bytes.extend_from_slice(&(-2.0f32).to_be_bytes());
+        let arr = parse_idx(&bytes).unwrap();
+        assert_eq!(arr.data, vec![1.5, -2.0]);
+
+        let mut bytes = vec![0, 0, 0x0C, 1, 0, 0, 0, 1];
+        bytes.extend_from_slice(&(-7i32).to_be_bytes());
+        assert_eq!(parse_idx(&bytes).unwrap().data, vec![-7.0]);
+    }
+
+    #[test]
+    fn rejects_malformed_headers_and_payloads() {
+        assert!(parse_idx(&[]).is_err());
+        assert!(parse_idx(&[1, 2, 3, 4]).is_err()); // bad magic
+        assert!(parse_idx(&[0, 0, 0x08, 1, 0, 0]).is_err()); // truncated dims
+        assert!(parse_idx(&idx_ubyte(&[4], &[1, 2, 3])).is_err()); // short payload
+        assert!(parse_idx(&[0, 0, 0x42, 0]).is_err()); // unknown dtype
+    }
+
+    #[test]
+    fn builds_a_trainable_dataset_from_idx_pairs() {
+        let images = parse_idx(&idx_ubyte(&[3, 2, 2], &[10; 12])).unwrap();
+        let labels = parse_idx(&idx_ubyte(&[3], &[0, 1, 0])).unwrap();
+        let data = dataset_from_arrays(images, labels, 2).unwrap();
+        assert_eq!(data.len(), 3);
+        assert_eq!(data.num_classes(), 2);
+        assert_eq!(data.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn count_mismatch_and_bad_labels_are_rejected() {
+        let images = parse_idx(&idx_ubyte(&[2, 2, 2], &[0; 8])).unwrap();
+        let labels = parse_idx(&idx_ubyte(&[3], &[0, 1, 0])).unwrap();
+        assert!(dataset_from_arrays(images.clone(), labels, 2).is_err());
+        let bad_labels = parse_idx(&idx_ubyte(&[2], &[0, 9])).unwrap();
+        assert!(dataset_from_arrays(images, bad_labels, 2).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pipetune_idx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("images.idx");
+        std::fs::write(&path, idx_ubyte(&[1, 2, 2], &[1, 2, 3, 4])).unwrap();
+        let arr = load_idx(&path).unwrap();
+        assert_eq!(arr.dims, vec![1, 2, 2]);
+        std::fs::remove_file(&path).ok();
+        assert!(load_idx(&dir.join("missing.idx")).is_err());
+    }
+}

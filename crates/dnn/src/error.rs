@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use pipetune_tensor::TensorError;
+
+/// Error type returned by fallible operations in the DNN framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnnError {
+    /// An underlying tensor operation failed (shape/rank/size problems).
+    Tensor(TensorError),
+    /// Feature and label counts disagree, or labels exceed the class count.
+    InvalidDataset {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A training configuration value is out of range (e.g. batch size 0).
+    InvalidConfig {
+        /// Human-readable description of the offending value.
+        reason: String,
+    },
+    /// The model received features of a kind it cannot consume
+    /// (e.g. token sequences fed to an image model).
+    WrongFeatureKind {
+        /// Feature kind the model expects.
+        expected: &'static str,
+        /// Feature kind actually supplied.
+        actual: &'static str,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DnnError::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
+            DnnError::InvalidConfig { reason } => write!(f, "invalid training config: {reason}"),
+            DnnError::WrongFeatureKind { expected, actual } => {
+                write!(f, "model expects {expected} features, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for DnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DnnError {
+    fn from(e: TensorError) -> Self {
+        DnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        let e: DnnError = TensorError::Empty.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("tensor error"));
+    }
+}

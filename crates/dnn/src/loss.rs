@@ -1,0 +1,93 @@
+//! Softmax cross-entropy loss with fused gradient.
+
+use pipetune_tensor::{Tensor, TensorError};
+
+/// Computes mean softmax cross-entropy over a batch of logits and the
+/// gradient with respect to the logits.
+///
+/// * `logits`: `[batch, classes]`
+/// * `labels`: one class index per row
+///
+/// Returns `(mean_loss, grad_logits)` where `grad_logits = (softmax - onehot) / batch`.
+///
+/// # Errors
+///
+/// Returns a shape error when `labels.len()` differs from the batch size or a
+/// label is out of range.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), TensorError> {
+    if logits.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: logits.shape().rank() });
+    }
+    let (m, n) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    if labels.len() != m {
+        return Err(TensorError::SizeMismatch { expected: m, actual: labels.len() });
+    }
+    if let Some((_, &bad)) = labels.iter().enumerate().find(|(_, &l)| l >= n) {
+        return Err(TensorError::IndexOutOfBounds { axis: 1, index: bad, len: n });
+    }
+    let probs = logits.softmax_rows()?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.data().to_vec();
+    let inv_m = 1.0 / m as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs.data()[i * n + label].max(1e-12);
+        loss -= p.ln();
+        grad[i * n + label] -= 1.0;
+    }
+    for g in &mut grad {
+        *g *= inv_m;
+    }
+    Ok((loss * inv_m, Tensor::from_vec(grad, &[m, n])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 4..(i + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_matches_numeric_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.1, 0.9, -0.4], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for probe in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[probe] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[probe] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[probe]).abs() < 1e-3, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let logits = Tensor::zeros(&[1, 2]);
+        assert!(softmax_cross_entropy(&logits, &[2]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Power modelling and energy accounting.
+//!
+//! The paper measures whole-cluster power with a LINDY iPower Control PDU,
+//! sampled every second at 1 W resolution, and reports energy as the
+//! trapezoidal integral of those samples (§3.2, §7.1.1). This crate
+//! reproduces that pipeline against simulated time:
+//!
+//! * [`PowerModel`] — active power as a function of allocated cores and
+//!   load (idle floor + per-active-core increment), per node;
+//! * [`PduTrace`] — the 1 Hz sample stream with 1 W quantisation;
+//! * [`PduTrace::energy_joules`] — trapezoidal integration, exactly the
+//!   paper's estimator.
+//!
+//! # Example
+//!
+//! ```
+//! use pipetune_energy::{PduTrace, PowerModel};
+//!
+//! let model = PowerModel::default();
+//! let mut pdu = PduTrace::new();
+//! // A 10-second epoch on 8 busy cores.
+//! pdu.record_interval(0.0, 10.0, model.power_watts(8, 1.0));
+//! let joules = pdu.energy_joules();
+//! assert!(joules > 0.0);
+//! ```
+
+mod pdu;
+mod power;
+
+pub use pdu::PduTrace;
+pub use power::PowerModel;

@@ -1,0 +1,117 @@
+//! Simulated PDU sample stream and trapezoidal energy integration.
+
+use serde::{Deserialize, Serialize};
+
+/// A power-distribution-unit trace: per-second power samples at 1 W
+/// resolution (the paper's LINDY iPower Control, §7.1.1).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PduTrace {
+    /// `(time_secs, watts)` samples, non-decreasing in time.
+    samples: Vec<(f64, f64)>,
+}
+
+impl PduTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        PduTrace { samples: Vec::new() }
+    }
+
+    /// Records a constant-power interval `[start, end)` as 1 Hz samples,
+    /// quantised to 1 W (the PDU's resolution).
+    ///
+    /// Intervals may be appended out of order across recorders; call
+    /// [`PduTrace::sort`] before integrating if so. Zero-length or inverted
+    /// intervals record nothing.
+    pub fn record_interval(&mut self, start: f64, end: f64, watts: f64) {
+        if !(start.is_finite() && end.is_finite() && watts.is_finite()) || end <= start {
+            return;
+        }
+        let w = watts.max(0.0).round();
+        let mut t = start;
+        while t < end {
+            self.samples.push((t, w));
+            t += 1.0;
+        }
+        self.samples.push((end, w));
+    }
+
+    /// Sorts samples by time (needed when several recorders interleave).
+    pub fn sort(&mut self) {
+        self.samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Trapezoidal integral of the power samples: the paper's energy
+    /// estimator (§3.2). Returns joules (watt-seconds).
+    pub fn energy_joules(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let dt = (w[1].0 - w[0].0).max(0.0);
+                0.5 * (w[0].1 + w[1].1) * dt
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_power_integrates_exactly() {
+        let mut pdu = PduTrace::new();
+        pdu.record_interval(0.0, 10.0, 100.0);
+        assert!((pdu.energy_joules() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantisation_rounds_to_one_watt() {
+        let mut pdu = PduTrace::new();
+        pdu.record_interval(0.0, 1.0, 99.6);
+        assert_eq!(pdu.samples()[0].1, 100.0);
+    }
+
+    #[test]
+    fn step_change_integrates_piecewise() {
+        let mut pdu = PduTrace::new();
+        pdu.record_interval(0.0, 5.0, 50.0);
+        pdu.record_interval(5.0, 10.0, 150.0);
+        // 5s at 50W + 5s at 150W, plus the 0-length trapezoid at the join.
+        let e = pdu.energy_joules();
+        assert!((e - (250.0 + 750.0)).abs() < 101.0, "energy {e}");
+    }
+
+    #[test]
+    fn invalid_intervals_record_nothing() {
+        let mut pdu = PduTrace::new();
+        pdu.record_interval(5.0, 5.0, 100.0);
+        pdu.record_interval(9.0, 3.0, 100.0);
+        pdu.record_interval(0.0, 1.0, f64::NAN);
+        assert!(pdu.is_empty());
+        assert_eq!(pdu.energy_joules(), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_intervals_integrate_after_sort() {
+        let mut pdu = PduTrace::new();
+        pdu.record_interval(10.0, 20.0, 100.0);
+        pdu.record_interval(0.0, 10.0, 100.0);
+        pdu.sort();
+        assert!((pdu.energy_joules() - 2000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,92 @@
+//! The 58 hardware events of the paper's Fig. 2 heatmap.
+
+/// Number of simulated events.
+pub const NUM_EVENTS: usize = 58;
+
+/// Event names exactly as they appear on the Fig. 2 y-axis (perf syntax).
+pub const EVENT_NAMES: [&str; NUM_EVENTS] = [
+    "L1-dcache-load-misses",
+    "L1-dcache-loads",
+    "L1-dcache-stores",
+    "L1-icache-load-misses",
+    "LLC-load-misses",
+    "LLC-loads",
+    "LLC-store-misses",
+    "LLC-stores",
+    "branch-load-misses",
+    "branch-loads",
+    "branch-misses",
+    "branches",
+    "bus-cycles",
+    "cache-misses",
+    "cache-references",
+    "cpu-cycles",
+    "cpu/branch-instructions/",
+    "cpu/branch-misses/",
+    "cpu/bus-cycles/",
+    "cpu/cache-misses/",
+    "cpu/cache-references/",
+    "cpu/cpu-cycles/",
+    "cpu/cycles-ct/",
+    "cpu/cycles-t/",
+    "cpu/el-abort/",
+    "cpu/el-capacity/",
+    "cpu/el-commit/",
+    "cpu/el-conflict/",
+    "cpu/el-start/",
+    "cpu/instructions/",
+    "cpu/mem-loads/",
+    "cpu/mem-stores/",
+    "cpu/topdown-fetch-bubbles/",
+    "cpu/topdown-recovery-bubbles/",
+    "cpu/topdown-slots-issued/",
+    "cpu/topdown-slots-retired/",
+    "cpu/topdown-total-slots/",
+    "cpu/tx-abort/",
+    "cpu/tx-capacity/",
+    "cpu/tx-commit/",
+    "cpu/tx-conflict/",
+    "cpu/tx-start/",
+    "dTLB-load-misses",
+    "dTLB-loads",
+    "dTLB-store-misses",
+    "dTLB-stores",
+    "iTLB-load-misses",
+    "iTLB-loads",
+    "instructions",
+    "msr/aperf/",
+    "msr/mperf/",
+    "msr/pperf/",
+    "msr/smi/",
+    "msr/tsc/",
+    "node-load-misses",
+    "node-loads",
+    "node-store-misses",
+    "node-stores",
+];
+
+/// Index of an event name, if it is one of the 58.
+pub fn event_index(name: &str) -> Option<usize> {
+    EVENT_NAMES.iter().position(|&n| n == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_58_unique_events() {
+        let mut names: Vec<&str> = EVENT_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_EVENTS);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        for (i, name) in EVENT_NAMES.iter().enumerate() {
+            assert_eq!(event_index(name), Some(i));
+        }
+        assert_eq!(event_index("not-an-event"), None);
+    }
+}

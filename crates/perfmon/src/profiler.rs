@@ -1,0 +1,422 @@
+//! Event-rate model and counter multiplexing.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::events::{EVENT_NAMES, NUM_EVENTS};
+
+/// Numeric characterisation of one epoch of work, from which every event
+/// count is derived. Produced from `pipetune_dnn::ModelSignature` /
+/// `pipetune_kernels::KernelSignature` by the middleware crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSignature {
+    /// Floating-point operations per epoch.
+    pub flops_per_epoch: f64,
+    /// Bytes the workload keeps hot.
+    pub working_set_bytes: f64,
+    /// Bytes of memory traffic per flop.
+    pub memory_intensity: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_ratio: f64,
+}
+
+/// One epoch's averaged event counts (the paper stores per-epoch averages to
+/// smooth multiplexing error, §5.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochProfile {
+    counts: Vec<f64>,
+}
+
+impl EpochProfile {
+    /// Wraps raw per-epoch counts (the sampling layer's reconstruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly [`crate::NUM_EVENTS`] counts are supplied.
+    pub fn from_counts(counts: Vec<f64>) -> Self {
+        assert_eq!(counts.len(), NUM_EVENTS, "one count per event");
+        EpochProfile { counts }
+    }
+
+    /// Raw per-epoch counts, ordered as [`EVENT_NAMES`].
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Count for a named event.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        crate::event_index(name).map(|i| self.counts[i])
+    }
+
+    /// Feature vector used as the clustering input.
+    ///
+    /// Counts span 8+ orders of magnitude (Fig. 2's legend) and scale with
+    /// the *total work* of the configuration being trained, so raw
+    /// magnitudes would cluster trials by hyperparameters rather than by
+    /// workload family. Instead, every event is expressed as a log-ratio
+    /// per instruction — the family fingerprint (miss rates, branchiness,
+    /// memory mix) — while two magnitude dimensions are kept:
+    /// `log10(instructions)` (total work) and `log10(msr/tsc)` (epoch
+    /// duration × cores), which let the ground truth discriminate
+    /// working-set and iteration-count differences when picking a
+    /// configuration to reuse.
+    pub fn features(&self) -> Vec<f64> {
+        // The magnitude dimensions carry the configuration-relevant signal
+        // (total work, epoch duration) in just two of 58 coordinates; weight
+        // them up so they are not drowned by multiplexing noise on the 56
+        // ratio dimensions.
+        const INSTR_WEIGHT: f64 = 2.0;
+        const TSC_WEIGHT: f64 = 3.0;
+        let instr_idx = crate::event_index("instructions").expect("known event");
+        let tsc_idx = crate::event_index("msr/tsc/").expect("known event");
+        let instr = self.counts[instr_idx].max(1.0);
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if i == instr_idx {
+                    INSTR_WEIGHT * (1.0 + c.max(0.0)).log10()
+                } else if i == tsc_idx {
+                    TSC_WEIGHT * (1.0 + c.max(0.0)).log10()
+                } else {
+                    ((c.max(0.0) + 1.0) / instr).log10()
+                }
+            })
+            .collect()
+    }
+
+    /// Euclidean distance between two profiles' feature vectors.
+    pub fn distance(&self, other: &EpochProfile) -> f64 {
+        self.features()
+            .iter()
+            .zip(other.features())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// The simulated PMU.
+///
+/// Intel E3-class CPUs expose 3 fixed counters (instructions, cycles,
+/// ref/bus cycles) and 2 generic counters; with 58 requested events the
+/// kernel time-multiplexes the generic ones and scales the counts
+/// (`final = raw × enabled/running`), which this model reproduces including
+/// the resulting estimation noise and occasional blind spots (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Profiler {
+    /// Generic (multiplexed) hardware counters available.
+    pub generic_counters: usize,
+    /// Relative noise applied to a fully-measured event.
+    pub base_noise: f64,
+    /// Extra relative noise at zero measurement coverage.
+    pub multiplex_noise: f64,
+    /// Probability that a multiplexed event hits a blind spot in an epoch
+    /// (burst missed entirely → larger scaling error).
+    pub blind_spot_prob: f64,
+    /// Nominal core frequency, Hz (drives `msr/tsc`).
+    pub freq_hz: f64,
+    /// Last-level cache size, bytes (drives miss ratios).
+    pub llc_bytes: f64,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler {
+            generic_counters: 2,
+            base_noise: 0.01,
+            multiplex_noise: 0.08,
+            blind_spot_prob: 0.02,
+            freq_hz: 3.5e9,
+            llc_bytes: 20e6,
+        }
+    }
+}
+
+/// Indices of the fixed-counter events (used by the sampling scheduler).
+pub(crate) fn fixed_event_indices() -> Vec<usize> {
+    FIXED_EVENTS.iter().filter_map(|n| crate::event_index(n)).collect()
+}
+
+/// Events served by fixed counters — measured at full coverage.
+const FIXED_EVENTS: [&str; 6] = [
+    "instructions",
+    "cpu-cycles",
+    "bus-cycles",
+    "cpu/instructions/",
+    "cpu/cpu-cycles/",
+    "cpu/bus-cycles/",
+];
+
+impl Profiler {
+    /// True (noise-free) per-epoch counts implied by a signature.
+    ///
+    /// Exposed so tests and ablations can separate model error from
+    /// multiplexing error.
+    pub fn true_counts(
+        &self,
+        sig: &WorkloadSignature,
+        cores: u32,
+        epoch_secs: f64,
+    ) -> Vec<f64> {
+        let flops = sig.flops_per_epoch.max(0.0);
+        let mi = sig.memory_intensity.max(0.0);
+        let br = sig.branch_ratio.clamp(0.0, 1.0);
+        let ws = sig.working_set_bytes.max(0.0);
+
+        let instr = flops * 1.3 + 1e6;
+        let ipc = 2.2 / (1.0 + 0.8 * mi);
+        let cycles = instr / ipc;
+        let branches = instr * br;
+        let branch_misses = branches * (0.01 + 0.05 * br);
+        let l1_loads = instr * (0.25 + 0.30 * mi);
+        let l1_stores = l1_loads * 0.4;
+        // L1 miss ratio saturates with working-set growth past 32 KiB.
+        let l1_span = ((1.0 + ws / 32e3).ln() / (1.0f64 + 1e6).ln()).min(1.0);
+        let l1_load_misses = l1_loads * (0.02 + 0.06 * l1_span);
+        let l1_icache_misses = instr * 0.0005;
+        let llc_loads = l1_load_misses * 0.5;
+        let llc_stores = l1_stores * 0.01;
+        let llc_miss_ratio = (ws / self.llc_bytes).clamp(0.02, 0.9);
+        let llc_load_misses = llc_loads * llc_miss_ratio;
+        let llc_store_misses = llc_stores * llc_miss_ratio;
+        let dtlb_loads = l1_loads;
+        let tlb_span = ((1.0 + ws / 2e6).ln() / (1.0f64 + 1e5).ln()).min(1.0);
+        let dtlb_load_misses = dtlb_loads * 0.0002 * (1.0 + 20.0 * tlb_span);
+        let dtlb_stores = l1_stores;
+        let dtlb_store_misses = dtlb_stores * 0.0001 * (1.0 + 20.0 * tlb_span);
+        let itlb_loads = instr * 0.02;
+        let itlb_misses = itlb_loads * 0.0005;
+        let cache_references = llc_loads + llc_stores;
+        let cache_misses = llc_load_misses + llc_store_misses;
+        let bus_cycles = cycles * 0.03;
+        let total_slots = cycles * 4.0;
+        let slots_issued = instr * 1.15;
+        let slots_retired = instr;
+        let fetch_bubbles = total_slots * 0.05 * (1.0 + mi);
+        let recovery_bubbles = branch_misses * 20.0;
+        let numa_fraction = if cores > 8 { 0.30 } else { 0.05 };
+        let node_loads = llc_load_misses * numa_fraction;
+        let node_load_misses = node_loads * 0.3;
+        let node_stores = llc_store_misses * numa_fraction;
+        let node_store_misses = node_stores * 0.3;
+        // One reference clock: TSC ticks measure wall duration of the epoch.
+        let tsc = self.freq_hz * epoch_secs.max(0.0);
+
+        let mut c = vec![0.0f64; NUM_EVENTS];
+        let mut set = |name: &str, v: f64| {
+            let i = crate::event_index(name).expect("known event");
+            c[i] = v;
+        };
+        set("L1-dcache-load-misses", l1_load_misses);
+        set("L1-dcache-loads", l1_loads);
+        set("L1-dcache-stores", l1_stores);
+        set("L1-icache-load-misses", l1_icache_misses);
+        set("LLC-load-misses", llc_load_misses);
+        set("LLC-loads", llc_loads);
+        set("LLC-store-misses", llc_store_misses);
+        set("LLC-stores", llc_stores);
+        set("branch-load-misses", branch_misses * 0.8);
+        set("branch-loads", branches * 0.9);
+        set("branch-misses", branch_misses);
+        set("branches", branches);
+        set("bus-cycles", bus_cycles);
+        set("cache-misses", cache_misses);
+        set("cache-references", cache_references);
+        set("cpu-cycles", cycles);
+        set("cpu/branch-instructions/", branches);
+        set("cpu/branch-misses/", branch_misses);
+        set("cpu/bus-cycles/", bus_cycles);
+        set("cpu/cache-misses/", cache_misses);
+        set("cpu/cache-references/", cache_references);
+        set("cpu/cpu-cycles/", cycles);
+        set("cpu/cycles-ct/", cycles * 0.001);
+        set("cpu/cycles-t/", cycles * 0.001);
+        set("cpu/el-abort/", 10.0);
+        set("cpu/el-capacity/", 10.0);
+        set("cpu/el-commit/", 10.0);
+        set("cpu/el-conflict/", 10.0);
+        set("cpu/el-start/", 20.0);
+        set("cpu/instructions/", instr);
+        set("cpu/mem-loads/", l1_loads * 0.001);
+        set("cpu/mem-stores/", l1_stores * 0.001);
+        set("cpu/topdown-fetch-bubbles/", fetch_bubbles);
+        set("cpu/topdown-recovery-bubbles/", recovery_bubbles);
+        set("cpu/topdown-slots-issued/", slots_issued);
+        set("cpu/topdown-slots-retired/", slots_retired);
+        set("cpu/topdown-total-slots/", total_slots);
+        set("cpu/tx-abort/", 5.0);
+        set("cpu/tx-capacity/", 5.0);
+        set("cpu/tx-commit/", 5.0);
+        set("cpu/tx-conflict/", 5.0);
+        set("cpu/tx-start/", 10.0);
+        set("dTLB-load-misses", dtlb_load_misses);
+        set("dTLB-loads", dtlb_loads);
+        set("dTLB-store-misses", dtlb_store_misses);
+        set("dTLB-stores", dtlb_stores);
+        set("iTLB-load-misses", itlb_misses);
+        set("iTLB-loads", itlb_loads);
+        set("instructions", instr);
+        set("msr/aperf/", cycles);
+        set("msr/mperf/", cycles * 0.98);
+        set("msr/pperf/", instr * 0.95);
+        set("msr/smi/", 0.0);
+        set("msr/tsc/", tsc);
+        set("node-load-misses", node_load_misses);
+        set("node-loads", node_loads);
+        set("node-store-misses", node_store_misses);
+        set("node-stores", node_stores);
+        c
+    }
+
+    /// Profiles one epoch: true counts plus multiplexing/scaling noise.
+    ///
+    /// `final = raw × time_enabled / time_running` recovers the expected
+    /// value, but the variance grows as measurement coverage shrinks; blind
+    /// spots (bursts entirely missed) occasionally skew a count further.
+    pub fn profile_epoch<R: Rng>(
+        &self,
+        sig: &WorkloadSignature,
+        cores: u32,
+        epoch_secs: f64,
+        rng: &mut R,
+    ) -> EpochProfile {
+        let truth = self.true_counts(sig, cores, epoch_secs);
+        let n_multiplexed = NUM_EVENTS - FIXED_EVENTS.len();
+        let coverage =
+            (self.generic_counters as f64 / n_multiplexed as f64).clamp(0.0, 1.0);
+        let counts = EVENT_NAMES
+            .iter()
+            .zip(&truth)
+            .map(|(&name, &t)| {
+                let fixed = FIXED_EVENTS.contains(&name);
+                let sigma = if fixed {
+                    self.base_noise
+                } else {
+                    self.base_noise + self.multiplex_noise * (1.0 - coverage).sqrt()
+                };
+                // Two-uniform approximation of Gaussian multiplicative noise.
+                let g = rng.gen::<f64>() + rng.gen::<f64>() - 1.0;
+                let mut v = t * (1.0 + sigma * g * 1.7);
+                if !fixed && rng.gen::<f64>() < self.blind_spot_prob {
+                    // Burst missed: scaling extrapolates from a quiet window.
+                    v *= rng.gen_range(0.6..1.4);
+                }
+                v.max(0.0)
+            })
+            .collect();
+        EpochProfile { counts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cnn_sig() -> WorkloadSignature {
+        WorkloadSignature {
+            flops_per_epoch: 1e10,
+            working_set_bytes: 3e8,
+            memory_intensity: 1.2,
+            branch_ratio: 0.12,
+        }
+    }
+
+    fn lstm_sig() -> WorkloadSignature {
+        WorkloadSignature {
+            flops_per_epoch: 4e10,
+            working_set_bytes: 6e8,
+            memory_intensity: 0.9,
+            branch_ratio: 0.16,
+        }
+    }
+
+    #[test]
+    fn profiles_repeat_across_epochs_fig2() {
+        // Fig. 2's observation: events repeat with the same occurrence every
+        // epoch. Relative spread across epochs should be small.
+        let p = Profiler::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let profiles: Vec<EpochProfile> =
+            (0..10).map(|_| p.profile_epoch(&cnn_sig(), 16, 120.0, &mut rng)).collect();
+        let idx = crate::event_index("L1-dcache-loads").unwrap();
+        let vals: Vec<f64> = profiles.iter().map(|pr| pr.counts()[idx]).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let sd =
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt();
+        assert!(sd / mean < 0.20, "relative spread {}", sd / mean);
+    }
+
+    #[test]
+    fn different_workloads_are_distinguishable() {
+        let p = Profiler::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a1 = p.profile_epoch(&cnn_sig(), 16, 120.0, &mut rng);
+        let a2 = p.profile_epoch(&cnn_sig(), 16, 120.0, &mut rng);
+        let b = p.profile_epoch(&lstm_sig(), 16, 120.0, &mut rng);
+        assert!(
+            a1.distance(&b) > 3.0 * a1.distance(&a2),
+            "inter {} should dwarf intra {}",
+            a1.distance(&b),
+            a1.distance(&a2)
+        );
+    }
+
+    #[test]
+    fn fixed_counters_are_nearly_exact() {
+        let p = Profiler::default();
+        let truth = p.true_counts(&cnn_sig(), 8, 60.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let prof = p.profile_epoch(&cnn_sig(), 8, 60.0, &mut rng);
+        let i = crate::event_index("instructions").unwrap();
+        let rel = (prof.counts()[i] - truth[i]).abs() / truth[i];
+        assert!(rel < 0.05, "instructions error {rel}");
+    }
+
+    #[test]
+    fn counts_are_never_negative_and_consistent() {
+        let p = Profiler::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let prof = p.profile_epoch(&lstm_sig(), 4, 10.0, &mut rng);
+        assert!(prof.counts().iter().all(|&c| c >= 0.0));
+        // Derived sanity: misses never exceed accesses (true counts).
+        let t = p.true_counts(&lstm_sig(), 4, 10.0);
+        let loads = t[crate::event_index("L1-dcache-loads").unwrap()];
+        let misses = t[crate::event_index("L1-dcache-load-misses").unwrap()];
+        assert!(misses < loads);
+        let br = t[crate::event_index("branches").unwrap()];
+        let brm = t[crate::event_index("branch-misses").unwrap()];
+        assert!(brm < br);
+    }
+
+    #[test]
+    fn features_are_finite_ratios() {
+        let p = Profiler::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let prof = p.profile_epoch(&cnn_sig(), 8, 60.0, &mut rng);
+        let f = prof.features();
+        assert_eq!(f.len(), NUM_EVENTS);
+        assert!(f.iter().all(|v: &f64| v.is_finite()));
+    }
+
+    #[test]
+    fn tsc_measures_wall_duration() {
+        let p = Profiler::default();
+        let t1 = p.true_counts(&cnn_sig(), 4, 10.0);
+        let t2 = p.true_counts(&cnn_sig(), 8, 20.0);
+        let i = crate::event_index("msr/tsc/").unwrap();
+        // One reference clock: doubling duration doubles TSC; cores don't.
+        assert!((t2[i] / t1[i] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numa_traffic_appears_beyond_one_socket() {
+        let p = Profiler::default();
+        let small = p.true_counts(&cnn_sig(), 8, 60.0);
+        let big = p.true_counts(&cnn_sig(), 16, 60.0);
+        let i = crate::event_index("node-loads").unwrap();
+        assert!(big[i] > small[i] * 3.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! 2-D convolution and pooling primitives (NCHW layout, stride 1, no padding).
+//!
+//! These are the building blocks of the LeNet-5 reproduction in
+//! `pipetune-dnn`. Kernels are small (5×5 at most) and inputs are tiny, so a
+//! direct loop implementation is both simple and fast enough.
+
+use crate::{Tensor, TensorError};
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, shaped like the forward input.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the kernel weights.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the per-output-channel bias.
+    pub grad_bias: Tensor,
+}
+
+fn check_rank4(t: &Tensor) -> Result<(usize, usize, usize, usize), TensorError> {
+    if t.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: t.shape().rank() });
+    }
+    let d = t.shape().dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Valid (no padding), stride-1 2-D convolution.
+///
+/// * `input`: `[batch, in_ch, h, w]`
+/// * `weight`: `[out_ch, in_ch, kh, kw]`
+/// * `bias`: `[out_ch]`
+///
+/// Returns `[batch, out_ch, h-kh+1, w-kw+1]`.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when the operands do not line up or the kernel
+/// is larger than the input.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
+    let (n, cin, h, w) = check_rank4(input)?;
+    let (cout, cin2, kh, kw) = check_rank4(weight)?;
+    if cin != cin2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![cout, cin, kh, kw],
+            actual: weight.shape().dims().to_vec(),
+        });
+    }
+    if bias.shape().dims() != [cout] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![cout],
+            actual: bias.shape().dims().to_vec(),
+        });
+    }
+    if kh > h || kw > w {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![h, w],
+            actual: vec![kh, kw],
+        });
+    }
+    let (oh, ow) = (h - kh + 1, w - kw + 1);
+    let mut out = vec![0.0f32; n * cout * oh * ow];
+    let x = input.data();
+    let k = weight.data();
+    for b in 0..n {
+        for oc in 0..cout {
+            let bias_v = bias.data()[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias_v;
+                    for ic in 0..cin {
+                        for ky in 0..kh {
+                            let xrow = ((b * cin + ic) * h + (oy + ky)) * w + ox;
+                            let krow = ((oc * cin + ic) * kh + ky) * kw;
+                            for kx in 0..kw {
+                                acc += x[xrow + kx] * k[krow + kx];
+                            }
+                        }
+                    }
+                    out[((b * cout + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, cout, oh, ow])
+}
+
+/// Backward pass of [`conv2d`]: given `grad_output` (shaped like the forward
+/// output), computes gradients for input, weight and bias.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when `grad_output` does not match the forward
+/// output shape implied by `input` and `weight`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+) -> Result<Conv2dGrads, TensorError> {
+    let (n, cin, h, w) = check_rank4(input)?;
+    let (cout, _, kh, kw) = check_rank4(weight)?;
+    let (n2, cout2, oh, ow) = check_rank4(grad_output)?;
+    if n2 != n || cout2 != cout || oh != h - kh + 1 || ow != w - kw + 1 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, cout, h - kh + 1, w - kw + 1],
+            actual: grad_output.shape().dims().to_vec(),
+        });
+    }
+    let x = input.data();
+    let k = weight.data();
+    let g = grad_output.data();
+    let mut gx = vec![0.0f32; x.len()];
+    let mut gk = vec![0.0f32; k.len()];
+    let mut gb = vec![0.0f32; cout];
+    for b in 0..n {
+        for oc in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[((b * cout + oc) * oh + oy) * ow + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    gb[oc] += gv;
+                    for ic in 0..cin {
+                        for ky in 0..kh {
+                            let xrow = ((b * cin + ic) * h + (oy + ky)) * w + ox;
+                            let krow = ((oc * cin + ic) * kh + ky) * kw;
+                            for kx in 0..kw {
+                                gk[krow + kx] += gv * x[xrow + kx];
+                                gx[xrow + kx] += gv * k[krow + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Conv2dGrads {
+        grad_input: Tensor::from_vec(gx, input.shape().dims())?,
+        grad_weight: Tensor::from_vec(gk, weight.shape().dims())?,
+        grad_bias: Tensor::from_vec(gb, &[cout])?,
+    })
+}
+
+/// Non-overlapping `k×k` max pooling on `[batch, ch, h, w]`.
+///
+/// Returns the pooled tensor and the flat argmax indices used by
+/// [`max_pool2d_backward`]. `h` and `w` must be divisible by `k`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the spatial dimensions are not
+/// divisible by `k`, or a rank error on non-rank-4 input.
+pub fn max_pool2d(input: &Tensor, k: usize) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let (n, c, h, w) = check_rank4(input)?;
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(TensorError::ShapeMismatch { expected: vec![h / k.max(1) * k], actual: vec![h, w] });
+    }
+    let (oh, ow) = (h / k, w / k);
+    let x = input.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut idx = vec![0usize; n * c * oh * ow];
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let i = ((b * c + ch) * h + (oy * k + ky)) * w + (ox * k + kx);
+                            if x[i] > best {
+                                best = x[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    let o = ((b * c + ch) * oh + oy) * ow + ox;
+                    out[o] = best;
+                    idx[o] = best_i;
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec(out, &[n, c, oh, ow])?, idx))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// position recorded in `indices`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::SizeMismatch`] when `indices` does not match
+/// `grad_output`.
+pub fn max_pool2d_backward(
+    grad_output: &Tensor,
+    indices: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor, TensorError> {
+    if indices.len() != grad_output.len() {
+        return Err(TensorError::SizeMismatch {
+            expected: grad_output.len(),
+            actual: indices.len(),
+        });
+    }
+    let mut gx = Tensor::zeros(input_dims);
+    let buf = gx.data_mut();
+    for (&i, &g) in indices.iter().zip(grad_output.data()) {
+        buf[i] += g;
+    }
+    Ok(gx)
+}
+
+/// Non-overlapping `k×k` average pooling on `[batch, ch, h, w]`.
+///
+/// # Errors
+///
+/// Same conditions as [`max_pool2d`].
+pub fn avg_pool2d(input: &Tensor, k: usize) -> Result<Tensor, TensorError> {
+    let (n, c, h, w) = check_rank4(input)?;
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(TensorError::ShapeMismatch { expected: vec![h / k.max(1) * k], actual: vec![h, w] });
+    }
+    let (oh, ow) = (h / k, w / k);
+    let x = input.data();
+    let inv = 1.0 / (k * k) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += x[((b * c + ch) * h + (oy * k + ky)) * w + (ox * k + kx)];
+                        }
+                    }
+                    out[((b * c + ch) * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel_passes_through() {
+        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let weight = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]).unwrap();
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv2d_sums_window() {
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let weight = Tensor::ones(&[1, 1, 2, 2]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert!(out.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn conv2d_backward_matches_numeric_gradient() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = Tensor::randn(&[2, 2, 4, 4], 1.0, &mut rng);
+        let weight = Tensor::randn(&[3, 2, 2, 2], 0.5, &mut rng);
+        let bias = Tensor::randn(&[3], 0.1, &mut rng);
+        let out = conv2d(&input, &weight, &bias).unwrap();
+        // Loss = sum(out); grad_output = ones.
+        let go = Tensor::ones(out.shape().dims());
+        let grads = conv2d_backward(&input, &weight, &go).unwrap();
+        let eps = 1e-2f32;
+        // Check a few weight entries against central differences.
+        for probe in [0usize, 5, 11] {
+            let mut wp = weight.clone();
+            wp.data_mut()[probe] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[probe] -= eps;
+            let fp = conv2d(&input, &wp, &bias).unwrap().sum();
+            let fm = conv2d(&input, &wm, &bias).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grads.grad_weight.data()[probe];
+            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()), "probe {probe}: {num} vs {ana}");
+        }
+        // Input gradient numeric check.
+        for probe in [0usize, 17] {
+            let mut xp = input.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = input.clone();
+            xm.data_mut()[probe] -= eps;
+            let fp = conv2d(&xp, &weight, &bias).unwrap().sum();
+            let fm = conv2d(&xm, &weight, &bias).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grads.grad_input.data()[probe];
+            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()), "probe {probe}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn max_pool_picks_maxima_and_routes_gradient_back() {
+        let input =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], &[1, 1, 4, 4])
+                .unwrap();
+        let (out, idx) = max_pool2d(&input, 2).unwrap();
+        assert_eq!(out.data(), &[6.0, 8.0, 14.0, 16.0]);
+        let go = Tensor::ones(&[1, 1, 2, 2]);
+        let gx = max_pool2d_backward(&go, &idx, &[1, 1, 4, 4]).unwrap();
+        assert_eq!(gx.sum(), 4.0);
+        assert_eq!(gx.data()[5], 1.0); // position of 6.0
+    }
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let input = Tensor::from_vec((1..=4).map(|x| x as f32).collect(), &[1, 1, 2, 2]).unwrap();
+        let out = avg_pool2d(&input, 2).unwrap();
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn pooling_rejects_indivisible_dims() {
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        assert!(max_pool2d(&input, 2).is_err());
+        assert!(avg_pool2d(&input, 2).is_err());
+    }
+}

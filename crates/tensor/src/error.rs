@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that had to agree did not.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+    },
+    /// Requested element count does not match the supplied shape.
+    SizeMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements supplied.
+        actual: usize,
+    },
+    /// Operation required a tensor of a specific rank.
+    RankMismatch {
+        /// Rank expected by the operation.
+        expected: usize,
+        /// Rank actually supplied.
+        actual: usize,
+    },
+    /// Index out of bounds for a given axis.
+    IndexOutOfBounds {
+        /// Axis on which the access happened.
+        axis: usize,
+        /// Offending index.
+        index: usize,
+        /// Length of that axis.
+        len: usize,
+    },
+    /// The operation is not defined on an empty tensor.
+    Empty,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::SizeMismatch { expected, actual } => {
+                write!(f, "size mismatch: shape implies {expected} elements, got {actual}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { axis, index, len } => {
+                write!(f, "index {index} out of bounds on axis {axis} of length {len}")
+            }
+            TensorError::Empty => write!(f, "operation not defined on an empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::ShapeMismatch { expected: vec![2, 2], actual: vec![3] };
+        let text = err.to_string();
+        assert!(text.contains("shape mismatch"));
+        assert!(text.contains("[2, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

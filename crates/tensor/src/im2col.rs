@@ -1,0 +1,150 @@
+//! im2col-based convolution: the standard GEMM lowering.
+//!
+//! The direct loops in [`crate::conv2d`] are simple and exact; for larger
+//! batches the cache-friendly route is to unfold every receptive field into
+//! a row of a matrix and run one matrix multiplication. Both paths are kept:
+//! [`conv2d_gemm`] is bit-compatible with `conv2d` (same accumulation
+//! order per output element up to float reassociation) and is what the
+//! `Conv2d` layer uses for batches past a size threshold.
+
+use crate::{Tensor, TensorError};
+
+/// Unfolds `[n, c, h, w]` into the im2col matrix
+/// `[n·oh·ow, c·kh·kw]` for a valid stride-1 convolution with a `kh×kw`
+/// kernel.
+///
+/// # Errors
+///
+/// Returns a rank/shape error when the input is not rank 4 or smaller than
+/// the kernel.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize) -> Result<Tensor, TensorError> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: input.shape().rank() });
+    }
+    let d = input.shape().dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    if kh == 0 || kw == 0 || kh > h || kw > w {
+        return Err(TensorError::ShapeMismatch { expected: vec![h, w], actual: vec![kh, kw] });
+    }
+    let (oh, ow) = (h - kh + 1, w - kw + 1);
+    let cols = c * kh * kw;
+    let mut out = vec![0.0f32; n * oh * ow * cols];
+    let x = input.data();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((b * oh + oy) * ow + ox) * cols;
+                for ic in 0..c {
+                    for ky in 0..kh {
+                        let src = ((b * c + ic) * h + oy + ky) * w + ox;
+                        let dst = row + (ic * kh + ky) * kw;
+                        out[dst..dst + kw].copy_from_slice(&x[src..src + kw]);
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, cols])
+}
+
+/// Valid stride-1 convolution through the im2col + GEMM route. Produces the
+/// same result as [`crate::conv2d`] up to floating-point reassociation.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::conv2d`].
+pub fn conv2d_gemm(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: weight.shape().rank() });
+    }
+    let wd = weight.shape().dims();
+    let (cout, cin, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let d = input.shape().dims();
+    if input.shape().rank() != 4 || d[1] != cin {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![d[0], cin, d[2], d[3]],
+            actual: d.to_vec(),
+        });
+    }
+    if bias.shape().dims() != [cout] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![cout],
+            actual: bias.shape().dims().to_vec(),
+        });
+    }
+    let (n, h, w) = (d[0], d[2], d[3]);
+    let cols = im2col(input, kh, kw)?; // [n·oh·ow, cin·kh·kw]
+    let wmat = weight.reshape(&[cout, cin * kh * kw])?.transpose()?; // [cin·kh·kw, cout]
+    let prod = cols.matmul(&wmat)?.add_row_broadcast(bias)?; // [n·oh·ow, cout]
+    // Rearrange [n·oh·ow, cout] → [n, cout, oh, ow].
+    let (oh, ow) = (h - kh + 1, w - kw + 1);
+    let mut out = vec![0.0f32; n * cout * oh * ow];
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let src = ((b * oh + oy) * ow + ox) * cout;
+                for oc in 0..cout {
+                    out[((b * cout + oc) * oh + oy) * ow + ox] = prod.data()[src + oc];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, cout, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn im2col_unfolds_known_windows() {
+        // 1x1x3x3 input, 2x2 kernel → 4 windows of 4 values.
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let cols = im2col(&x, 2, 2).unwrap();
+        assert_eq!(cols.shape().dims(), &[4, 4]);
+        assert_eq!(&cols.data()[..4], &[0.0, 1.0, 3.0, 4.0]);
+        assert_eq!(&cols.data()[12..], &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn gemm_conv_matches_direct_conv() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(&[3, 2, 8, 8], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 2, 3, 3], 0.5, &mut rng);
+        let b = Tensor::randn(&[4], 0.1, &mut rng);
+        let direct = conv2d(&x, &w, &b).unwrap();
+        let gemm = conv2d_gemm(&x, &w, &b).unwrap();
+        assert_eq!(direct.shape(), gemm.shape());
+        for (a, g) in direct.data().iter().zip(gemm.data()) {
+            assert!((a - g).abs() < 1e-4, "{a} vs {g}");
+        }
+    }
+
+    #[test]
+    fn gemm_conv_validates_shapes_like_direct() {
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let w = Tensor::ones(&[3, 1, 2, 2]); // wrong in-channels
+        let b = Tensor::zeros(&[3]);
+        assert!(conv2d_gemm(&x, &w, &b).is_err());
+        let w = Tensor::ones(&[3, 2, 2, 2]);
+        let bad_bias = Tensor::zeros(&[2]);
+        assert!(conv2d_gemm(&x, &w, &bad_bias).is_err());
+        assert!(im2col(&x, 9, 9).is_err());
+    }
+
+    #[test]
+    fn single_pixel_kernel_is_a_channel_mix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 3, 1, 1], 1.0, &mut rng);
+        let b = Tensor::zeros(&[2]);
+        let direct = conv2d(&x, &w, &b).unwrap();
+        let gemm = conv2d_gemm(&x, &w, &b).unwrap();
+        for (a, g) in direct.data().iter().zip(gemm.data()) {
+            assert!((a - g).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Dense `f32` tensor math substrate for the PipeTune reproduction.
+//!
+//! The paper trains its workloads on BigDL/TensorFlow; this crate provides the
+//! minimal-but-real linear-algebra core the `pipetune-dnn` framework is built
+//! on: shape-checked dense tensors, matrix multiplication, 2-D
+//! convolution/pooling primitives and seeded random initialisation.
+//!
+//! Everything is deterministic: all random constructors take an explicit RNG
+//! so experiments can be reproduced bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use pipetune_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), pipetune_tensor::TensorError>(())
+//! ```
+
+mod conv;
+mod error;
+mod im2col;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use conv::{avg_pool2d, conv2d, conv2d_backward, max_pool2d, max_pool2d_backward, Conv2dGrads};
+pub use error::TensorError;
+pub use im2col::{conv2d_gemm, im2col};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,343 @@
+//! Element-wise and linear-algebra operations on [`Tensor`].
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Element-wise sum of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_with<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        f: F,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape().dims().to_vec(),
+                actual: other.shape().dims().to_vec(),
+            });
+        }
+        let data = self.data().iter().zip(other.data()).map(|(&a, &b)| f(a, b)).collect();
+        Tensor::from_vec(data, self.shape().dims())
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        let data = self.data().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(data, self.shape().dims()).expect("same shape")
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for x in self.data_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place AXPY update: `self += alpha * other`.
+    ///
+    /// This is the hot loop of SGD so it avoids allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape().dims().to_vec(),
+                actual: other.shape().dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    ///
+    /// Returns `0.0` on an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Squared Euclidean norm of the flattened tensor.
+    pub fn norm_sq(&self) -> f32 {
+        self.data().iter().map(|x| x * x).sum()
+    }
+
+    /// Matrix product of two rank-2 tensors: `(m×k) · (k×n) = (m×n)`.
+    ///
+    /// Uses a cache-friendly i-k-j loop ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when either operand is not rank 2
+    /// and [`TensorError::ShapeMismatch`] when the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        if other.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: other.shape().rank() });
+        }
+        let (m, k) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let (k2, n) = (other.shape().dims()[0], other.shape().dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![k, n],
+                actual: vec![k2, n],
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the tensor is not rank 2.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        let (m, n) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for (j, &v) in self.data()[i * n..(i + 1) * n].iter().enumerate() {
+                out[j * m + i] = v;
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Adds a length-`n` row vector to every row of an `m×n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `bias` is not a rank-1
+    /// tensor of length `n`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        let (m, n) = (self.shape().dims()[0], self.shape().dims()[1]);
+        if bias.shape().dims() != [n] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![n],
+                actual: bias.shape().dims().to_vec(),
+            });
+        }
+        let mut out = self.data().to_vec();
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] += bias.data()[j];
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Sums a rank-2 tensor over its rows, producing a length-`n` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        let (m, n) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for (o, &v) in out.iter_mut().zip(&self.data()[i * n..(i + 1) * n]) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[n])
+    }
+
+    /// Index of the maximum element in each row of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] on non-matrices and
+    /// [`TensorError::Empty`] when a row has zero columns.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        let (m, n) = (self.shape().dims()[0], self.shape().dims()[1]);
+        if n == 0 {
+            return Err(TensorError::Empty);
+        }
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let row = &self.data()[i * n..(i + 1) * n];
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Numerically-stable row-wise softmax of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
+        }
+        let (m, n) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &self.data()[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for j in 0..n {
+                let e = (row[j] - max).exp();
+                out[i * n + j] = e;
+                denom += e;
+            }
+            for j in 0..n {
+                out[i * n + j] /= denom;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = t(&[1.0; 6], &[2, 3]);
+        let b = t(&[1.0; 4], &[2, 2]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_preserve_order() {
+        let a = t(&[1.0, 2.0, 3.0, -1.0, 0.0, 100.0], &[2, 3]);
+        let s = a.softmax_rows().unwrap();
+        for i in 0..2 {
+            let row = &s.data()[i * 3..(i + 1) * 3];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(s.argmax_rows().unwrap(), vec![2, 2]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_per_row() {
+        let a = t(&[0.0; 4], &[2, 2]);
+        let bias = t(&[1.0, 2.0], &[2]);
+        let r = a.add_row_broadcast(&bias).unwrap();
+        assert_eq!(r.data(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_rows_collapses_first_axis() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum_rows().unwrap().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let g = t(&[2.0, 4.0], &[2]);
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn zip_with_rejects_shape_mismatch() {
+        let a = t(&[1.0; 4], &[2, 2]);
+        let b = t(&[1.0; 4], &[4]);
+        assert!(a.add(&b).is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! The thread-safe store.
+
+use std::path::Path;
+
+use parking_lot::RwLock;
+
+use crate::{Aggregate, Point, Query, TsdbError};
+
+/// In-memory, thread-safe time-series store with JSON persistence.
+///
+/// Writers (per-trial system tuners) and readers (the ground-truth module)
+/// may operate concurrently; consistency is per-call.
+#[derive(Debug, Default)]
+pub struct Database {
+    points: RwLock<Vec<Point>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Stores one point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsdbError::InvalidPoint`] for points without a measurement
+    /// name or without fields.
+    pub fn write(&self, point: Point) -> Result<(), TsdbError> {
+        if !point.is_storable() {
+            return Err(TsdbError::InvalidPoint {
+                reason: "measurement and at least one field are required".into(),
+            });
+        }
+        self.points.write().push(point);
+        Ok(())
+    }
+
+    /// Stores many points; stops at the first invalid one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsdbError::InvalidPoint`] on the first unstorable point;
+    /// earlier points in the batch remain stored.
+    pub fn write_batch(&self, points: impl IntoIterator<Item = Point>) -> Result<(), TsdbError> {
+        for p in points {
+            self.write(p)?;
+        }
+        Ok(())
+    }
+
+    /// Returns every point matching `query`, in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for storage-backend
+    /// errors.
+    pub fn query(&self, query: &Query) -> Result<Vec<Point>, TsdbError> {
+        Ok(self.points.read().iter().filter(|p| query.matches(p)).cloned().collect())
+    }
+
+    /// Aggregates `field` over the points matching `query`.
+    ///
+    /// Points lacking the field are skipped. Returns `None` when nothing
+    /// matched.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (see [`Database::query`]).
+    pub fn aggregate(
+        &self,
+        query: &Query,
+        field: &str,
+        agg: Aggregate,
+    ) -> Result<Option<f64>, TsdbError> {
+        let values: Vec<f64> = self
+            .points
+            .read()
+            .iter()
+            .filter(|p| query.matches(p))
+            .filter_map(|p| p.field_value(field))
+            .collect();
+        Ok(agg.apply(&values))
+    }
+
+    /// Aggregates `field` into fixed time windows of `window_us`
+    /// microseconds (Influx's `GROUP BY time(...)`). Returns
+    /// `(window_start_us, value)` pairs for non-empty windows, in time
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsdbError::InvalidPoint`] when `window_us` is zero.
+    pub fn aggregate_by_time(
+        &self,
+        query: &Query,
+        field: &str,
+        agg: Aggregate,
+        window_us: u64,
+    ) -> Result<Vec<(u64, f64)>, TsdbError> {
+        if window_us == 0 {
+            return Err(TsdbError::InvalidPoint {
+                reason: "window must be positive".into(),
+            });
+        }
+        let mut buckets: std::collections::BTreeMap<u64, Vec<f64>> = Default::default();
+        for p in self.points.read().iter().filter(|p| query.matches(p)) {
+            if let Some(v) = p.field_value(field) {
+                let start = p.timestamp_us() / window_us * window_us;
+                buckets.entry(start).or_default().push(v);
+            }
+        }
+        Ok(buckets
+            .into_iter()
+            .filter_map(|(start, values)| agg.apply(&values).map(|v| (start, v)))
+            .collect())
+    }
+
+    /// Exports every stored point as Influx line protocol, one per line.
+    pub fn to_line_protocol(&self) -> String {
+        self.points
+            .read()
+            .iter()
+            .map(crate::Point::to_line_protocol)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Imports points from Influx line protocol (one point per non-empty,
+    /// non-comment line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsdbError::Corrupt`] on the first malformed line; earlier
+    /// lines remain imported.
+    pub fn import_line_protocol(&self, text: &str) -> Result<usize, TsdbError> {
+        let mut imported = 0;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            self.write(crate::Point::from_line_protocol(line)?)?;
+            imported += 1;
+        }
+        Ok(imported)
+    }
+
+    /// Total number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.read().len()
+    }
+
+    /// Returns `true` when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.read().is_empty()
+    }
+
+    /// Deletes points with `timestamp < before_us` (retention policy).
+    /// Returns the number deleted.
+    pub fn retain_from(&self, before_us: u64) -> usize {
+        let mut guard = self.points.write();
+        let before = guard.len();
+        guard.retain(|p| p.timestamp_us() >= before_us);
+        before - guard.len()
+    }
+
+    /// Serialises the whole store to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsdbError::Io`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), TsdbError> {
+        let guard = self.points.read();
+        let json = serde_json::to_string(&*guard)
+            .map_err(|e| TsdbError::Corrupt { reason: e.to_string() })?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a store previously written by [`Database::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsdbError::Io`] on filesystem failures and
+    /// [`TsdbError::Corrupt`] when the JSON cannot be decoded.
+    pub fn load(path: &Path) -> Result<Self, TsdbError> {
+        let text = std::fs::read_to_string(path)?;
+        let points: Vec<Point> =
+            serde_json::from_str(&text).map_err(|e| TsdbError::Corrupt { reason: e.to_string() })?;
+        Ok(Database { points: RwLock::new(points) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let db = Database::new();
+        for i in 0..10u64 {
+            let workload = if i % 2 == 0 { "lenet" } else { "cnn" };
+            db.write(
+                Point::new("epoch", i * 1000)
+                    .tag("workload", workload)
+                    .field("runtime", i as f64),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn query_filters_by_tag_and_time() {
+        let db = sample_db();
+        let q = Query::measurement("epoch").with_tag("workload", "lenet").from_us(4000);
+        let rows = db.query(&q).unwrap();
+        assert_eq!(rows.len(), 3); // i = 4, 6, 8
+    }
+
+    #[test]
+    fn aggregate_mean_over_filter() {
+        let db = sample_db();
+        let q = Query::measurement("epoch").with_tag("workload", "cnn");
+        let mean = db.aggregate(&q, "runtime", Aggregate::Mean).unwrap().unwrap();
+        assert_eq!(mean, 5.0); // (1+3+5+7+9)/5
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_none() {
+        let db = sample_db();
+        let q = Query::measurement("missing");
+        assert_eq!(db.aggregate(&q, "runtime", Aggregate::Sum).unwrap(), None);
+    }
+
+    #[test]
+    fn invalid_point_is_rejected() {
+        let db = Database::new();
+        assert!(db.write(Point::new("m", 0)).is_err());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn aggregate_by_time_groups_into_windows() {
+        let db = sample_db(); // timestamps 0, 1000, ..., 9000
+        let q = Query::measurement("epoch");
+        let windows =
+            db.aggregate_by_time(&q, "runtime", Aggregate::Sum, 5000).unwrap();
+        // Window [0,5000): i=0..4 → sum 10; window [5000,10000): i=5..9 → 35.
+        assert_eq!(windows, vec![(0, 10.0), (5000, 35.0)]);
+        assert!(db.aggregate_by_time(&q, "runtime", Aggregate::Sum, 0).is_err());
+    }
+
+    #[test]
+    fn line_protocol_round_trips_the_store() {
+        let db = sample_db();
+        let text = db.to_line_protocol();
+        let restored = Database::new();
+        let n = restored.import_line_protocol(&text).unwrap();
+        assert_eq!(n, db.len());
+        let q = Query::measurement("epoch").with_tag("workload", "cnn");
+        assert_eq!(
+            restored.aggregate(&q, "runtime", Aggregate::Mean).unwrap(),
+            db.aggregate(&q, "runtime", Aggregate::Mean).unwrap()
+        );
+    }
+
+    #[test]
+    fn import_skips_comments_and_blank_lines() {
+        let db = Database::new();
+        let n = db
+            .import_line_protocol("# comment\n\nm f=1 5\nm f=2 6\n")
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(db.import_line_protocol("garbage").is_err());
+    }
+
+    #[test]
+    fn retention_deletes_old_points() {
+        let db = sample_db();
+        let deleted = db.retain_from(5000);
+        assert_eq!(deleted, 5);
+        assert_eq!(db.len(), 5);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("pipetune_tsdb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_json() {
+        let dir = std::env::temp_dir().join("pipetune_tsdb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(matches!(Database::load(&path), Err(TsdbError::Corrupt { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_writes_and_reads() {
+        use std::sync::Arc;
+        let db = Arc::new(Database::new());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        db.write(Point::new("m", t * 1000 + i).field("x", i as f64)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(db.len(), 400);
+    }
+}

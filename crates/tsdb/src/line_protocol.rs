@@ -1,0 +1,178 @@
+//! InfluxDB line-protocol encoding/decoding.
+//!
+//! The paper's prototype talks to a real InfluxDB over its client API; this
+//! gives the embedded store the same wire format so traces can be exported
+//! to (or imported from) an actual InfluxDB instance:
+//!
+//! ```text
+//! measurement,tag1=a,tag2=b field1=1.5,field2=2 1625000000000
+//! ```
+
+use crate::{Point, TsdbError};
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace(',', "\\,").replace(' ', "\\ ").replace('=', "\\=")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Splits on `sep`, honouring backslash escapes.
+fn split_escaped(s: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            cur.push('\\');
+            cur.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == sep {
+            parts.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if escaped {
+        cur.push('\\');
+    }
+    parts.push(cur);
+    parts
+}
+
+impl Point {
+    /// Serialises to one line of Influx line protocol.
+    pub fn to_line_protocol(&self) -> String {
+        let mut line = escape(self.measurement());
+        for (k, v) in self.tags() {
+            line.push(',');
+            line.push_str(&escape(k));
+            line.push('=');
+            line.push_str(&escape(v));
+        }
+        line.push(' ');
+        let fields: Vec<String> = self
+            .fields()
+            .iter()
+            .map(|(k, v)| format!("{}={}", escape(k), v))
+            .collect();
+        line.push_str(&fields.join(","));
+        line.push(' ');
+        line.push_str(&self.timestamp_us().to_string());
+        line
+    }
+
+    /// Parses one line of Influx line protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsdbError::Corrupt`] on malformed input (missing fields,
+    /// bad numbers, bad timestamp).
+    pub fn from_line_protocol(line: &str) -> Result<Point, TsdbError> {
+        let corrupt = |reason: &str| TsdbError::Corrupt { reason: reason.to_string() };
+        let segments = split_escaped(line.trim(), ' ');
+        let (head, field_seg, ts_seg) = match segments.len() {
+            3 => (&segments[0], &segments[1], Some(&segments[2])),
+            2 => (&segments[0], &segments[1], None),
+            _ => return Err(corrupt("expected 'measurement[,tags] fields [timestamp]'")),
+        };
+        let timestamp = match ts_seg {
+            Some(t) => t.parse::<u64>().map_err(|_| corrupt("bad timestamp"))?,
+            None => 0,
+        };
+        let mut head_parts = split_escaped(head, ',').into_iter();
+        let measurement =
+            unescape(&head_parts.next().ok_or_else(|| corrupt("missing measurement"))?);
+        if measurement.is_empty() {
+            return Err(corrupt("empty measurement"));
+        }
+        let mut point = Point::new(measurement, timestamp);
+        for tag in head_parts {
+            let kv = split_escaped(&tag, '=');
+            if kv.len() != 2 {
+                return Err(corrupt("malformed tag"));
+            }
+            point = point.tag(unescape(&kv[0]), unescape(&kv[1]));
+        }
+        if field_seg.is_empty() {
+            return Err(corrupt("no fields"));
+        }
+        for field in split_escaped(field_seg, ',') {
+            let kv = split_escaped(&field, '=');
+            if kv.len() != 2 {
+                return Err(corrupt("malformed field"));
+            }
+            // Accept Influx's integer suffix `i` as well as plain floats.
+            let raw = kv[1].strip_suffix('i').unwrap_or(&kv[1]);
+            let value: f64 = raw.parse().map_err(|_| corrupt("non-numeric field value"))?;
+            point = point.field(unescape(&kv[0]), value);
+        }
+        Ok(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_tagged_point() {
+        let p = Point::new("epoch_metrics", 1_625_000)
+            .tag("workload", "lenet/mnist")
+            .tag("config", "8c/16GB")
+            .field("runtime_secs", 42.5)
+            .field("energy_j", 900.0);
+        let line = p.to_line_protocol();
+        let back = Point::from_line_protocol(&line).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn escapes_spaces_commas_and_equals() {
+        let p = Point::new("m easure,ment", 5).tag("k ey", "v=al,ue").field("f", 1.0);
+        let line = p.to_line_protocol();
+        let back = Point::from_line_protocol(&line).unwrap();
+        assert_eq!(back.measurement(), "m easure,ment");
+        assert_eq!(back.tag_value("k ey"), Some("v=al,ue"));
+    }
+
+    #[test]
+    fn parses_canonical_influx_examples() {
+        let p = Point::from_line_protocol("cpu,host=a usage=0.5,idle=99i 1556813561098000").unwrap();
+        assert_eq!(p.measurement(), "cpu");
+        assert_eq!(p.tag_value("host"), Some("a"));
+        assert_eq!(p.field_value("usage"), Some(0.5));
+        assert_eq!(p.field_value("idle"), Some(99.0));
+        assert_eq!(p.timestamp_us(), 1_556_813_561_098_000);
+    }
+
+    #[test]
+    fn missing_timestamp_defaults_to_zero() {
+        let p = Point::from_line_protocol("m f=1.0").unwrap();
+        assert_eq!(p.timestamp_us(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["", "m", "m ", "m f", "m f=x", "m f=1 notanumber", "m,k f=1"] {
+            assert!(
+                Point::from_line_protocol(bad).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+}

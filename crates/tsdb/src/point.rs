@@ -1,0 +1,145 @@
+//! Data points: measurement + tags + numeric fields + timestamp.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One tagged, timestamped record (Influx line-protocol semantics).
+///
+/// Built with a fluent API:
+///
+/// ```
+/// use pipetune_tsdb::Point;
+///
+/// let p = Point::new("probe", 123)
+///     .tag("config", "8c/16GB")
+///     .field("runtime_secs", 12.5)
+///     .field("energy_j", 900.0);
+/// assert_eq!(p.field_value("runtime_secs"), Some(12.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    measurement: String,
+    /// Sorted tag map — deterministic iteration for tests and persistence.
+    tags: BTreeMap<String, String>,
+    fields: BTreeMap<String, f64>,
+    /// Microseconds of simulated time.
+    timestamp_us: u64,
+}
+
+impl Point {
+    /// Starts a point for `measurement` at `timestamp_us` (simulated µs).
+    pub fn new(measurement: impl Into<String>, timestamp_us: u64) -> Self {
+        Point {
+            measurement: measurement.into(),
+            tags: BTreeMap::new(),
+            fields: BTreeMap::new(),
+            timestamp_us,
+        }
+    }
+
+    /// Adds/replaces a tag.
+    pub fn tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tags.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds/replaces a numeric field.
+    pub fn field(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.fields.insert(key.into(), value);
+        self
+    }
+
+    /// Adds a whole vector as numbered fields (`prefix_0`, `prefix_1`, …),
+    /// used for 58-element profile vectors.
+    pub fn field_vec(mut self, prefix: &str, values: &[f64]) -> Self {
+        for (i, &v) in values.iter().enumerate() {
+            self.fields.insert(format!("{prefix}_{i}"), v);
+        }
+        self
+    }
+
+    /// The measurement name.
+    pub fn measurement(&self) -> &str {
+        &self.measurement
+    }
+
+    /// Tag value for `key`.
+    pub fn tag_value(&self, key: &str) -> Option<&str> {
+        self.tags.get(key).map(String::as_str)
+    }
+
+    /// Field value for `key`.
+    pub fn field_value(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).copied()
+    }
+
+    /// Reassembles a numbered field vector written by [`Point::field_vec`].
+    /// Stops at the first missing index.
+    pub fn field_vec_values(&self, prefix: &str) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 0.. {
+            match self.fields.get(&format!("{prefix}_{i}")) {
+                Some(&v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// All tags.
+    pub fn tags(&self) -> &BTreeMap<String, String> {
+        &self.tags
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &BTreeMap<String, f64> {
+        &self.fields
+    }
+
+    /// Timestamp in simulated microseconds.
+    pub fn timestamp_us(&self) -> u64 {
+        self.timestamp_us
+    }
+
+    /// Returns `true` when the point can be stored (non-empty measurement
+    /// and at least one field).
+    pub fn is_storable(&self) -> bool {
+        !self.measurement.is_empty() && !self.fields.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_tags_and_fields() {
+        let p = Point::new("m", 5).tag("a", "1").tag("b", "2").field("x", 1.0);
+        assert_eq!(p.tag_value("a"), Some("1"));
+        assert_eq!(p.tag_value("missing"), None);
+        assert!(p.is_storable());
+    }
+
+    #[test]
+    fn field_vec_round_trips() {
+        let values = vec![1.0, 2.0, 3.0];
+        let p = Point::new("m", 0).field_vec("ev", &values);
+        assert_eq!(p.field_vec_values("ev"), values);
+        assert!(p.field_vec_values("other").is_empty());
+    }
+
+    #[test]
+    fn empty_points_are_not_storable() {
+        assert!(!Point::new("m", 0).is_storable());
+        assert!(!Point::new("", 0).field("x", 1.0).is_storable());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Point::new("m", 9).tag("t", "v").field("f", 2.5);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Point = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,115 @@
+//! Query descriptors and aggregation functions.
+
+use crate::Point;
+
+/// Aggregation functions over a field (Influx's basic selectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Arithmetic mean.
+    Mean,
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Number of matching points carrying the field.
+    Count,
+}
+
+impl Aggregate {
+    /// Applies the aggregate to a value list. Returns `None` on empty input.
+    pub fn apply(&self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(match self {
+            Aggregate::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            Aggregate::Sum => values.iter().sum(),
+            Aggregate::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregate::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Count => values.len() as f64,
+        })
+    }
+}
+
+/// A query: measurement, optional tag equality filters, optional time range.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Query {
+    measurement: String,
+    tag_filters: Vec<(String, String)>,
+    time_from_us: Option<u64>,
+    time_to_us: Option<u64>,
+}
+
+impl Query {
+    /// Queries every point of `measurement`.
+    pub fn measurement(name: impl Into<String>) -> Self {
+        Query { measurement: name.into(), ..Query::default() }
+    }
+
+    /// Restricts to points whose tag `key` equals `value`.
+    pub fn with_tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tag_filters.push((key.into(), value.into()));
+        self
+    }
+
+    /// Restricts to points with `timestamp ≥ from_us`.
+    pub fn from_us(mut self, from_us: u64) -> Self {
+        self.time_from_us = Some(from_us);
+        self
+    }
+
+    /// Restricts to points with `timestamp < to_us`.
+    pub fn to_us(mut self, to_us: u64) -> Self {
+        self.time_to_us = Some(to_us);
+        self
+    }
+
+    /// Returns `true` when `point` satisfies every predicate.
+    pub fn matches(&self, point: &Point) -> bool {
+        if point.measurement() != self.measurement {
+            return false;
+        }
+        if let Some(from) = self.time_from_us {
+            if point.timestamp_us() < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.time_to_us {
+            if point.timestamp_us() >= to {
+                return false;
+            }
+        }
+        self.tag_filters.iter().all(|(k, v)| point.tag_value(k) == Some(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(ts: u64, tag: &str) -> Point {
+        Point::new("m", ts).tag("w", tag).field("x", 1.0)
+    }
+
+    #[test]
+    fn tag_and_time_filters_compose() {
+        let q = Query::measurement("m").with_tag("w", "a").from_us(10).to_us(20);
+        assert!(q.matches(&point(10, "a")));
+        assert!(!q.matches(&point(20, "a"))); // exclusive upper bound
+        assert!(!q.matches(&point(15, "b")));
+        assert!(!q.matches(&Point::new("other", 15).tag("w", "a").field("x", 1.0)));
+    }
+
+    #[test]
+    fn aggregates_compute_expected_values() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(Aggregate::Mean.apply(&v), Some(2.5));
+        assert_eq!(Aggregate::Sum.apply(&v), Some(10.0));
+        assert_eq!(Aggregate::Min.apply(&v), Some(1.0));
+        assert_eq!(Aggregate::Max.apply(&v), Some(4.0));
+        assert_eq!(Aggregate::Count.apply(&v), Some(4.0));
+        assert_eq!(Aggregate::Mean.apply(&[]), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! Type-III scenario: the Rodinia-style iterative kernels, both standalone
+//! (watch them converge) and under PipeTune on the single-node testbed.
+//!
+//! ```sh
+//! cargo run --release --example kernels_type3
+//! ```
+
+use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+use pipetune_kernels::{
+    Bfs, BfsConfig, IterativeKernel, Jacobi, JacobiConfig, SpKMeans, SpKMeansConfig,
+};
+
+fn main() -> Result<(), pipetune::PipeTuneError> {
+    // Part 1: the kernels themselves — one epoch is one sweep/search/pass.
+    println!("--- kernels converging, 8 epochs each ---");
+    let mut kernels: Vec<Box<dyn IterativeKernel>> = vec![
+        Box::new(Jacobi::new(&JacobiConfig::default(), 1)),
+        Box::new(Bfs::new(&BfsConfig::default(), 2)),
+        Box::new(SpKMeans::new(&SpKMeansConfig::default(), 3)),
+    ];
+    for k in &mut kernels {
+        let mut last = 0.0f32;
+        for _ in 0..8 {
+            last = k.step().score;
+        }
+        println!("{:<9} score after 8 epochs: {:.3}", k.name(), last);
+    }
+
+    // Part 2: tune each kernel's parameters on the single-node testbed —
+    // the paper's "short epochs" stress test (Fig. 12).
+    println!("\n--- PipeTune on the single-node testbed ---");
+    let env = ExperimentEnv::single_node(13);
+    let mut tuner = PipeTune::new(TunerOptions::fast());
+    for spec in WorkloadSpec::all_type3() {
+        let out = tuner.run(&env, &spec)?;
+        println!(
+            "{:<9} best score {:>5.1}%  tuning {:>5.0}s  reuse hits {}",
+            out.workload,
+            out.best_accuracy * 100.0,
+            out.tuning_secs,
+            out.gt_stats.hits
+        );
+    }
+    Ok(())
+}

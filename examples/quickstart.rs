@@ -1,0 +1,46 @@
+//! Quickstart: tune one workload with PipeTune and print what it found.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+
+fn main() -> Result<(), pipetune::PipeTuneError> {
+    // The simulated testbed: 4 nodes, paper system-parameter grid.
+    let env = ExperimentEnv::distributed(42);
+
+    // LeNet-5 on the synthetic MNIST stand-in (Table 3's first workload).
+    let spec = WorkloadSpec::lenet_mnist();
+
+    // A small tuning budget so the example finishes in seconds; see
+    // TunerOptions::paper() for the harness profile.
+    let mut tuner = PipeTune::new(TunerOptions::fast());
+    let outcome = tuner.run(&env, &spec)?;
+
+    println!("workload        : {}", outcome.workload);
+    println!("best accuracy   : {:.1}%", outcome.best_accuracy * 100.0);
+    println!(
+        "best hyperparams: batch {}, lr {:.4}, dropout {:.2}, epochs {}",
+        outcome.best_hp.batch_size,
+        outcome.best_hp.learning_rate,
+        outcome.best_hp.dropout,
+        outcome.best_hp.epochs
+    );
+    println!("best system cfg : {}", outcome.best_system);
+    println!("tuning time     : {:.0} s (simulated)", outcome.tuning_secs);
+    println!("tuning energy   : {:.1} kJ", outcome.tuning_energy_j / 1000.0);
+    println!(
+        "ground truth    : {} probes recorded, {} reuse hits",
+        outcome.gt_stats.recorded, outcome.gt_stats.hits
+    );
+
+    // Run the same workload again: the ground truth built by the first job
+    // lets the second skip probing (Algorithm 1 lines 8-10).
+    let second = tuner.run(&env, &spec)?;
+    println!(
+        "\nsecond job      : {:.0} s with {} reuse hits (history pays off)",
+        second.tuning_secs, second.gt_stats.hits
+    );
+    Ok(())
+}

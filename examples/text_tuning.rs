@@ -1,0 +1,58 @@
+//! Type-II scenario: tune the text models on News20 and watch PipeTune's
+//! pipeline decisions (profile → ground truth → probe) at the epoch level.
+//!
+//! ```sh
+//! cargo run --release --example text_tuning
+//! ```
+
+use pipetune::{
+    ExperimentEnv, GroundTruth, HyperParams, PipeTune, ProbeGoal, SystemTuner, TrialExecution,
+    TunerOptions, WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), pipetune::PipeTuneError> {
+    let env = ExperimentEnv::distributed(21);
+    let options = TunerOptions::fast();
+
+    // Part 1: watch a single pipelined trial make its decisions.
+    println!("--- one pipelined trial, epoch by epoch ---");
+    let hp = HyperParams { batch_size: 256, learning_rate: 0.05, ..HyperParams::default() };
+    let workload = WorkloadSpec::cnn_news20().with_scale(options.scale).instantiate(&hp, 1)?;
+    let mut gt = GroundTruth::paper_default(5);
+    let mut trial = TrialExecution::new(workload, SystemTuner::pipelined(ProbeGoal::Runtime));
+    let mut rng = StdRng::seed_from_u64(5);
+    trial.run_epochs(&env, 10, Some(&mut gt), 1.0, &mut rng)?;
+    for r in trial.records() {
+        println!(
+            "epoch {:>2}  {:>8}  {:>7.1}s  {:>8.1} kJ  phase {:?}",
+            r.epoch,
+            r.system.to_string(),
+            r.duration_secs,
+            r.energy_j / 1000.0,
+            r.phase
+        );
+    }
+    println!(
+        "trial accuracy {:.1}%, total {:.0}s",
+        trial.accuracy()? * 100.0,
+        trial.duration_secs()
+    );
+
+    // Part 2: full HPT jobs on both Type-II workloads sharing a ground truth.
+    println!("\n--- full jobs: cnn then lstm (shared ground truth) ---");
+    let mut tuner = PipeTune::new(options);
+    for spec in [WorkloadSpec::cnn_news20(), WorkloadSpec::lstm_news20()] {
+        let out = tuner.run(&env, &spec)?;
+        println!(
+            "{:<13} accuracy {:>5.1}%  tuning {:>6.0}s  hits {}  probes {}",
+            out.workload,
+            out.best_accuracy * 100.0,
+            out.tuning_secs,
+            out.gt_stats.hits,
+            out.gt_stats.recorded
+        );
+    }
+    Ok(())
+}

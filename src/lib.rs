@@ -1,0 +1,18 @@
+//! Workspace root crate: re-exports the PipeTune reproduction's crates so
+//! the runnable examples and cross-crate integration tests have a single
+//! dependency surface.
+//!
+//! The interesting API lives in [`pipetune`] (the middleware) and the
+//! substrate crates re-exported below.
+
+pub use pipetune;
+pub use pipetune_cluster as cluster;
+pub use pipetune_clustering as clustering;
+pub use pipetune_data as data;
+pub use pipetune_dnn as dnn;
+pub use pipetune_energy as energy;
+pub use pipetune_kernels as kernels;
+pub use pipetune_perfmon as perfmon;
+pub use pipetune_search as search;
+pub use pipetune_tensor as tensor;
+pub use pipetune_tsdb as tsdb;

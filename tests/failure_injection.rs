@@ -1,0 +1,124 @@
+//! Failure-injection tests: the middleware must degrade gracefully when its
+//! substrates misbehave — noisy counters, corrupt persistence, hostile
+//! scores, pathological environments.
+
+use pipetune::{
+    ExperimentEnv, GroundTruth, HyperParams, PipeTune, ProbeGoal, SystemTuner, TrialExecution,
+    TunerOptions, WorkloadSpec,
+};
+use pipetune_search::{HyperBand, ParamSpec, SearchSpace, TrialReport, TrialScheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pipetune_survives_a_pathologically_noisy_profiler() {
+    // Blind spots on every multiplexed event, maximal noise: reuse decisions
+    // may be wrong, but the tuner must complete and produce a valid model.
+    let mut env = ExperimentEnv::distributed(2001);
+    env.profiler.blind_spot_prob = 1.0;
+    env.profiler.multiplex_noise = 0.5;
+    let out = PipeTune::new(TunerOptions::fast())
+        .run(&env, &WorkloadSpec::lenet_mnist())
+        .expect("job must complete");
+    assert!((0.0..=1.0).contains(&out.best_accuracy));
+    assert!(out.tuning_secs.is_finite() && out.tuning_secs > 0.0);
+}
+
+#[test]
+fn corrupt_ground_truth_file_is_reported_not_panicked() {
+    let dir = std::env::temp_dir().join("pipetune_failinj");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("corrupt_gt.json");
+    std::fs::write(&path, "{ definitely not [ valid").expect("write");
+    let err = GroundTruth::load(&path, 2, 3.0, 1).expect_err("must fail");
+    assert!(err.to_string().contains("corrupt"), "got: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ground_truth_records_with_inconsistent_dimensions_fail_cleanly() {
+    let mut gt = GroundTruth::paper_default(7);
+    gt.record("a", &[1.0, 2.0], pipetune_cluster::SystemConfig::new(4, 8), 1.0).unwrap();
+    gt.record("a", &[1.0, 2.0], pipetune_cluster::SystemConfig::new(4, 8), 1.0).unwrap();
+    gt.record("b", &[1.0, 2.0, 3.0], pipetune_cluster::SystemConfig::new(8, 8), 1.0).unwrap();
+    // Mixed dimensions: the automatic re-clustering on the 4th record must
+    // surface a ClusteringError, not panic or corrupt state.
+    let err = gt
+        .record("b", &[1.0, 2.0, 3.0], pipetune_cluster::SystemConfig::new(8, 8), 1.0)
+        .expect_err("refit over ragged features must fail");
+    assert!(err.to_string().contains("dimension"), "got: {err}");
+    // The store itself is still usable afterwards.
+    assert_eq!(gt.len(), 4);
+}
+
+#[test]
+fn hyperband_tolerates_nan_and_infinite_scores() {
+    let space = SearchSpace::new(vec![ParamSpec::float_range("x", 0.0, 1.0, false)]);
+    let mut hb = HyperBand::new(space, 9, 3, 3);
+    let mut toggle = false;
+    let mut guard = 0;
+    while !hb.is_finished() {
+        for r in hb.next_trials() {
+            toggle = !toggle;
+            let score = if toggle { f64::NAN } else { f64::NEG_INFINITY };
+            hb.report(TrialReport { id: r.id, score, epochs_run: r.epochs });
+        }
+        guard += 1;
+        assert!(guard < 1000, "scheduler wedged on hostile scores");
+    }
+    // Nothing sane was reported, but the scheduler still terminated.
+    assert!(hb.is_finished());
+}
+
+#[test]
+fn zero_core_probe_candidates_never_get_chosen() {
+    // A hostile system space containing an unplaceable configuration: the
+    // cost model prices it at infinity, so probing must route around it.
+    let mut env = ExperimentEnv::distributed(2002);
+    env.system_space.cores = vec![0, 4, 8];
+    let hp = HyperParams { batch_size: 256, learning_rate: 0.02, epochs: 20, ..HyperParams::default() };
+    let workload =
+        WorkloadSpec::lenet_mnist().with_scale(0.2).instantiate(&hp, 1).expect("builds");
+    let mut gt = GroundTruth::paper_default(1);
+    let mut trial = TrialExecution::new(workload, SystemTuner::pipelined(ProbeGoal::Runtime));
+    let mut rng = StdRng::seed_from_u64(5);
+    trial.run_epochs(&env, 12, Some(&mut gt), 1.0, &mut rng).expect("runs");
+    let chosen = trial.tuner().chosen().expect("probing finished");
+    assert!(chosen.cores > 0, "chose the unplaceable config {chosen}");
+}
+
+#[test]
+fn empty_epoch_requests_are_noops() {
+    let env = ExperimentEnv::distributed(2003);
+    let hp = HyperParams::default();
+    let workload =
+        WorkloadSpec::bfs().with_scale(0.2).instantiate(&hp, 1).expect("builds");
+    let mut trial = TrialExecution::new(workload, SystemTuner::Fixed(env.default_system));
+    let mut rng = StdRng::seed_from_u64(5);
+    trial.run_epochs(&env, 0, None, 1.0, &mut rng).expect("noop");
+    assert_eq!(trial.records().len(), 0);
+    assert_eq!(trial.duration_secs(), 0.0);
+}
+
+#[test]
+fn extreme_contention_still_yields_finite_times() {
+    let env = ExperimentEnv::distributed(2004);
+    let hp = HyperParams::default();
+    let workload =
+        WorkloadSpec::lenet_mnist().with_scale(0.2).instantiate(&hp, 1).expect("builds");
+    let mut trial = TrialExecution::new(workload, SystemTuner::Fixed(env.default_system));
+    let mut rng = StdRng::seed_from_u64(6);
+    trial.run_epochs(&env, 2, None, 1e6, &mut rng).expect("runs");
+    assert!(trial.duration_secs().is_finite());
+    assert!(trial.energy_j().is_finite());
+}
+
+#[test]
+fn tsdb_rejects_garbage_line_protocol_mid_import() {
+    let db = pipetune_tsdb::Database::new();
+    let text = "m f=1 10\nm f=2 20\nBROKEN LINE\nm f=3 30";
+    let err = db.import_line_protocol(text).expect_err("must fail");
+    assert!(err.to_string().contains("corrupt"));
+    // Lines before the failure are retained (documented behaviour).
+    assert_eq!(db.len(), 2);
+}
