@@ -1,0 +1,58 @@
+//! Wall-clock speedup of the multi-threaded trial executor.
+//!
+//! Runs the same seeded PipeTune job at increasing worker counts and
+//! records real (not simulated) wall-clock time. The determinism contract
+//! makes the runs byte-identical, so this measures pure execution speedup;
+//! the binary asserts that identity alongside the timings.
+
+use std::time::Instant;
+
+use pipetune::{ExperimentEnv, PipeTune, TunerOptions, TuningOutcome, WorkloadSpec};
+use pipetune_bench::Report;
+
+fn timed_run(workers: usize) -> (TuningOutcome, f64) {
+    let env = ExperimentEnv::distributed(77).with_workers(workers);
+    let mut tuner = PipeTune::new(TunerOptions::fast());
+    let start = Instant::now();
+    let out = tuner.run(&env, &WorkloadSpec::lenet_mnist()).expect("tuning job runs");
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut report = Report::new("parallel_speedup");
+    let worker_counts: &[usize] = if pipetune_bench::quick_mode() { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    // Warm-up: touch the allocator and page cache so worker count 1 is not
+    // penalised for going first.
+    let _ = timed_run(1);
+
+    let (baseline_out, baseline_secs) = timed_run(1);
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for &w in worker_counts {
+        let (out, secs) = if w == 1 { (baseline_out.clone(), baseline_secs) } else { timed_run(w) };
+        assert_eq!(
+            out.best_accuracy.to_bits(),
+            baseline_out.best_accuracy.to_bits(),
+            "worker count changed the result — determinism contract broken"
+        );
+        assert_eq!(out.tuning_secs.to_bits(), baseline_out.tuning_secs.to_bits());
+        let speedup = baseline_secs / secs.max(1e-9);
+        rows.push(vec![
+            w.to_string(),
+            format!("{:.2} s", secs),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push((w, secs, speedup));
+    }
+    report.table(&["workers", "wall-clock", "speedup"], &rows);
+    report.line("\nresults byte-identical across all worker counts");
+    report.json(
+        "rows",
+        json_rows
+            .iter()
+            .map(|&(w, secs, speedup)| (w as u64, secs, speedup))
+            .collect::<Vec<_>>(),
+    );
+    report.finish();
+}

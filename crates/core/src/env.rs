@@ -23,8 +23,15 @@ pub struct ExperimentEnv {
     /// Tune V1).
     pub default_system: SystemConfig,
     /// Trials that can run concurrently (the paper spawns trials across the
-    /// cluster asynchronously).
+    /// cluster asynchronously). This is the *simulated* slot count that
+    /// shapes wall-clock accounting; real executor threads are governed by
+    /// [`ExperimentEnv::workers`].
     pub parallel_slots: usize,
+    /// Executor threads that really train trials concurrently. Defaults to
+    /// the machine's available parallelism; results are identical for every
+    /// value (see the determinism contract in `DESIGN.md`), so this only
+    /// trades wall-clock time for CPU. Values are clamped to at least 1.
+    pub workers: usize,
     /// Relative wall-clock overhead profiling adds to a profiled epoch
     /// (§7.3 reports it as small; the profiling-overhead ablation sweeps it).
     pub profile_overhead: f64,
@@ -48,6 +55,7 @@ impl ExperimentEnv {
             system_space: SystemSpace::default(),
             default_system: SystemConfig::new(8, 32),
             parallel_slots: 4,
+            workers: default_workers(),
             profile_overhead: 0.02,
             sampled_profiling: false,
             seed,
@@ -69,6 +77,7 @@ impl ExperimentEnv {
             },
             default_system: SystemConfig::new(4, 8),
             parallel_slots: 2,
+            workers: default_workers(),
             profile_overhead: 0.02,
             sampled_profiling: false,
             seed,
@@ -92,6 +101,15 @@ impl ExperimentEnv {
                 - self.power.idle_watts)
     }
 
+    /// Pins the real executor thread count (e.g. `with_workers(1)` for a
+    /// strictly sequential run; the replay-equivalence tests compare it to
+    /// multi-worker runs byte for byte).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// Derives a sub-seed for a named component, decorrelated from others.
     pub fn subseed(&self, tag: u64) -> u64 {
         self.seed
@@ -99,6 +117,11 @@ impl ExperimentEnv {
             .wrapping_add(tag)
             .rotate_left(17)
     }
+}
+
+/// Executor threads to use when the caller does not pin a count.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -213,6 +213,20 @@ impl GroundTruth {
     /// a profile close to a stored large-batch probe gets that probe's
     /// many-core configuration, not a cluster-wide compromise.
     pub fn lookup(&mut self, features: &[f64]) -> Option<(SystemConfig, SimilarityVerdict)> {
+        let found = self.peek(features);
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// [`GroundTruth::lookup`] without the stats side effect: safe to call
+    /// concurrently from many executor threads against one shared snapshot.
+    /// Callers that care about hit/miss accounting report the outcome later
+    /// (see [`SharedGroundTruth::flush`]).
+    pub fn peek(&self, features: &[f64]) -> Option<(SystemConfig, SimilarityVerdict)> {
         let sim = self.similarity.as_ref()?;
         let verdict = sim.judge(features);
         if verdict.confident {
@@ -228,11 +242,9 @@ impl GroundTruth {
                 })
                 .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             if let Some((_, cfg)) = nearest {
-                self.stats.hits += 1;
                 return Some((cfg, verdict));
             }
         }
-        self.stats.misses += 1;
         None
     }
 
@@ -298,6 +310,163 @@ impl GroundTruth {
             gt.refit()?;
         }
         Ok(gt)
+    }
+}
+
+/// How trial execution consults the ground truth.
+///
+/// Two implementations exist: [`GroundTruth`] itself (immediate mutation —
+/// the semantics direct sequential callers get) and [`GtSession`] (a
+/// buffering view used by the parallel executor: every concurrently running
+/// trial reads one stable batch-start snapshot and its mutations are
+/// deferred to a deterministic, ordered flush).
+pub trait GroundTruthAccess {
+    /// Consults the ground truth with first-epoch profile features; `Some`
+    /// means the returned configuration may be reused without probing.
+    fn lookup(&mut self, features: &[f64]) -> Option<SystemConfig>;
+
+    /// Reports a probed profile and the best configuration probing found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError`] when persistence or re-clustering fails.
+    fn record(
+        &mut self,
+        workload: &str,
+        features: &[f64],
+        best: SystemConfig,
+        cost: f64,
+    ) -> Result<(), PipeTuneError>;
+}
+
+impl GroundTruthAccess for GroundTruth {
+    fn lookup(&mut self, features: &[f64]) -> Option<SystemConfig> {
+        GroundTruth::lookup(self, features).map(|(cfg, _)| cfg)
+    }
+
+    fn record(
+        &mut self,
+        workload: &str,
+        features: &[f64],
+        best: SystemConfig,
+        cost: f64,
+    ) -> Result<(), PipeTuneError> {
+        GroundTruth::record(self, workload, features, best, cost)
+    }
+}
+
+/// A deferred ground-truth mutation, tagged onto the session that made it.
+#[derive(Debug, Clone)]
+enum GtEvent {
+    /// A lookup reused a known configuration.
+    Hit,
+    /// A lookup fell through to probing.
+    Miss,
+    /// Probing finished; remember its outcome.
+    Record {
+        workload: String,
+        features: Vec<f64>,
+        best: SystemConfig,
+        cost: f64,
+    },
+}
+
+/// Thread-safe wrapper sharing one [`GroundTruth`] across executor threads.
+///
+/// Reads go through an [`RwLock`] so any number of trials can consult the
+/// history concurrently; writes never happen while trials run. Instead each
+/// trial works against a [`GtSession`] that buffers its would-be mutations
+/// (hit/miss accounting and probe records), and the coordinator applies the
+/// buffers with [`SharedGroundTruth::flush`] in a deterministic order once
+/// the batch is done. Every trial in a batch therefore sees exactly the
+/// batch-start history — regardless of worker count or thread interleaving —
+/// which is what makes parallel runs replay-identical to sequential ones.
+#[derive(Debug)]
+pub struct SharedGroundTruth<'a> {
+    inner: parking_lot::RwLock<&'a mut GroundTruth>,
+}
+
+impl<'a> SharedGroundTruth<'a> {
+    /// Wraps a ground truth for the duration of a parallel run.
+    pub fn new(ground_truth: &'a mut GroundTruth) -> Self {
+        SharedGroundTruth { inner: parking_lot::RwLock::new(ground_truth) }
+    }
+
+    /// Opens a buffering session for one trial (or one worker's trial slice).
+    pub fn session(&self) -> GtSession<'_, 'a> {
+        GtSession { shared: self, events: Vec::new() }
+    }
+
+    /// Behaviour counters of the wrapped ground truth.
+    pub fn stats(&self) -> GroundTruthStats {
+        self.inner.read().stats()
+    }
+
+    /// Runs a closure against the shared (read-locked) ground truth.
+    pub fn with_read<R>(&self, f: impl FnOnce(&GroundTruth) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Applies the buffered mutations of `sessions`, in the order given
+    /// (callers pass scheduler-request order, making the merged history
+    /// independent of which worker finished first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError`] when applying a record fails.
+    pub fn flush<'s, I>(&self, sessions: I) -> Result<(), PipeTuneError>
+    where
+        I: IntoIterator<Item = GtSession<'s, 'a>>,
+        'a: 's,
+    {
+        let mut guard = self.inner.write();
+        let gt: &mut GroundTruth = &mut guard;
+        for session in sessions {
+            for event in session.events {
+                match event {
+                    GtEvent::Hit => gt.stats.hits += 1,
+                    GtEvent::Miss => gt.stats.misses += 1,
+                    GtEvent::Record { workload, features, best, cost } => {
+                        gt.record(&workload, &features, best, cost)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One trial's buffering view of a [`SharedGroundTruth`].
+///
+/// Lookups read the shared batch-start snapshot; hit/miss accounting and
+/// probe records are buffered locally until [`SharedGroundTruth::flush`].
+#[derive(Debug)]
+pub struct GtSession<'s, 'a> {
+    shared: &'s SharedGroundTruth<'a>,
+    events: Vec<GtEvent>,
+}
+
+impl GroundTruthAccess for GtSession<'_, '_> {
+    fn lookup(&mut self, features: &[f64]) -> Option<SystemConfig> {
+        let found = self.shared.inner.read().peek(features).map(|(cfg, _)| cfg);
+        self.events.push(if found.is_some() { GtEvent::Hit } else { GtEvent::Miss });
+        found
+    }
+
+    fn record(
+        &mut self,
+        workload: &str,
+        features: &[f64],
+        best: SystemConfig,
+        cost: f64,
+    ) -> Result<(), PipeTuneError> {
+        self.events.push(GtEvent::Record {
+            workload: workload.to_string(),
+            features: features.to_vec(),
+            best,
+            cost,
+        });
+        Ok(())
     }
 }
 

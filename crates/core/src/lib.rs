@@ -56,7 +56,10 @@ pub use experiments::{
     multi_tenancy, multi_tenancy_shared, single_tenancy, warm_start_ground_truth,
     MultiTenancyOptions, MultiTenancyOutcome, SingleTenancyRow,
 };
-pub use groundtruth::{GroundTruth, GroundTruthStats, SimilarityKind};
+pub use groundtruth::{
+    GroundTruth, GroundTruthAccess, GroundTruthStats, GtSession, SharedGroundTruth,
+    SimilarityKind,
+};
 pub use hyper::{HyperParams, HyperSpace};
 pub use objective::{Objective, ProbeGoal};
 pub use related::{related_systems, RelatedSystem};

@@ -1,11 +1,29 @@
-//! Scheduler-driven run loop: executes trials on simulated parallel slots.
+//! Scheduler-driven run loop: a real multi-threaded trial executor mapped
+//! onto simulated parallel slots.
+//!
+//! Each scheduler batch is fanned out to [`ExperimentEnv::workers`] OS
+//! threads pulling work items off a shared cursor. Determinism contract:
+//! the results — accuracies, simulated clocks, ground-truth contents and
+//! stats — are byte-identical for every worker count, because
+//!
+//! 1. every trial draws from its own RNG seeded from
+//!    `(env.seed, trial id)`, never from a shared stream;
+//! 2. all trials of a batch read one ground-truth snapshot taken at batch
+//!    start, and their mutations are buffered and flushed in scheduler
+//!    request order ([`crate::SharedGroundTruth`]);
+//! 3. batch results are merged back in request order, so completion-time
+//!    bookkeeping, best-trial selection and scheduler reports never depend
+//!    on which OS thread finished first.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use pipetune_search::{Config, TrialId, TrialReport, TrialScheduler};
+use parking_lot::Mutex;
+use pipetune_search::{Config, TrialId, TrialRequest, TrialReport, TrialScheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::groundtruth::{GroundTruthAccess, GtSession, SharedGroundTruth};
 use crate::objective::Objective;
 use crate::trial::{SystemTuner, TrialExecution};
 use crate::{ExperimentEnv, GroundTruth, HyperParams, PipeTuneError, WorkloadSpec};
@@ -72,26 +90,106 @@ pub(crate) struct RunResult {
     pub outcomes: Vec<TrialOutcome>,
 }
 
+/// One trial's executor-side state: the live execution plus its private RNG.
+///
+/// The RNG is derived from `(env.seed, trial id)` and persists across
+/// scheduler rungs, so a trial's stochastic profile noise is a function of
+/// its identity alone — never of which worker ran it or what ran before it.
+#[derive(Debug)]
+struct TrialSlot {
+    exec: TrialExecution,
+    rng: StdRng,
+}
+
+/// Derives the private RNG of trial `id` (decorrelated from the workload
+/// instantiation seed `env.subseed(id)` by the golden-ratio stride).
+fn trial_rng(env: &ExperimentEnv, id: TrialId) -> StdRng {
+    StdRng::seed_from_u64(
+        env.subseed(0xEE).wrapping_add(id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
+}
+
+/// A claimed unit of work: one scheduler request plus what is needed to run
+/// it (`slot` for resumed trials, `tuner` for fresh ones).
+struct WorkItem {
+    req: TrialRequest,
+    slot: Option<TrialSlot>,
+    tuner: Option<SystemTuner>,
+}
+
+/// What one executed work item hands back to the coordinator.
+struct ItemResult<'s, 'a> {
+    id: TrialId,
+    slot: TrialSlot,
+    session: Option<GtSession<'s, 'a>>,
+    accuracy: f32,
+    score: f64,
+    delta_secs: f64,
+    delta_energy: f64,
+}
+
+/// Trains one work item to completion (worker-thread body).
+fn execute_item<'s, 'a>(
+    env: &ExperimentEnv,
+    spec: &WorkloadSpec,
+    objective: Objective,
+    contention: f64,
+    shared: Option<&'s SharedGroundTruth<'a>>,
+    item: WorkItem,
+) -> Result<ItemResult<'s, 'a>, PipeTuneError> {
+    let WorkItem { req, slot, tuner } = item;
+    let mut slot = match slot {
+        Some(s) => s,
+        None => {
+            let hp = HyperParams::from_config(&req.config);
+            let workload = spec.instantiate(&hp, env.subseed(req.id.0))?;
+            TrialSlot {
+                exec: TrialExecution::new(
+                    workload,
+                    tuner.expect("fresh trials carry a tuner"),
+                ),
+                rng: trial_rng(env, req.id),
+            }
+        }
+    };
+    let mut session = shared.map(SharedGroundTruth::session);
+    let secs_before = slot.exec.duration_secs();
+    let energy_before = slot.exec.energy_j();
+    slot.exec.run_epochs(
+        env,
+        req.epochs,
+        session.as_mut().map(|s| s as &mut dyn GroundTruthAccess),
+        contention,
+        &mut slot.rng,
+    )?;
+    let accuracy = slot.exec.accuracy()?;
+    let score = objective.score(f64::from(accuracy), slot.exec.duration_secs());
+    let delta_secs = slot.exec.duration_secs() - secs_before;
+    let delta_energy = slot.exec.energy_j() - energy_before;
+    Ok(ItemResult { id: req.id, slot, session, accuracy, score, delta_secs, delta_energy })
+}
+
 /// Drives `scheduler` to completion for one workload.
 ///
 /// `policy` builds each new trial's [`SystemTuner`] from its configuration
 /// (fixed default for V1, fixed per-config system for V2, pipelined for
 /// PipeTune). The ground truth, when supplied, is shared across trials (and,
-/// via the caller, across jobs).
+/// via the caller, across jobs). Each batch really executes on
+/// `env.workers` threads; see the module docs for the determinism contract.
 pub(crate) fn run_scheduler<F>(
     env: &ExperimentEnv,
     spec: &WorkloadSpec,
     scheduler: &mut dyn TrialScheduler,
     objective: Objective,
     mut policy: F,
-    mut ground_truth: Option<&mut GroundTruth>,
+    ground_truth: Option<&mut GroundTruth>,
     contention: f64,
 ) -> Result<RunResult, PipeTuneError>
 where
     F: FnMut(&Config) -> SystemTuner,
 {
-    let mut trials: HashMap<TrialId, TrialExecution> = HashMap::new();
-    let mut rng = StdRng::seed_from_u64(env.subseed(0xEE));
+    let shared: Option<SharedGroundTruth<'_>> = ground_truth.map(SharedGroundTruth::new);
+    let mut trials: HashMap<TrialId, TrialSlot> = HashMap::new();
     let mut clock = 0.0f64;
     let mut energy = 0.0f64;
     let mut outcomes = Vec::new();
@@ -111,34 +209,70 @@ where
         }
         round_guard = 0;
 
-        let mut durations = Vec::with_capacity(reqs.len());
-        let mut reports = Vec::with_capacity(reqs.len());
-        for req in &reqs {
-            let trial = match trials.entry(req.id) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let hp = HyperParams::from_config(&req.config);
-                    let workload = spec.instantiate(&hp, env.subseed(req.id.0))?;
-                    e.insert(TrialExecution::new(workload, policy(&req.config)))
-                }
-            };
-            let secs_before = trial.duration_secs();
-            let energy_before = trial.energy_j();
-            trial.run_epochs(env, req.epochs, ground_truth.as_deref_mut(), contention, &mut rng)?;
-            let delta_secs = trial.duration_secs() - secs_before;
-            energy += trial.energy_j() - energy_before;
-            durations.push(delta_secs);
+        // Claim the batch in request order. Fresh trials get their tuner
+        // from `policy` here on the coordinator (it may be an FnMut);
+        // workload instantiation — the expensive part — happens on workers.
+        let n = reqs.len();
+        let mut items: Vec<Mutex<Option<WorkItem>>> = Vec::with_capacity(n);
+        for req in reqs {
+            let slot = trials.remove(&req.id);
+            let tuner = if slot.is_none() { Some(policy(&req.config)) } else { None };
+            items.push(Mutex::new(Some(WorkItem { req, slot, tuner })));
+        }
+        let results: Vec<Mutex<Option<Result<ItemResult<'_, '_>, PipeTuneError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
 
-            let accuracy = trial.accuracy()?;
-            let score = objective.score(f64::from(accuracy), trial.duration_secs());
-            reports.push((req.id, accuracy, score));
+        let workers = env.workers.max(1).min(n);
+        if workers <= 1 {
+            for (item, result) in items.iter().zip(&results) {
+                let item = item.lock().take().expect("item claimed once");
+                *result.lock() =
+                    Some(execute_item(env, spec, objective, contention, shared.as_ref(), item));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = items[i].lock().take().expect("item claimed once");
+                        *results[i].lock() = Some(execute_item(
+                            env,
+                            spec,
+                            objective,
+                            contention,
+                            shared.as_ref(),
+                            item,
+                        ));
+                    });
+                }
+            })
+            .expect("executor scope");
+        }
+
+        // Merge in request order: first error (if any) in request order,
+        // ground-truth flush in request order, reports in request order.
+        let mut durations = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        let mut sessions: Vec<GtSession<'_, '_>> = Vec::new();
+        for cell in results {
+            let item = cell.into_inner().expect("every item executed")?;
+            durations.push(item.delta_secs);
+            energy += item.delta_energy;
+            reports.push((item.id, item.accuracy, item.score));
+            sessions.extend(item.session);
+            trials.insert(item.id, item.slot);
+        }
+        if let Some(shared) = shared.as_ref() {
+            shared.flush(sessions)?;
         }
 
         let (completions, makespan) = SlotSchedule::assign(&durations, env.parallel_slots);
-        for (((id, accuracy, score), offset), _d) in
-            reports.iter().zip(&completions).zip(&durations)
-        {
-            let trial = &trials[id];
+        for ((id, accuracy, score), offset) in reports.iter().zip(&completions) {
+            let trial = &trials[id].exec;
             outcomes.push(TrialOutcome {
                 id: id.0,
                 hp: *trial.workload().hyperparams(),
@@ -157,7 +291,7 @@ where
     let (_, best_id) = best.ok_or_else(|| PipeTuneError::InvalidConfig {
         reason: "scheduler finished without any trial".into(),
     })?;
-    let best_trial = trials.get_mut(&best_id).expect("best trial exists");
+    let best_trial = &mut trials.get_mut(&best_id).expect("best trial exists").exec;
     let best_accuracy = best_trial.accuracy()?;
     let best_hp = *best_trial.workload().hyperparams();
     let best_final_system = best_trial.final_system(env);

@@ -11,9 +11,10 @@
 use pipetune_cluster::SystemConfig;
 use rand::rngs::StdRng;
 
+use crate::groundtruth::GroundTruthAccess;
 use crate::objective::ProbeGoal;
 use crate::workload::EpochWorkload;
-use crate::{ExperimentEnv, GroundTruth, PipeTuneError, WorkloadInstance};
+use crate::{ExperimentEnv, PipeTuneError, WorkloadInstance};
 
 /// Which phase of Algorithm 1 an epoch executed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,7 +183,10 @@ impl TrialExecution {
     /// Runs `epochs` additional epochs under the policy.
     ///
     /// For the pipelined policy, `ground_truth` supplies history sharing
-    /// across trials and jobs; pass `None` to disable reuse (ablation).
+    /// across trials and jobs — pass a `&mut GroundTruth` directly for
+    /// immediate-mutation sequential semantics, or a
+    /// [`crate::GtSession`] when many trials run concurrently; pass `None`
+    /// to disable reuse (ablation).
     ///
     /// # Errors
     ///
@@ -191,7 +195,7 @@ impl TrialExecution {
         &mut self,
         env: &ExperimentEnv,
         epochs: u32,
-        mut ground_truth: Option<&mut GroundTruth>,
+        mut ground_truth: Option<&mut dyn GroundTruthAccess>,
         contention: f64,
         rng: &mut StdRng,
     ) -> Result<(), PipeTuneError> {
@@ -259,7 +263,7 @@ impl TrialExecution {
                         };
                         let feats = profile.features();
                         if let Some(gt) = ground_truth.as_deref_mut() {
-                            if let Some((cfg, _verdict)) = gt.lookup(&feats) {
+                            if let Some(cfg) = gt.lookup(&feats) {
                                 *chosen = Some(cfg);
                             }
                         }
@@ -383,7 +387,7 @@ impl TrialExecution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{HyperParams, WorkloadSpec};
+    use crate::{GroundTruth, HyperParams, WorkloadSpec};
     use rand::SeedableRng;
 
     fn env() -> ExperimentEnv {
@@ -452,9 +456,10 @@ mod tests {
         let e = env();
         let mut gt = GroundTruth::paper_default(1);
         let mut rng = StdRng::seed_from_u64(3);
-        // Job 1..4 probe and populate the ground truth (two families so the
-        // k=2 fit is meaningful).
-        for seed in 0..4 {
+        // Jobs 1..6 probe and populate the ground truth (two families so the
+        // k=2 fit is meaningful; three records per family so the variance
+        // estimate gating confidence is not razor-thin against profile noise).
+        for seed in 0..6 {
             let spec = if seed % 2 == 0 {
                 WorkloadSpec::lenet_mnist()
             } else {

@@ -97,7 +97,7 @@ fn smooth_prototype(size: usize, rng: &mut StdRng, max_freq: f32) -> Vec<f32> {
         let fy = rng.gen_range(0.5..max_freq);
         let px = rng.gen_range(0.0..std::f32::consts::TAU);
         let py = rng.gen_range(0.0..std::f32::consts::TAU);
-        let amp = rng.gen_range(0.4..1.0);
+        let amp = rng.gen_range(0.4f32..1.0);
         for y in 0..size {
             for x in 0..size {
                 let v = (fx * x as f32 / size as f32 * std::f32::consts::TAU + px).cos()

@@ -1,0 +1,106 @@
+//! Re-entrancy of the training entry points.
+//!
+//! The parallel trial executor trains several models at once, each on its
+//! own OS thread with its own seeded RNG. That is only sound if the
+//! framework keeps *all* training state inside the model/dataset/rng the
+//! caller passes in — no globals, no thread-locals, no hidden caches. These
+//! tests pin that contract: every substrate type is `Send`, and training the
+//! same seeded model concurrently with unrelated work produces bit-identical
+//! weights and metrics to training it alone.
+
+use pipetune_dnn::{Dataset, EpochMetrics, Features, LeNet5, Model, TextCnn, TrainConfig};
+use pipetune_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn substrate_types_are_send() {
+    // Compile-time: a worker thread may take ownership of any of these.
+    assert_send::<LeNet5>();
+    assert_send::<TextCnn>();
+    assert_send::<pipetune_dnn::LstmClassifier>();
+    assert_send::<Dataset>();
+    assert_send::<TrainConfig>();
+    assert_send::<StdRng>();
+}
+
+fn image_dataset(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let images = Tensor::randn(&[24, 1, 16, 16], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..24).map(|i| i % 2).collect();
+    Dataset::new(Features::Images(images), labels, 2).unwrap()
+}
+
+/// Trains a fresh seeded LeNet for `epochs` and returns its per-epoch
+/// metrics plus the final evaluation accuracy.
+fn train_lenet(seed: u64, epochs: usize) -> (Vec<EpochMetrics>, f32) {
+    let data = image_dataset(seed ^ 0xDA7A);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = LeNet5::with_input_size(16, 2, 0.1, &mut rng).unwrap();
+    let cfg = TrainConfig { batch_size: 8, learning_rate: 0.05, ..TrainConfig::default() };
+    let metrics: Vec<EpochMetrics> =
+        (0..epochs).map(|_| model.train_epoch(&data, &cfg, &mut rng).unwrap()).collect();
+    let acc = model.evaluate(&data).unwrap();
+    (metrics, acc)
+}
+
+#[test]
+fn concurrent_training_is_bit_identical_to_sequential() {
+    // Reference: three seeds trained alone, one after another.
+    let alone: Vec<_> = [1u64, 2, 3].iter().map(|&s| train_lenet(s, 3)).collect();
+
+    // Same three trainings racing on three OS threads.
+    let raced: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            [1u64, 2, 3].iter().map(|&s| scope.spawn(move || train_lenet(s, 3))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for ((seq_metrics, seq_acc), (par_metrics, par_acc)) in alone.iter().zip(&raced) {
+        assert_eq!(seq_acc, par_acc, "evaluation must not depend on co-running trainings");
+        assert_eq!(seq_metrics.len(), par_metrics.len());
+        for (a, b) in seq_metrics.iter().zip(par_metrics) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "loss must be bit-identical");
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        }
+    }
+}
+
+#[test]
+fn interleaved_models_do_not_share_state() {
+    // Two different models trained on the same thread, steps interleaved,
+    // must match two models trained back to back — catches accidental
+    // shared statics keyed on "the current model".
+    let data = image_dataset(9);
+    let cfg = TrainConfig { batch_size: 8, learning_rate: 0.05, ..TrainConfig::default() };
+
+    let mut rng_a = StdRng::seed_from_u64(10);
+    let mut rng_b = StdRng::seed_from_u64(11);
+    let mut a = LeNet5::with_input_size(16, 2, 0.0, &mut rng_a).unwrap();
+    let mut b = LeNet5::with_input_size(16, 2, 0.0, &mut rng_b).unwrap();
+    let mut interleaved = Vec::new();
+    for _ in 0..2 {
+        interleaved.push(a.train_epoch(&data, &cfg, &mut rng_a).unwrap().loss);
+        interleaved.push(b.train_epoch(&data, &cfg, &mut rng_b).unwrap().loss);
+    }
+
+    let mut rng_a = StdRng::seed_from_u64(10);
+    let mut rng_b = StdRng::seed_from_u64(11);
+    let mut a2 = LeNet5::with_input_size(16, 2, 0.0, &mut rng_a).unwrap();
+    let mut b2 = LeNet5::with_input_size(16, 2, 0.0, &mut rng_b).unwrap();
+    let mut sequential = Vec::new();
+    let mut b_losses = Vec::new();
+    for _ in 0..2 {
+        sequential.push(a2.train_epoch(&data, &cfg, &mut rng_a).unwrap().loss);
+    }
+    for _ in 0..2 {
+        b_losses.push(b2.train_epoch(&data, &cfg, &mut rng_b).unwrap().loss);
+    }
+
+    assert_eq!(interleaved[0].to_bits(), sequential[0].to_bits());
+    assert_eq!(interleaved[2].to_bits(), sequential[1].to_bits());
+    assert_eq!(interleaved[1].to_bits(), b_losses[0].to_bits());
+    assert_eq!(interleaved[3].to_bits(), b_losses[1].to_bits());
+}

@@ -59,7 +59,7 @@ impl Hotspot {
             let bh = rng.gen_range(n / 8..n / 3);
             let x0 = rng.gen_range(0..n - bw);
             let y0 = rng.gen_range(0..n - bh);
-            let heat = rng.gen_range(0.5..2.0);
+            let heat = rng.gen_range(0.5f32..2.0);
             for y in y0..y0 + bh {
                 for x in x0..x0 + bw {
                     power[y * n + x] += heat;

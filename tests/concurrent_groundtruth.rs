@@ -1,0 +1,128 @@
+//! Stress: many trials consulting one warm ground truth concurrently.
+//!
+//! Eight trials (two workload families) profile and look up against the same
+//! [`SharedGroundTruth`] from eight OS threads. Whatever the interleaving,
+//! the accounting must balance — every trial's lookup lands as exactly one
+//! hit or one miss — and the flushed history must be independent of thread
+//! completion order. Run both under the default parallel test harness and
+//! under `--test-threads=1`; neither may change the outcome.
+
+use pipetune::{
+    ExperimentEnv, GroundTruth, HyperParams, ProbeGoal, SharedGroundTruth, SystemTuner,
+    TrialExecution, WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS: usize = 8;
+
+fn hp(batch: usize) -> HyperParams {
+    HyperParams { batch_size: batch, learning_rate: 0.02, epochs: 20, ..HyperParams::default() }
+}
+
+fn spec_for(i: u64) -> WorkloadSpec {
+    if i.is_multiple_of(2) { WorkloadSpec::lenet_mnist() } else { WorkloadSpec::lstm_news20() }
+}
+
+/// Probes six jobs sequentially so the ground truth holds a fitted model
+/// with three records per workload family.
+fn warm_ground_truth(env: &ExperimentEnv) -> GroundTruth {
+    let mut gt = GroundTruth::paper_default(1);
+    let mut rng = StdRng::seed_from_u64(3);
+    let probes = (env.system_space.cores.len() + env.system_space.memory_gb.len() - 1) as u32;
+    for seed in 0..6 {
+        let w = spec_for(seed).with_scale(0.2).instantiate(&hp(256), seed).unwrap();
+        let mut t = TrialExecution::new(w, SystemTuner::pipelined(ProbeGoal::Runtime));
+        t.run_epochs(env, 1 + probes, Some(&mut gt), 1.0, &mut rng).unwrap();
+    }
+    gt
+}
+
+/// Runs `TRIALS` trials, each on its own thread against `shared`, and
+/// flushes their sessions in trial-index order. Returns each trial's phase
+/// log (true = ran any probe epoch).
+fn stress_once(env: &ExperimentEnv, shared: &SharedGroundTruth<'_>) -> Vec<bool> {
+    let epochs = 2; // profile + one epoch under the decision
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TRIALS as u64)
+            .map(|i| {
+                scope.spawn(move || {
+                    let w = spec_for(i).with_scale(0.2).instantiate(&hp(256), 100 + i).unwrap();
+                    let mut t =
+                        TrialExecution::new(w, SystemTuner::pipelined(ProbeGoal::Runtime));
+                    let mut rng = StdRng::seed_from_u64(7_000 + i);
+                    let mut session = shared.session();
+                    t.run_epochs(env, epochs, Some(&mut session), 1.0, &mut rng).unwrap();
+                    let probed = t
+                        .records()
+                        .iter()
+                        .any(|r| r.phase == pipetune::EpochPhase::Probe);
+                    (session, probed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut probed_flags = Vec::with_capacity(TRIALS);
+    let mut sessions = Vec::with_capacity(TRIALS);
+    for (session, probed) in results {
+        sessions.push(session);
+        probed_flags.push(probed);
+    }
+    shared.flush(sessions).unwrap();
+    probed_flags
+}
+
+#[test]
+fn eight_concurrent_trials_balance_their_lookup_accounting() {
+    let env = ExperimentEnv::distributed(5);
+    let mut gt = warm_ground_truth(&env);
+    let stats_before = gt.stats();
+
+    let shared = SharedGroundTruth::new(&mut gt);
+    let probed = stress_once(&env, &shared);
+    let stats_after = shared.stats();
+
+    // Every trial profiled exactly once against the shared history, so the
+    // new hits and misses must sum to the trial count — no lost updates, no
+    // double counting, whatever the interleaving.
+    let hits = stats_after.hits - stats_before.hits;
+    let misses = stats_after.misses - stats_before.misses;
+    assert_eq!(hits + misses, TRIALS, "hits {hits} + misses {misses} != {TRIALS}");
+
+    // The warm history covers both families, so at least one trial reused.
+    assert!(hits >= 1, "warm ground truth should produce hits: {stats_after:?}");
+
+    // A hit skips probing; a miss probes. The flags must agree with stats.
+    let probing_trials = probed.iter().filter(|&&p| p).count();
+    assert_eq!(probing_trials, misses, "probe count must equal miss count");
+}
+
+#[test]
+fn concurrent_stress_is_deterministic_and_batch_snapshotted() {
+    let env = ExperimentEnv::distributed(5);
+
+    // Two independent repetitions of the whole warm-up + stress sequence
+    // must agree exactly: lookups see the batch-start snapshot (never a
+    // co-running trial's flush), and the ordered flush makes the final
+    // history a pure function of the inputs.
+    let run = || {
+        let mut gt = warm_ground_truth(&env);
+        let shared = SharedGroundTruth::new(&mut gt);
+        let probed = stress_once(&env, &shared);
+        let stats = shared.stats();
+        let history = shared.with_read(GroundTruth::feature_history);
+        (probed, stats, history)
+    };
+    let (probed_a, stats_a, history_a) = run();
+    let (probed_b, stats_b, history_b) = run();
+    assert_eq!(probed_a, probed_b);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(history_a.len(), history_b.len());
+    for (fa, fb) in history_a.iter().zip(&history_b) {
+        let bits_a: Vec<u64> = fa.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = fb.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "flushed feature vectors must replay");
+    }
+}

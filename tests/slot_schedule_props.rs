@@ -1,0 +1,79 @@
+//! Property tests for [`SlotSchedule::assign`], the greedy list scheduler
+//! that maps a batch of trial durations onto simulated parallel slots. The
+//! parallel executor's wall-clock accounting rests on these invariants.
+
+use pipetune::SlotSchedule;
+use proptest::prelude::*;
+
+fn durations() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..1000.0f64, 0..40)
+}
+
+/// Negative durations are clamped to zero by `assign`; mirror that here so
+/// the bounds below are stated on what actually gets scheduled.
+fn clamped(durations: &[f64]) -> Vec<f64> {
+    durations.iter().map(|d| d.max(0.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn makespan_is_at_least_the_longest_item(ds in durations(), slots in 1usize..9) {
+        let (_, makespan) = SlotSchedule::assign(&ds, slots);
+        let longest = clamped(&ds).into_iter().fold(0.0, f64::max);
+        prop_assert!(makespan >= longest, "makespan {makespan} < longest item {longest}");
+    }
+
+    #[test]
+    fn makespan_never_exceeds_serial_time(ds in durations(), slots in 1usize..9) {
+        let (_, makespan) = SlotSchedule::assign(&ds, slots);
+        let serial: f64 = clamped(&ds).iter().sum();
+        // Tolerance: per-slot partial sums round differently than one long sum.
+        prop_assert!(makespan <= serial * (1.0 + 1e-12) + 1e-9,
+            "makespan {makespan} > serial {serial}");
+    }
+
+    #[test]
+    fn completions_are_consistent(ds in durations(), slots in 1usize..9) {
+        let (completions, makespan) = SlotSchedule::assign(&ds, slots);
+        prop_assert_eq!(completions.len(), ds.len());
+        let cl = clamped(&ds);
+        for (i, (&c, &d)) in completions.iter().zip(&cl).enumerate() {
+            // An item cannot finish before its own duration has elapsed...
+            prop_assert!(c >= d, "item {i} finished at {c} < its duration {d}");
+            // ...nor after the round is over.
+            prop_assert!(c <= makespan, "item {i} finished at {c} > makespan {makespan}");
+        }
+        // The makespan is the last completion (or zero for an empty round).
+        let last = completions.iter().copied().fold(0.0, f64::max);
+        prop_assert_eq!(makespan.to_bits(), last.to_bits());
+    }
+
+    #[test]
+    fn single_slot_serialises_in_arrival_order(ds in durations()) {
+        let (completions, _) = SlotSchedule::assign(&ds, 1);
+        // One slot: completions are the running prefix sums — in particular
+        // non-decreasing, the per-slot FIFO invariant.
+        let mut prefix = 0.0f64;
+        for (i, (&c, d)) in completions.iter().zip(clamped(&ds)).enumerate() {
+            prefix += d;
+            prop_assert_eq!(c.to_bits(), prefix.to_bits(), "item {} not FIFO", i);
+        }
+    }
+
+    #[test]
+    fn zero_slots_clamp_to_one(ds in durations()) {
+        let (c0, m0) = SlotSchedule::assign(&ds, 0);
+        let (c1, m1) = SlotSchedule::assign(&ds, 1);
+        prop_assert_eq!(c0, c1);
+        prop_assert_eq!(m0.to_bits(), m1.to_bits());
+    }
+
+    #[test]
+    fn more_slots_never_hurt(ds in durations(), slots in 1usize..8) {
+        let (_, narrow) = SlotSchedule::assign(&ds, slots);
+        let (_, wide) = SlotSchedule::assign(&ds, slots + 1);
+        prop_assert!(wide <= narrow, "adding a slot raised makespan {narrow} -> {wide}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness exposing the surface the workspace's bench
+//! targets use: `Criterion::default().sample_size(n)`, `bench_function`,
+//! `Bencher::iter`, and both arities of `criterion_group!` plus
+//! `criterion_main!`. No statistics beyond mean-of-samples; each benchmark
+//! prints `name: time: [.. mean ..]` in a criterion-like line so humans and
+//! scripts can still grep timings.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement driver passed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    mean_ns: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up briefly, then taking up to
+    /// `samples` timed samples within the time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms elapsed or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || (warm_start.elapsed() < Duration::from_millis(50) && warm_iters < 1000) {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() > Duration::from_millis(200) {
+                break;
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            total += t0.elapsed();
+            iters += 1;
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.total_iters = iters;
+        self.mean_ns = if iters == 0 { 0.0 } else { total.as_nanos() as f64 / iters as f64 };
+    }
+}
+
+/// Benchmark runner configuration (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(5) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            mean_ns: 0.0,
+            total_iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{name}: time: [{} {} {}] ({} iters)",
+            fmt_ns(b.mean_ns),
+            fmt_ns(b.mean_ns),
+            fmt_ns(b.mean_ns),
+            b.total_iters
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a benchmark group; both the plain list form and the
+/// `name/config/targets` struct form are supported, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_add", |b| b.iter(|| 1u64 + 1));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5).measurement_time(Duration::from_millis(50));
+        targets = tiny
+    }
+
+    criterion_group!(benches_plain, tiny);
+
+    #[test]
+    fn groups_run() {
+        benches();
+        benches_plain();
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(20));
+        let mut ran = 0u32;
+        c.bench_function("count", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran >= 3);
+    }
+}

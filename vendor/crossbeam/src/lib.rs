@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::thread::scope` API the trial executor uses,
+//! implemented on `std::thread::scope` (stable since 1.63). Only the subset
+//! the workspace needs is covered: scoped spawning where every closure
+//! receives the scope again (so workers could spawn sub-workers), join
+//! handles, and the `Result`-returning `scope` entry point.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payload of a panicked scoped thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope for spawning borrowing threads (mirrors
+    /// `crossbeam::thread::Scope`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread (mirrors `crossbeam`'s handle).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Unlike `std::thread::scope` (which re-panics), this mirrors
+    /// crossbeam by returning `Err` only if the closure itself panics is
+    /// not catchable here — spawned-thread panics propagate at join, so the
+    /// result is always `Ok` unless a child panic was left unjoined, in
+    /// which case std re-raises it. Callers should treat `Err` as fatal.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let sum: i32 = super::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<i32>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

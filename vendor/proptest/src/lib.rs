@@ -1,0 +1,478 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Covers the surface this workspace's property suites use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range and tuple
+//! strategies, `prop_map`, `proptest::collection::vec`, string strategies
+//! from simple character-class patterns, and `prop_assert!`/
+//! `prop_assert_eq!`.
+//!
+//! Differences from upstream, deliberate for offline determinism: cases are
+//! sampled from a seed derived from the test's module path and name (no
+//! entropy, no persistence — `.proptest-regressions` files are ignored) and
+//! failing cases are reported with their inputs but not shrunk.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample_value(rng))
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            rand::SampleRange::sample_from(self.clone(), rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            rand::SampleRange::sample_from(self.clone(), rng)
+        }
+    }
+
+    /// String strategies from character-class patterns (see
+    /// [`crate::string_from_pattern`]).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample_value(&self, rng: &mut StdRng) -> String {
+            crate::string_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident : $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive bounds on generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` samples.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Per-suite configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Sets the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256; this workspace's properties
+    /// exercise simulations where 64 seeded cases already dominate runtime.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion (returned by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic per-case RNG: seeded from the property's identity and case
+/// index so failures reproduce without a regressions file.
+pub fn rng_for_case(test_path: &str, case: u64) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Generates a string from a pattern of character classes: a sequence of
+/// `[class]` atoms or literal characters, each optionally followed by
+/// `{n}` / `{m,n}`. Classes support `a-z` ranges and literals (a trailing
+/// `-` is literal). This covers the regex subset the workspace's property
+/// suites use; anything fancier panics so the gap is visible.
+pub fn string_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    use rand::Rng;
+
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom into the set of characters it can produce.
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "inverted class range in `{pattern}`");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                i += 1; // closing ']'
+                set
+            }
+            c @ ('(' | ')' | '|' | '*' | '+' | '?' | '.' | '\\' | '^' | '$') => {
+                panic!("proptest stand-in: unsupported regex construct `{c}` in `{pattern}`")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!choices.is_empty(), "empty character class in `{pattern}`");
+
+        // Optional repetition `{n}` or `{m,n}`.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad repetition lower bound"),
+                    n.trim().parse::<usize>().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(choices[rng.gen_range(0..choices.len())]);
+        }
+    }
+    out
+}
+
+/// Declares a suite of property tests. Each body runs `cases` times with
+/// freshly sampled inputs; assertion failures report the sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng = $crate::rng_for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_value(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),*)
+                        $(, &$arg)*
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __e,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// input reporting) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond),
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` — {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                __l,
+                __r,
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Map, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strings_match_expectations() {
+        let mut rng = crate::rng_for_case("pattern", 1);
+        for _ in 0..200 {
+            let s = crate::string_from_pattern("[a-zA-Z][a-zA-Z0-9 ,=_-]{0,16}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 17, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || " ,=_-".contains(c)),
+                "{s:?}"
+            );
+        }
+        let exact = crate::string_from_pattern("ab{3}c", &mut rng);
+        assert_eq!(exact, "abbbc");
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::rng_for_case("sizes", 0);
+        for _ in 0..100 {
+            let v = Strategy::sample_value(&collection::vec(0.0..1.0f64, 0..40), &mut rng);
+            assert!(v.len() < 40);
+            let exact = Strategy::sample_value(&collection::vec(1.0..500.0f64, 12), &mut rng);
+            assert_eq!(exact.len(), 12);
+            assert!(exact.iter().all(|x| (1.0..500.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_samples_in_range(
+            x in 1u32..64,
+            y in -1.0..1.0f64,
+            pair in (0u64..10, 0u64..10).prop_map(|(p, q)| (p, p + q)),
+        ) {
+            let (a, b) = pair;
+            prop_assert!((1..64).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y), "y = {y}");
+            prop_assert!(b >= a);
+            prop_assert_eq!(a.min(b), a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(unused)]
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100, "v was {v}");
+            }
+        }
+        always_fails();
+    }
+}

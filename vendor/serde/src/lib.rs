@@ -1,0 +1,393 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of upstream's serializer/deserializer visitor machinery, this
+//! facade round-trips every value through a [`Content`] tree — a
+//! self-describing data model that `serde_json` (the only format in this
+//! workspace) renders to and from text. `Serialize`/`Deserialize` keep their
+//! upstream names so `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` (via the vendored `serde_derive`,
+//! re-exported under the `derive` feature) work unchanged.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model all values serialize through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Unit / `None` / JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (vectors, slices, tuples).
+    Seq(Vec<Content>),
+    /// Key-value map (structs, maps, tagged enum variants). Kept as a vec of
+    /// pairs to preserve insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map_slice(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks a key up in struct-map entries (helper for derived impls).
+pub fn content_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization to the [`Content`] data model.
+pub trait Serialize {
+    /// Renders `self` as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree's shape or types don't match.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide = match content {
+                    Content::I64(v) => i128::from(*v),
+                    Content::U64(v) => i128::from(*v),
+                    other => return Err(DeError::custom(format!(
+                        "expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64);
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = u64::try_from(*self).expect("unsigned fits u64");
+                match i64::try_from(v) {
+                    Ok(i) => Content::I64(i),
+                    Err(_) => Content::U64(v),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide = match content {
+                    Content::I64(v) => i128::from(*v),
+                    Content::U64(v) => i128::from(*v),
+                    other => return Err(DeError::custom(format!(
+                        "expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        i64::from_content(content).and_then(|v| {
+            isize::try_from(v).map_err(|_| DeError::custom("integer out of range for isize"))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            // Non-finite floats serialize as null (JSON has no NaN literal).
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+/// `&'static str` fields (experiment row labels) deserialize by leaking the
+/// parsed string. The workspace only reads back a handful of short labels
+/// per process, so the leak is bounded and deliberate.
+impl Deserialize for &'static str {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::custom("expected tuple sequence"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected {expected}-tuple, got {} elements", seq.len())));
+                }
+                Ok(($($t::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert_eq!(f32::from_content(&1.5f32.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_content()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn options_vecs_maps_round_trip() {
+        let v: Option<Vec<(String, f64)>> = Some(vec![("a".into(), 1.0), ("b".into(), 2.5)]);
+        let back = Option::<Vec<(String, f64)>>::from_content(&v.to_content()).unwrap();
+        assert_eq!(back, v);
+
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_content(&none.to_content()).unwrap(), None);
+
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(BTreeMap::<String, u64>::from_content(&m.to_content()).unwrap(), m);
+    }
+}

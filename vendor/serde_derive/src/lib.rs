@@ -1,0 +1,495 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Dependency-free derive macros for the vendored `serde` facade. The input
+//! item is parsed by walking `proc_macro::TokenTree`s (no syn/quote), which
+//! keeps this crate self-contained, and the generated impls target the
+//! facade's `Content` data model rather than upstream's visitor API.
+//!
+//! Supported input shapes — exactly what this workspace derives on:
+//! named structs (with `#[serde(default)]` / `#[serde(default = "path")]`
+//! field attributes), tuple and unit structs, and enums with unit, tuple
+//! and struct variants (externally tagged, as upstream). Generics are
+//! rejected loudly rather than miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a named struct or struct variant.
+struct Field {
+    name: String,
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (stand-in `to_content` form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (stand-in `from_content` form).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments arrive as `#[doc = "…"]`) and
+    // visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break
+            }
+            other => panic!("serde stand-in derive: unexpected token {other:?}"),
+        }
+    }
+
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive: generic type `{name}` is not supported");
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "where" {
+            panic!("serde stand-in derive: where-clauses on `{name}` are not supported");
+        }
+    }
+
+    let shape = if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde stand-in derive: malformed struct body: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stand-in derive: malformed enum body: {other:?}"),
+        }
+    };
+
+    Input { name, shape }
+}
+
+/// Parses `#[serde(...)]` bracket content; returns the field default spec if
+/// this is a serde attribute.
+fn parse_serde_attr(bracket: TokenStream) -> Option<Option<String>> {
+    let tokens: Vec<TokenTree> = bracket.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let group = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("serde stand-in derive: malformed #[serde] attribute: {other:?}"),
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!(
+            "serde stand-in derive: only #[serde(default)] / #[serde(default = \"path\")] \
+             are supported, got {other:?}"
+        ),
+    }
+    match inner.get(1) {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            let lit = match inner.get(2) {
+                Some(TokenTree::Literal(l)) => l.to_string(),
+                other => panic!("serde stand-in derive: expected path literal, got {other:?}"),
+            };
+            let path = lit.trim_matches('"').to_string();
+            Some(Some(path))
+        }
+        other => panic!("serde stand-in derive: malformed default attribute: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let mut default = None;
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(d) = parse_serde_attr(g.stream()) {
+                    default = Some(d);
+                }
+            }
+            i += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stand-in derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Skip the type: commas inside `<…>` (e.g. BTreeMap<String, f64>) are
+        // at this token level because angle brackets are not delimiters.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        // Skip variant attributes (`#[default]`, doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stand-in derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde stand-in derive: explicit discriminants are not supported")
+            }
+            _ => {}
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// Attribute prefix shared by generated impls: keeps rustc and clippy from
+/// linting machine-generated code (string-parsed tokens carry call-site
+/// spans, so lints would otherwise fire on it).
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n";
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                entries.push_str(&format!(
+                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content(&self.{0})),",
+                    f.name
+                ));
+            }
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut items = String::new();
+            for idx in 0..*n {
+                items.push_str(&format!("::serde::Serialize::to_content(&self.{idx}),"));
+            }
+            format!("::serde::Content::Seq(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::to_content(f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Seq(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content({0})),",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Map(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.concat()
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Emits the expression deserializing one named field from `__entries`.
+fn field_expr(type_name: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(\
+             format!(\"{type_name}: missing field `{}`\")))",
+            f.name
+        ),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{0}: match ::serde::content_get(__entries, \"{0}\") {{\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?,\
+         ::std::option::Option::None => {missing},\
+         }},",
+        f.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let field_exprs: String = fields.iter().map(|f| field_expr(name, f)).collect();
+            format!(
+                "let __entries = content.as_map_slice().ok_or_else(|| \
+                 ::serde::DeError::custom(\"{name}: expected a map\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {field_exprs} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__seq[{k}])?,"))
+                .collect();
+            format!(
+                "let __seq = content.as_seq().ok_or_else(|| \
+                 ::serde::DeError::custom(\"{name}: expected a sequence\"))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"{name}: wrong tuple length\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.concat()
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                        // Also accept the map form `{"Variant": null}`.
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_content(__inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&__seq[{k}])?,"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\
+                             let __seq = __inner.as_seq().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{name}::{vname}: expected a sequence\"))?;\
+                             if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"{name}::{vname}: wrong tuple length\")); }}\
+                             ::std::result::Result::Ok({name}::{vname}({}))\
+                             }},",
+                            items.concat()
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let qualified = format!("{name}::{vname}");
+                        let field_exprs: String =
+                            fields.iter().map(|f| field_expr(&qualified, f)).collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\
+                             let __entries = __inner.as_map_slice().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{qualified}: expected a map\"))?;\
+                             ::std::result::Result::Ok({name}::{vname} {{ {field_exprs} }})\
+                             }},",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match content {{\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"{name}: unknown variant `{{}}`\", __other))),\
+                 }},\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\
+                 let (__tag, __inner) = &__m[0];\
+                 match __tag.as_str() {{\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"{name}: unknown variant `{{}}`\", __other))),\
+                 }}\
+                 }},\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"{name}: expected a variant string or single-entry map\")),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
