@@ -1,0 +1,423 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! Shared DL clusters lose nodes, host stragglers and preempt low-priority
+//! work; a tuning middleware that assumes every epoch completes would abort
+//! on the first hiccup. This module provides the *schedule* side of the
+//! fault-tolerance story: a seeded [`FaultPlan`] that decides — as a pure
+//! function of `(plan seed, trial id, epoch, attempt)` — whether a fault
+//! strikes a given epoch execution, which kind, and how severe it is.
+//!
+//! Determinism is load-bearing: the executor runs trials on an arbitrary
+//! number of OS threads, and the replay contract (`DESIGN.md` §6.1) demands
+//! byte-identical results for every worker count. Fault decisions therefore
+//! never consult a stateful RNG; they hash their coordinates with a
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c) finaliser, so any
+//! thread asking about the same `(trial, epoch, attempt)` gets the same
+//! answer, in any order, any number of times.
+//!
+//! The recovery side (checkpoints, retries, re-probing) lives in the
+//! middleware crate; [`RetryPolicy`] and [`FaultReport`] are defined here so
+//! the simulator, the runner and the benchmark harness agree on the
+//! vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+/// One injected fault, with its deterministically drawn severity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node executing the trial dies mid-epoch: the epoch's work is
+    /// lost (`wasted_fraction` of it had already run) and the trial must
+    /// restore its last checkpoint and retry.
+    NodeCrash {
+        /// Fraction of the epoch that had completed when the node died.
+        wasted_fraction: f64,
+    },
+    /// The node is slow this epoch (co-located noisy neighbour, thermal
+    /// throttling): the epoch completes but takes `slowdown` times longer.
+    Straggler {
+        /// Duration multiplier, `> 1`.
+        slowdown: f64,
+    },
+    /// The PMU counter read fails transiently: training is unaffected but
+    /// the epoch's profile/probe measurement is lost.
+    CounterRead,
+    /// The trial is preempted by higher-priority work and resumes after
+    /// `suspend_secs` of simulated time; no work is lost.
+    Preemption {
+        /// Simulated seconds the trial sits suspended.
+        suspend_secs: f64,
+    },
+}
+
+/// A seeded, deterministic schedule of faults at epoch granularity.
+///
+/// All probabilities are per epoch *attempt*; severities are drawn from the
+/// configured ranges. The empty plan ([`FaultPlan::none`]) injects nothing
+/// and is the default everywhere, so fault-free runs are bit-identical to
+/// builds that predate fault injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed decorrelating this plan from every other stochastic component.
+    pub seed: u64,
+    /// Per-attempt probability of a [`FaultKind::NodeCrash`].
+    pub crash_prob: f64,
+    /// Per-attempt probability of a [`FaultKind::Straggler`].
+    pub straggler_prob: f64,
+    /// Straggler slowdown range (min, max), factors `>= 1`.
+    pub straggler_slowdown: (f64, f64),
+    /// Per-attempt probability of a [`FaultKind::CounterRead`].
+    pub counter_read_prob: f64,
+    /// Per-attempt probability of a [`FaultKind::Preemption`].
+    pub preempt_prob: f64,
+    /// Preemption suspension range (min, max), simulated seconds.
+    pub preempt_secs: (f64, f64),
+    /// Per-round probability that a simulated executor slot is a straggler
+    /// for that scheduler round (drives slot re-assignment).
+    pub slot_straggler_prob: f64,
+    /// Speed of a straggling slot relative to a healthy one, in `(0, 1]`.
+    pub slot_speed_factor: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, ever. Runs under it are bit-identical to
+    /// runs without fault injection at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            crash_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: (1.5, 4.0),
+            counter_read_prob: 0.0,
+            preempt_prob: 0.0,
+            preempt_secs: (20.0, 120.0),
+            slot_straggler_prob: 0.0,
+            slot_speed_factor: 0.5,
+        }
+    }
+
+    /// A mixed plan with every fault class enabled at moderate rates —
+    /// the default schedule for fault-tolerance experiments.
+    pub fn mixed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crash_prob: 0.08,
+            straggler_prob: 0.10,
+            counter_read_prob: 0.10,
+            preempt_prob: 0.05,
+            slot_straggler_prob: 0.15,
+            ..Self::none()
+        }
+    }
+
+    /// Node crashes only.
+    pub fn crashes(seed: u64, prob: f64) -> Self {
+        FaultPlan { seed, crash_prob: prob.clamp(0.0, 1.0), ..Self::none() }
+    }
+
+    /// Stragglers only (epoch-level slowdowns plus slot-level slow
+    /// executors); never loses work, so accuracies are untouched.
+    pub fn stragglers(seed: u64, prob: f64) -> Self {
+        FaultPlan {
+            seed,
+            straggler_prob: prob.clamp(0.0, 1.0),
+            slot_straggler_prob: (prob * 0.5).clamp(0.0, 1.0),
+            ..Self::none()
+        }
+    }
+
+    /// `true` when the plan can never inject anything (the guard the hot
+    /// path uses to keep fault-free runs byte-identical to pre-fault
+    /// builds).
+    pub fn is_empty(&self) -> bool {
+        self.crash_prob <= 0.0
+            && self.straggler_prob <= 0.0
+            && self.counter_read_prob <= 0.0
+            && self.preempt_prob <= 0.0
+            && self.slot_straggler_prob <= 0.0
+    }
+
+    /// The fault (if any) striking attempt `attempt` of epoch `epoch` of
+    /// trial `trial`. Pure function of `(self, trial, epoch, attempt)`;
+    /// classes are checked in severity order (crash ≻ preemption ≻ counter
+    /// read ≻ straggler) with decorrelated draws, so at most one fault
+    /// strikes per attempt.
+    pub fn at_epoch(&self, trial: u64, epoch: u32, attempt: u32) -> Option<FaultKind> {
+        if self.is_empty() {
+            return None;
+        }
+        let key = |tag: u64| self.unit(tag, trial, u64::from(epoch), u64::from(attempt));
+        if key(0xC8A5) < self.crash_prob {
+            return Some(FaultKind::NodeCrash {
+                wasted_fraction: lerp(0.1, 0.9, key(0xC8A6)),
+            });
+        }
+        if key(0x9EE1) < self.preempt_prob {
+            let (lo, hi) = self.preempt_secs;
+            return Some(FaultKind::Preemption { suspend_secs: lerp(lo.max(0.0), hi.max(0.0), key(0x9EE2)) });
+        }
+        if key(0xC047) < self.counter_read_prob {
+            return Some(FaultKind::CounterRead);
+        }
+        if key(0x57A6) < self.straggler_prob {
+            let (lo, hi) = self.straggler_slowdown;
+            return Some(FaultKind::Straggler { slowdown: lerp(lo.max(1.0), hi.max(1.0), key(0x57A7)) });
+        }
+        None
+    }
+
+    /// Relative speed of simulated slot `slot` during scheduler round
+    /// `round`: `1.0` for a healthy slot, [`FaultPlan::slot_speed_factor`]
+    /// for a straggling one. Pure function of `(self, round, slot)`.
+    pub fn slot_speed(&self, round: u64, slot: usize) -> f64 {
+        if self.slot_straggler_prob <= 0.0 {
+            return 1.0;
+        }
+        if self.unit(0x5107, round, slot as u64, 0) < self.slot_straggler_prob {
+            self.slot_speed_factor.clamp(1e-3, 1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` from hashed coordinates (no RNG state).
+    fn unit(&self, tag: u64, a: u64, b: u64, c: u64) -> f64 {
+        let mut x = self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = splitmix64(x.wrapping_add(a));
+        x = splitmix64(x.wrapping_add(b));
+        x = splitmix64(x.wrapping_add(c));
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// SplitMix64 finaliser: a high-quality 64-bit mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Linear interpolation of `u ∈ [0, 1)` into `[lo, hi]`.
+fn lerp(lo: f64, hi: f64, u: f64) -> f64 {
+    if hi <= lo {
+        lo
+    } else {
+        lo + (hi - lo) * u
+    }
+}
+
+/// Bounded retry with exponential backoff in *simulated* time.
+///
+/// A crashed epoch attempt is retried after
+/// `base_backoff_secs × factor^attempt` simulated seconds, up to
+/// `max_attempts` attempts total; exhaustion abandons the trial
+/// (`PipeTuneError::RetriesExhausted` upstream).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts allowed per epoch (first try included). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, simulated seconds.
+    pub base_backoff_secs: f64,
+    /// Multiplier applied per further retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_backoff_secs: 5.0, backoff_factor: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// Simulated seconds to wait after failed attempt number `attempt`
+    /// (0-based).
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        self.base_backoff_secs.max(0.0) * self.backoff_factor.max(1.0).powi(attempt as i32)
+    }
+}
+
+/// Fault-tolerance accounting for one trial, job or experiment.
+///
+/// Counters add across trials (see [`FaultReport::merge`]); the runner
+/// aggregates per-trial deltas in scheduler-request order so the merged
+/// report is byte-identical for every worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Faults injected, all classes.
+    pub injected: u64,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Epoch- and slot-level stragglers injected.
+    pub stragglers: u64,
+    /// Transient counter-read failures injected.
+    pub counter_faults: u64,
+    /// Preemptions injected.
+    pub preemptions: u64,
+    /// Retry attempts performed (crash retries and lost-measurement
+    /// re-probes/re-profiles).
+    pub retried: u64,
+    /// Faults the trial fully recovered from.
+    pub recovered: u64,
+    /// Trials abandoned after exhausting the retry budget.
+    pub abandoned: u64,
+    /// Simulated epoch-seconds destroyed by faults (lost partial epochs,
+    /// straggler inflation, slot-straggler makespan inflation).
+    pub wasted_epoch_secs: f64,
+    /// Simulated seconds spent on recovery mechanics (backoff waits,
+    /// preemption suspensions).
+    pub recovery_overhead_secs: f64,
+}
+
+impl FaultReport {
+    /// `true` when nothing was injected or lost.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultReport::default()
+    }
+
+    /// Adds `other`'s counters into `self` (order-sensitive only through
+    /// float addition, which callers keep deterministic by merging in
+    /// request order).
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.injected += other.injected;
+        self.crashes += other.crashes;
+        self.stragglers += other.stragglers;
+        self.counter_faults += other.counter_faults;
+        self.preemptions += other.preemptions;
+        self.retried += other.retried;
+        self.recovered += other.recovered;
+        self.abandoned += other.abandoned;
+        self.wasted_epoch_secs += other.wasted_epoch_secs;
+        self.recovery_overhead_secs += other.recovery_overhead_secs;
+    }
+
+    /// The counters accumulated since `earlier` was snapshotted from the
+    /// same report (used to attribute per-rung deltas to one trial).
+    pub fn delta_since(&self, earlier: &FaultReport) -> FaultReport {
+        FaultReport {
+            injected: self.injected - earlier.injected,
+            crashes: self.crashes - earlier.crashes,
+            stragglers: self.stragglers - earlier.stragglers,
+            counter_faults: self.counter_faults - earlier.counter_faults,
+            preemptions: self.preemptions - earlier.preemptions,
+            retried: self.retried - earlier.retried,
+            recovered: self.recovered - earlier.recovered,
+            abandoned: self.abandoned - earlier.abandoned,
+            wasted_epoch_secs: self.wasted_epoch_secs - earlier.wasted_epoch_secs,
+            recovery_overhead_secs: self.recovery_overhead_secs
+                - earlier.recovery_overhead_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        for trial in 0..50 {
+            for epoch in 1..20 {
+                assert_eq!(p.at_epoch(trial, epoch, 0), None);
+            }
+        }
+        assert_eq!(p.slot_speed(3, 1), 1.0);
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_coordinates() {
+        let p = FaultPlan::mixed(42);
+        for trial in 0..20 {
+            for epoch in 1..10 {
+                for attempt in 0..3 {
+                    let a = p.at_epoch(trial, epoch, attempt);
+                    let b = p.at_epoch(trial, epoch, attempt);
+                    assert_eq!(a, b, "same coordinates, same answer");
+                }
+            }
+        }
+        assert_eq!(p.slot_speed(7, 2), p.slot_speed(7, 2));
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::mixed(1);
+        let b = FaultPlan::mixed(2);
+        let schedule = |p: &FaultPlan| -> Vec<Option<FaultKind>> {
+            (0..40).map(|t| p.at_epoch(t, 1, 0)).collect()
+        };
+        assert_ne!(schedule(&a), schedule(&b));
+    }
+
+    #[test]
+    fn certain_crash_probability_always_crashes() {
+        let p = FaultPlan::crashes(9, 1.0);
+        for attempt in 0..10 {
+            match p.at_epoch(3, 1, attempt) {
+                Some(FaultKind::NodeCrash { wasted_fraction }) => {
+                    assert!((0.1..0.9).contains(&wasted_fraction) || wasted_fraction == 0.9);
+                }
+                other => panic!("expected crash, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injection_rate_tracks_probability() {
+        let p = FaultPlan::crashes(1234, 0.25);
+        let n = 4000;
+        let hits = (0..n).filter(|&t| p.at_epoch(t, 1, 0).is_some()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn straggler_plan_only_produces_stragglers() {
+        let p = FaultPlan::stragglers(5, 0.5);
+        for trial in 0..200 {
+            match p.at_epoch(trial, 2, 0) {
+                None => {}
+                Some(FaultKind::Straggler { slowdown }) => assert!(slowdown >= 1.0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn slot_speeds_mark_some_slots_slow() {
+        let p = FaultPlan { slot_straggler_prob: 0.5, ..FaultPlan::none() };
+        let speeds: Vec<f64> = (0..100).map(|r| p.slot_speed(r, 0)).collect();
+        assert!(speeds.iter().any(|&s| s < 1.0));
+        assert!(speeds.contains(&1.0));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_clamps() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_secs(0), 5.0);
+        assert_eq!(r.backoff_secs(1), 10.0);
+        assert_eq!(r.backoff_secs(2), 20.0);
+        let degenerate = RetryPolicy { max_attempts: 0, base_backoff_secs: -1.0, backoff_factor: 0.5 };
+        assert_eq!(degenerate.backoff_secs(3), 0.0);
+    }
+
+    #[test]
+    fn report_merge_and_delta_round_trip() {
+        let mut a = FaultReport { injected: 2, crashes: 1, wasted_epoch_secs: 3.5, ..FaultReport::default() };
+        let b = FaultReport { injected: 1, retried: 4, recovery_overhead_secs: 2.0, ..FaultReport::default() };
+        let before = a;
+        a.merge(&b);
+        assert_eq!(a.injected, 3);
+        assert_eq!(a.retried, 4);
+        assert_eq!(a.delta_since(&before), b);
+        assert!(!a.is_clean());
+        assert!(FaultReport::default().is_clean());
+    }
+}

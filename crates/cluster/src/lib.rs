@@ -16,18 +16,23 @@
 //!   accounting with oversubscription-driven contention (Fig. 5, §7.4).
 //! * [`PoissonArrivals`] — exponential interarrival job traces for the
 //!   multi-tenancy experiments (§7.4).
+//! * [`FaultPlan`] / [`FaultReport`] / [`RetryPolicy`] — seeded,
+//!   deterministic fault schedules (node crashes, stragglers, counter-read
+//!   failures, preemptions) and the recovery accounting vocabulary.
 //!
 //! Everything is deterministic under a seed; times are simulated, never wall
 //! clock.
 
 mod arrivals;
 mod cost;
+mod faults;
 mod sim;
 mod system;
 mod topology;
 
 pub use arrivals::PoissonArrivals;
 pub use cost::{CostModel, WorkUnits};
+pub use faults::{FaultKind, FaultPlan, FaultReport, RetryPolicy};
 pub use sim::{EventQueue, SimTime};
 pub use system::{SystemConfig, SystemSpace};
 pub use topology::{Allocation, Allocator, ClusterError, ClusterSpec, Node, NodeId};

@@ -78,6 +78,7 @@ impl TuneV1 {
             convergence: convergence_from(&result.outcomes),
             model_weights: result.best_weights,
             best_trial_id: result.best_trial_id,
+            fault_report: result.fault_report,
             gt_stats: GroundTruthStats::default(),
         })
     }
@@ -166,6 +167,7 @@ impl TuneV2 {
             convergence: convergence_from(&result.outcomes),
             model_weights: result.best_weights,
             best_trial_id: result.best_trial_id,
+            fault_report: result.fault_report,
             gt_stats: GroundTruthStats::default(),
         })
     }

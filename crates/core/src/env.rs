@@ -1,6 +1,6 @@
 //! Experiment environment: the simulated testbed every run executes against.
 
-use pipetune_cluster::{ClusterSpec, CostModel, SystemConfig, SystemSpace};
+use pipetune_cluster::{ClusterSpec, CostModel, FaultPlan, RetryPolicy, SystemConfig, SystemSpace};
 use pipetune_energy::PowerModel;
 use pipetune_perfmon::Profiler;
 
@@ -35,6 +35,12 @@ pub struct ExperimentEnv {
     /// Relative wall-clock overhead profiling adds to a profiled epoch
     /// (§7.3 reports it as small; the profiling-overhead ablation sweeps it).
     pub profile_overhead: f64,
+    /// Deterministic fault schedule (node crashes, stragglers, counter-read
+    /// failures, preemptions). Empty by default; runs under the empty plan
+    /// are bit-identical to runs without fault injection.
+    pub fault_plan: FaultPlan,
+    /// Retry budget and simulated-time backoff for crash recovery.
+    pub retry: RetryPolicy,
     /// Profile through the 1 Hz sampling pipeline (counter multiplexing,
     /// blind spots on short epochs) instead of the closed-form epoch
     /// average. Off by default; the sampling extension turns it on.
@@ -56,6 +62,8 @@ impl ExperimentEnv {
             default_system: SystemConfig::new(8, 32),
             parallel_slots: 4,
             workers: default_workers(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             profile_overhead: 0.02,
             sampled_profiling: false,
             seed,
@@ -78,6 +86,8 @@ impl ExperimentEnv {
             default_system: SystemConfig::new(4, 8),
             parallel_slots: 2,
             workers: default_workers(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             profile_overhead: 0.02,
             sampled_profiling: false,
             seed,
@@ -107,6 +117,21 @@ impl ExperimentEnv {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Installs a fault schedule (see [`FaultPlan`]); the empty plan keeps
+    /// runs bit-identical to fault-free builds.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Overrides the crash-recovery retry budget and backoff.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 

@@ -22,6 +22,14 @@ pub enum PipeTuneError {
         /// Human-readable description.
         reason: String,
     },
+    /// A trial exhausted its fault-recovery retry budget and was abandoned
+    /// (see `RetryPolicy` and the fault model in `DESIGN.md`).
+    RetriesExhausted {
+        /// Scheduler id of the abandoned trial.
+        trial_id: u64,
+        /// Attempts made on the failing epoch before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for PipeTuneError {
@@ -34,6 +42,12 @@ impl fmt::Display for PipeTuneError {
             PipeTuneError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
+            PipeTuneError::RetriesExhausted { trial_id, attempts } => {
+                write!(
+                    f,
+                    "trial {trial_id} abandoned after {attempts} failed attempts on one epoch"
+                )
+            }
         }
     }
 }
@@ -45,7 +59,7 @@ impl Error for PipeTuneError {
             PipeTuneError::Cluster(e) => Some(e),
             PipeTuneError::Clustering(e) => Some(e),
             PipeTuneError::Tsdb(e) => Some(e),
-            PipeTuneError::InvalidConfig { .. } => None,
+            PipeTuneError::InvalidConfig { .. } | PipeTuneError::RetriesExhausted { .. } => None,
         }
     }
 }
@@ -85,5 +99,13 @@ mod tests {
         assert!(e.to_string().contains("training error"));
         let e = PipeTuneError::InvalidConfig { reason: "bad".into() };
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn retries_exhausted_names_the_trial_and_budget() {
+        let e = PipeTuneError::RetriesExhausted { trial_id: 12, attempts: 3 };
+        assert!(e.source().is_none());
+        let msg = e.to_string();
+        assert!(msg.contains("12") && msg.contains('3') && msg.contains("abandoned"), "{msg}");
     }
 }

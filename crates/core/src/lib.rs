@@ -52,6 +52,7 @@ mod workload;
 pub use baselines::{run_arbitrary, TuneV1, TuneV2};
 pub use env::ExperimentEnv;
 pub use error::PipeTuneError;
+pub use pipetune_cluster::{FaultKind, FaultPlan, FaultReport, RetryPolicy};
 pub use experiments::{
     multi_tenancy, multi_tenancy_shared, single_tenancy, warm_start_ground_truth,
     MultiTenancyOptions, MultiTenancyOutcome, SingleTenancyRow,
@@ -66,7 +67,7 @@ pub use related::{related_systems, RelatedSystem};
 pub use runner::{SlotSchedule, TrialOutcome};
 pub use scheduler_choice::SchedulerKind;
 pub use sharing::{simulate_fifo, simulate_processor_sharing, SharedCompletion, SharedJob};
-pub use trial::{EpochPhase, EpochRecord, SystemTuner, TrialExecution};
+pub use trial::{EpochPhase, EpochRecord, SystemTuner, TrialCheckpoint, TrialExecution};
 pub use tuner::{ConvergencePoint, PipeTune, TunerOptions, TuningOutcome};
 pub use workload::{
     AnyModel, EpochOutcome, EpochWorkload, JobType, WorkloadInstance, WorkloadSpec,

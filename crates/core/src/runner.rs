@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
+use pipetune_cluster::FaultReport;
 use pipetune_search::{Config, TrialId, TrialRequest, TrialReport, TrialScheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +71,34 @@ impl SlotSchedule {
         let makespan = load.iter().copied().fold(0.0, f64::max);
         (completions, makespan)
     }
+
+    /// Like [`SlotSchedule::assign`], but each slot runs at a relative
+    /// `speed` (1.0 = healthy, < 1.0 = straggling slot): a duration `d`
+    /// occupies slot `i` for `d / speeds[i]`. Each item goes to the slot
+    /// that would finish it earliest, so work is steered away from slow
+    /// slots — the re-assignment half of straggler mitigation. With all
+    /// speeds at 1.0 this reduces exactly to `assign`.
+    pub fn assign_weighted(durations: &[f64], speeds: &[f64]) -> (Vec<f64>, f64) {
+        let slots = speeds.len().max(1);
+        let mut load = vec![0.0f64; slots];
+        let mut completions = Vec::with_capacity(durations.len());
+        for &d in durations {
+            let d = d.max(0.0);
+            let (idx, done) = load
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| {
+                    let speed = speeds.get(i).copied().unwrap_or(1.0).max(1e-3);
+                    (i, l + d / speed)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("at least one slot");
+            load[idx] = done;
+            completions.push(done);
+        }
+        let makespan = load.iter().copied().fold(0.0, f64::max);
+        (completions, makespan)
+    }
 }
 
 /// Result of driving one scheduler to completion.
@@ -88,6 +117,9 @@ pub(crate) struct RunResult {
     pub tuning_energy_j: f64,
     pub epochs_total: u64,
     pub outcomes: Vec<TrialOutcome>,
+    /// Faults injected and recovered from over the whole run (clean when
+    /// the environment's fault plan is empty).
+    pub fault_report: FaultReport,
 }
 
 /// One trial's executor-side state: the live execution plus its private RNG.
@@ -126,6 +158,11 @@ struct ItemResult<'s, 'a> {
     score: f64,
     delta_secs: f64,
     delta_energy: f64,
+    /// Fault counters this rung added to the trial's report.
+    faults: FaultReport,
+    /// `Some(attempts)` when the trial exhausted its retry budget this
+    /// rung and was abandoned (its score is already `NEG_INFINITY`).
+    abandoned: Option<u32>,
 }
 
 /// Trains one work item to completion (worker-thread body).
@@ -147,7 +184,8 @@ fn execute_item<'s, 'a>(
                 exec: TrialExecution::new(
                     workload,
                     tuner.expect("fresh trials carry a tuner"),
-                ),
+                )
+                .with_trial_id(req.id.0),
                 rng: trial_rng(env, req.id),
             }
         }
@@ -155,18 +193,41 @@ fn execute_item<'s, 'a>(
     let mut session = shared.map(SharedGroundTruth::session);
     let secs_before = slot.exec.duration_secs();
     let energy_before = slot.exec.energy_j();
-    slot.exec.run_epochs(
+    let faults_before = slot.exec.fault_report();
+    let run = slot.exec.run_epochs(
         env,
         req.epochs,
         session.as_mut().map(|s| s as &mut dyn GroundTruthAccess),
         contention,
         &mut slot.rng,
-    )?;
-    let accuracy = slot.exec.accuracy()?;
-    let score = objective.score(f64::from(accuracy), slot.exec.duration_secs());
+    );
+    let abandoned = match run {
+        Ok(()) => None,
+        Err(PipeTuneError::RetriesExhausted { attempts, .. }) => Some(attempts),
+        Err(e) => return Err(e),
+    };
+    let (accuracy, score) = if abandoned.is_some() {
+        // An abandoned trial has no usable measurement: it scores
+        // `NEG_INFINITY` so the scheduler never promotes it.
+        (f32::NAN, f64::NEG_INFINITY)
+    } else {
+        let accuracy = slot.exec.accuracy()?;
+        (accuracy, objective.score(f64::from(accuracy), slot.exec.duration_secs()))
+    };
     let delta_secs = slot.exec.duration_secs() - secs_before;
     let delta_energy = slot.exec.energy_j() - energy_before;
-    Ok(ItemResult { id: req.id, slot, session, accuracy, score, delta_secs, delta_energy })
+    let faults = slot.exec.fault_report().delta_since(&faults_before);
+    Ok(ItemResult {
+        id: req.id,
+        slot,
+        session,
+        accuracy,
+        score,
+        delta_secs,
+        delta_energy,
+        faults,
+        abandoned,
+    })
 }
 
 /// Drives `scheduler` to completion for one workload.
@@ -194,6 +255,8 @@ where
     let mut energy = 0.0f64;
     let mut outcomes = Vec::new();
     let mut best: Option<(f64, TrialId)> = None;
+    let mut fault_report = FaultReport::default();
+    let mut round = 0u64;
     let mut round_guard = 0usize;
 
     while !scheduler.is_finished() {
@@ -254,7 +317,8 @@ where
         }
 
         // Merge in request order: first error (if any) in request order,
-        // ground-truth flush in request order, reports in request order.
+        // ground-truth flush in request order, fault deltas and reports in
+        // request order.
         let mut durations = Vec::with_capacity(n);
         let mut reports = Vec::with_capacity(n);
         let mut sessions: Vec<GtSession<'_, '_>> = Vec::new();
@@ -262,34 +326,70 @@ where
             let item = cell.into_inner().expect("every item executed")?;
             durations.push(item.delta_secs);
             energy += item.delta_energy;
-            reports.push((item.id, item.accuracy, item.score));
+            fault_report.merge(&item.faults);
+            reports.push((item.id, item.accuracy, item.score, item.abandoned));
             sessions.extend(item.session);
-            trials.insert(item.id, item.slot);
+            if item.abandoned.is_none() {
+                trials.insert(item.id, item.slot);
+            }
         }
         if let Some(shared) = shared.as_ref() {
             shared.flush(sessions)?;
         }
 
-        let (completions, makespan) = SlotSchedule::assign(&durations, env.parallel_slots);
-        for ((id, accuracy, score), offset) in reports.iter().zip(&completions) {
-            let trial = &trials[id].exec;
-            outcomes.push(TrialOutcome {
-                id: id.0,
-                hp: *trial.workload().hyperparams(),
-                accuracy: *accuracy,
-                trial_secs: trial.duration_secs(),
-                completed_at_secs: clock + offset,
-            });
-            if best.as_ref().is_none_or(|(s, _)| *score > *s) {
-                best = Some((*score, *id));
+        // Slot-level stragglers: this round's simulated executors may run
+        // below nominal speed; work is re-assigned to whichever slot would
+        // finish it earliest. The unweighted path is kept verbatim so empty
+        // plans stay bit-identical to pre-fault builds.
+        let slots = env.parallel_slots.max(1);
+        let speeds: Vec<f64> = (0..slots).map(|s| env.fault_plan.slot_speed(round, s)).collect();
+        let (completions, makespan) = if speeds.iter().all(|&s| s >= 1.0) {
+            SlotSchedule::assign(&durations, slots)
+        } else {
+            let (completions, weighted) = SlotSchedule::assign_weighted(&durations, &speeds);
+            let (_, unweighted) = SlotSchedule::assign(&durations, slots);
+            let slow = speeds.iter().filter(|&&s| s < 1.0).count() as u64;
+            fault_report.injected += slow;
+            fault_report.stragglers += slow;
+            fault_report.recovered += slow;
+            fault_report.wasted_epoch_secs += (weighted - unweighted).max(0.0);
+            (completions, weighted)
+        };
+        round += 1;
+
+        for ((id, accuracy, score, abandoned), offset) in reports.iter().zip(&completions) {
+            if abandoned.is_none() {
+                let trial = &trials[id].exec;
+                outcomes.push(TrialOutcome {
+                    id: id.0,
+                    hp: *trial.workload().hyperparams(),
+                    accuracy: *accuracy,
+                    trial_secs: trial.duration_secs(),
+                    completed_at_secs: clock + offset,
+                });
+                if best.as_ref().is_none_or(|(s, _)| *score > *s) {
+                    best = Some((*score, *id));
+                }
             }
             scheduler.report(TrialReport { id: *id, score: *score, epochs_run: 0 });
         }
         clock += makespan;
     }
 
-    let (_, best_id) = best.ok_or_else(|| PipeTuneError::InvalidConfig {
-        reason: "scheduler finished without any trial".into(),
+    let (_, best_id) = best.ok_or_else(|| {
+        if fault_report.abandoned > 0 {
+            PipeTuneError::InvalidConfig {
+                reason: format!(
+                    "every trial was abandoned under the fault plan \
+                     ({} abandoned); relax the plan or raise the retry budget",
+                    fault_report.abandoned
+                ),
+            }
+        } else {
+            PipeTuneError::InvalidConfig {
+                reason: "scheduler finished without any trial".into(),
+            }
+        }
     })?;
     let best_trial = &mut trials.get_mut(&best_id).expect("best trial exists").exec;
     let best_accuracy = best_trial.accuracy()?;
@@ -309,6 +409,7 @@ where
         tuning_energy_j: energy,
         epochs_total: scheduler.epochs_issued(),
         outcomes,
+        fault_report,
     })
 }
 
@@ -348,5 +449,31 @@ mod tests {
         let (_, m2) = SlotSchedule::assign(&d, 2);
         let (_, m4) = SlotSchedule::assign(&d, 4);
         assert!(m1 >= m2 && m2 >= m4);
+    }
+
+    #[test]
+    fn weighted_assign_with_healthy_slots_matches_assign() {
+        let d = [4.0, 3.0, 2.0, 1.0, 0.5, 6.0];
+        let (c_plain, m_plain) = SlotSchedule::assign(&d, 3);
+        let (c_w, m_w) = SlotSchedule::assign_weighted(&d, &[1.0, 1.0, 1.0]);
+        assert_eq!(c_plain, c_w);
+        assert_eq!(m_plain, m_w);
+    }
+
+    #[test]
+    fn weighted_assign_steers_work_away_from_slow_slot() {
+        // Slot 1 runs at half speed: the greedy earliest-finish rule should
+        // route most work to slot 0 and finish sooner than naive least-load
+        // assignment onto the slow slot would.
+        let d = [2.0; 8];
+        let (completions, makespan) = SlotSchedule::assign_weighted(&d, &[1.0, 0.5]);
+        assert_eq!(completions.len(), d.len());
+        // Fast slot absorbs ~2/3 of the items: 16 total units of work at
+        // combined speed 1.5 bounds the makespan near 16/1.5 ≈ 10.67.
+        assert!(makespan < 14.0, "makespan {makespan}");
+        // A straggling slot strictly inflates the makespan vs two healthy
+        // slots (8.0).
+        let (_, healthy) = SlotSchedule::assign_weighted(&d, &[1.0, 1.0]);
+        assert!(makespan > healthy);
     }
 }

@@ -8,7 +8,7 @@
 //! Under [`SystemTuner::Fixed`] every epoch runs with one configuration —
 //! the Tune V1/V2 behaviour.
 
-use pipetune_cluster::SystemConfig;
+use pipetune_cluster::{FaultKind, FaultReport, SystemConfig};
 use rand::rngs::StdRng;
 
 use crate::groundtruth::GroundTruthAccess;
@@ -50,7 +50,7 @@ pub struct EpochRecord {
 }
 
 /// The per-trial system-parameter policy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum SystemTuner {
     /// Run every epoch with one fixed configuration (Tune V1/V2, Arbitrary).
     Fixed(SystemConfig),
@@ -111,6 +111,30 @@ impl SystemTuner {
     }
 }
 
+/// An epoch-boundary checkpoint of one trial: model/optimizer state (the
+/// workload clone carries both), the tuning-policy state, the accumulated
+/// [`EpochRecord`]s and accounting, and the trial's private RNG stream.
+///
+/// Restoring a checkpoint and re-running produces byte-identical results to
+/// the first run — the property crash recovery leans on to keep faulty runs
+/// inside the replay contract.
+#[derive(Debug, Clone)]
+pub struct TrialCheckpoint {
+    workload: WorkloadInstance,
+    tuner: SystemTuner,
+    records: Vec<EpochRecord>,
+    total_secs: f64,
+    total_energy_j: f64,
+    rng: StdRng,
+}
+
+impl TrialCheckpoint {
+    /// Epochs the checkpointed workload had completed.
+    pub fn epochs_run(&self) -> u32 {
+        self.workload.epochs_run()
+    }
+}
+
 /// A trial in flight: workload + tuning policy + accounting.
 #[derive(Debug)]
 pub struct TrialExecution {
@@ -119,12 +143,66 @@ pub struct TrialExecution {
     records: Vec<EpochRecord>,
     total_secs: f64,
     total_energy_j: f64,
+    trial_id: u64,
+    faults: FaultReport,
 }
 
 impl TrialExecution {
     /// Wraps a freshly instantiated workload with a policy.
     pub fn new(workload: WorkloadInstance, tuner: SystemTuner) -> Self {
-        TrialExecution { workload, tuner, records: Vec::new(), total_secs: 0.0, total_energy_j: 0.0 }
+        TrialExecution {
+            workload,
+            tuner,
+            records: Vec::new(),
+            total_secs: 0.0,
+            total_energy_j: 0.0,
+            trial_id: 0,
+            faults: FaultReport::default(),
+        }
+    }
+
+    /// Tags the execution with its scheduler trial id. Fault decisions are
+    /// keyed on this id, so the executor must set it before running epochs
+    /// under a non-empty [`pipetune_cluster::FaultPlan`].
+    #[must_use]
+    pub fn with_trial_id(mut self, id: u64) -> Self {
+        self.trial_id = id;
+        self
+    }
+
+    /// The scheduler trial id fault decisions are keyed on.
+    pub fn trial_id(&self) -> u64 {
+        self.trial_id
+    }
+
+    /// Fault-tolerance accounting accumulated so far.
+    pub fn fault_report(&self) -> FaultReport {
+        self.faults
+    }
+
+    /// Snapshots the full trial state (model, optimizer, tuner, records,
+    /// accounting, RNG stream) at the current epoch boundary.
+    pub fn checkpoint(&self, rng: &StdRng) -> TrialCheckpoint {
+        TrialCheckpoint {
+            workload: self.workload.clone(),
+            tuner: self.tuner.clone(),
+            records: self.records.clone(),
+            total_secs: self.total_secs,
+            total_energy_j: self.total_energy_j,
+            rng: rng.clone(),
+        }
+    }
+
+    /// Rolls the trial (and its RNG stream) back to `ckpt`. Fault counters
+    /// are deliberately *not* rolled back — recovery accounting must survive
+    /// the state restore it causes.
+    pub fn restore(&mut self, ckpt: TrialCheckpoint, rng: &mut StdRng) {
+        self.workload = ckpt.workload;
+        self.tuner = ckpt.tuner;
+        self.records = ckpt.records;
+        self.total_secs = ckpt.total_secs;
+        self.total_energy_j = ckpt.total_energy_j;
+        *rng = ckpt.rng;
     }
 
     /// The live workload.
@@ -180,7 +258,8 @@ impl TrialExecution {
         env.cost.epoch_duration(&work, &sys, 1.0) * f64::from(epochs)
     }
 
-    /// Runs `epochs` additional epochs under the policy.
+    /// Runs `epochs` additional epochs under the policy, recovering from
+    /// any faults [`ExperimentEnv::fault_plan`] injects.
     ///
     /// For the pipelined policy, `ground_truth` supplies history sharing
     /// across trials and jobs — pass a `&mut GroundTruth` directly for
@@ -188,9 +267,29 @@ impl TrialExecution {
     /// [`crate::GtSession`] when many trials run concurrently; pass `None`
     /// to disable reuse (ablation).
     ///
+    /// Fault recovery (all decisions pure functions of
+    /// `(trial id, fault plan)`, so results replay byte-identically for any
+    /// worker count; under the empty plan this path is bypassed entirely):
+    ///
+    /// * **node crash** — the attempt really runs against an epoch-boundary
+    ///   [`TrialCheckpoint`] and is rolled back (mid-epoch crash semantics:
+    ///   partial work wasted, model/RNG state restored), then retried after
+    ///   exponential backoff in simulated time, up to
+    ///   [`pipetune_cluster::RetryPolicy::max_attempts`];
+    /// * **straggler** — the epoch completes at `slowdown ×` its nominal
+    ///   duration; training output is untouched;
+    /// * **counter read** — training proceeds but the epoch's profile/probe
+    ///   measurement is lost: a lost profile re-profiles next epoch, a lost
+    ///   probe leaves the argmin to the surviving tuples (re-probing from
+    ///   scratch only if *every* tuple was lost);
+    /// * **preemption** — the trial resumes after a deterministic
+    ///   suspension; no work is lost.
+    ///
     /// # Errors
     ///
     /// Propagates substrate failures; ground-truth persistence failures.
+    /// Returns [`PipeTuneError::RetriesExhausted`] when one epoch crashes
+    /// more times than the retry budget allows.
     pub fn run_epochs(
         &mut self,
         env: &ExperimentEnv,
@@ -199,7 +298,122 @@ impl TrialExecution {
         contention: f64,
         rng: &mut StdRng,
     ) -> Result<(), PipeTuneError> {
+        if env.fault_plan.is_empty() {
+            // Fault-free fast path: zero extra arithmetic, zero extra RNG
+            // traffic — bit-identical to builds without fault injection.
+            for _ in 0..epochs {
+                self.run_one_epoch(env, &mut ground_truth, contention, rng, 1.0, false)?;
+            }
+            return Ok(());
+        }
         for _ in 0..epochs {
+            let epoch_idx = self.workload.epochs_run() + 1;
+            let mut attempt = 0u32;
+            loop {
+                let fault = env.fault_plan.at_epoch(self.trial_id, epoch_idx, attempt);
+                if let Some(FaultKind::NodeCrash { wasted_fraction }) = fault {
+                    self.faults.injected += 1;
+                    self.faults.crashes += 1;
+                    // Run the attempt for real against a checkpoint, then
+                    // roll back: the node died `wasted_fraction` of the way
+                    // through, its partial work and energy are lost, and
+                    // model/optimizer/RNG state rewinds to the epoch
+                    // boundary.
+                    let ckpt = self.checkpoint(rng);
+                    self.run_one_epoch(env, &mut None, contention, rng, 1.0, false)?;
+                    let attempt_secs = self.total_secs - ckpt.total_secs;
+                    let attempt_energy = self.total_energy_j - ckpt.total_energy_j;
+                    self.restore(ckpt, rng);
+                    let wasted = attempt_secs * wasted_fraction;
+                    let backoff = env.retry.backoff_secs(attempt);
+                    self.total_secs += wasted + backoff;
+                    self.total_energy_j += attempt_energy * wasted_fraction;
+                    self.faults.wasted_epoch_secs += wasted;
+                    self.faults.recovery_overhead_secs += backoff;
+                    attempt += 1;
+                    if attempt >= env.retry.max_attempts.max(1) {
+                        self.faults.abandoned += 1;
+                        return Err(PipeTuneError::RetriesExhausted {
+                            trial_id: self.trial_id,
+                            attempts: attempt,
+                        });
+                    }
+                    self.faults.retried += 1;
+                    continue;
+                }
+                // Non-crash faults complete the epoch in one attempt.
+                let (slowdown, counter_fault) = match fault {
+                    Some(FaultKind::Straggler { slowdown }) => {
+                        self.faults.injected += 1;
+                        self.faults.stragglers += 1;
+                        (slowdown.max(1.0), false)
+                    }
+                    Some(FaultKind::CounterRead) => {
+                        self.faults.injected += 1;
+                        self.faults.counter_faults += 1;
+                        if self.measurement_pending() {
+                            // The lost profile/probe is re-collected on a
+                            // later epoch.
+                            self.faults.retried += 1;
+                        }
+                        (1.0, true)
+                    }
+                    Some(FaultKind::Preemption { suspend_secs }) => {
+                        self.faults.injected += 1;
+                        self.faults.preemptions += 1;
+                        self.faults.recovery_overhead_secs += suspend_secs;
+                        self.total_secs += suspend_secs;
+                        (1.0, false)
+                    }
+                    _ => (1.0, false),
+                };
+                let before_secs = self.total_secs;
+                self.run_one_epoch(
+                    env,
+                    &mut ground_truth,
+                    contention,
+                    rng,
+                    slowdown,
+                    counter_fault,
+                )?;
+                if slowdown > 1.0 {
+                    let dur = self.total_secs - before_secs;
+                    self.faults.wasted_epoch_secs += dur * (1.0 - 1.0 / slowdown);
+                }
+                if fault.is_some() || attempt > 0 {
+                    // The epoch got through a fault (its own or earlier
+                    // crashed attempts).
+                    self.faults.recovered += 1;
+                }
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` while the pipelined tuner still depends on counter readings
+    /// (profiling or probing); a counter fault in this window loses a
+    /// measurement that must be re-collected.
+    fn measurement_pending(&self) -> bool {
+        match &self.tuner {
+            SystemTuner::Fixed(_) => false,
+            SystemTuner::Pipelined { chosen, .. } => chosen.is_none(),
+        }
+    }
+
+    /// Executes exactly one epoch under the policy (no fault handling —
+    /// `slowdown` and `counter_fault` are the already-decided fault inputs;
+    /// `1.0` / `false` mean a clean epoch).
+    fn run_one_epoch(
+        &mut self,
+        env: &ExperimentEnv,
+        ground_truth: &mut Option<&mut dyn GroundTruthAccess>,
+        contention: f64,
+        rng: &mut StdRng,
+        slowdown: f64,
+        counter_fault: bool,
+    ) -> Result<(), PipeTuneError> {
+        {
             let epoch_idx = self.workload.epochs_run() + 1;
             let work = self.workload.work_units();
             // Decide this epoch's system configuration and phase.
@@ -227,6 +441,10 @@ impl TrialExecution {
             if matches!(phase, EpochPhase::Profile) {
                 duration *= 1.0 + env.profile_overhead.max(0.0);
             }
+            if slowdown > 1.0 {
+                // Straggler epoch: the node is slow, the work is not lost.
+                duration *= slowdown;
+            }
             let energy = env.trial_power(&sys) * duration;
             self.total_secs += duration;
             self.total_energy_j += energy;
@@ -251,38 +469,49 @@ impl TrialExecution {
             {
                 if chosen.is_none() {
                     if features.is_none() {
-                        // Profile epoch just finished: extract counters and
-                        // consult the ground truth.
+                        // Profile epoch just finished: read the counters —
+                        // fallibly, because a transient counter fault loses
+                        // the measurement — and consult the ground truth.
                         let sig = self.workload.signature();
                         let profile = if env.sampled_profiling {
                             // Full 1 Hz pipeline: short epochs leave blind
                             // spots (events never scheduled read as zero).
-                            env.profiler.sample_epoch(&sig, sys.cores, duration, rng).scale_to_epoch()
+                            env.profiler
+                                .try_sample_epoch(&sig, sys.cores, duration, rng, epoch_idx, counter_fault)
+                                .map(|trace| trace.scale_to_epoch())
                         } else {
-                            env.profiler.profile_epoch(&sig, sys.cores, duration, rng)
+                            env.profiler
+                                .try_profile_epoch(&sig, sys.cores, duration, rng, epoch_idx, counter_fault)
                         };
-                        let feats = profile.features();
-                        if let Some(gt) = ground_truth.as_deref_mut() {
-                            if let Some(cfg) = gt.lookup(&feats) {
-                                *chosen = Some(cfg);
+                        if let Ok(profile) = profile {
+                            let feats = profile.features();
+                            if let Some(gt) = ground_truth.as_deref_mut() {
+                                if let Some(cfg) = gt.lookup(&feats) {
+                                    *chosen = Some(cfg);
+                                }
                             }
+                            if chosen.is_none() {
+                                // Miss: schedule the cores sweep (reversed so
+                                // `pop` walks it in order).
+                                let mem = env.default_system.memory_gb;
+                                *probe_phase = ProbePhase::Cores;
+                                *probe_queue = env
+                                    .system_space
+                                    .cores
+                                    .iter()
+                                    .rev()
+                                    .map(|&c| SystemConfig::new(c, mem))
+                                    .collect();
+                            }
+                            *features = Some(feats);
                         }
-                        if chosen.is_none() {
-                            // Miss: schedule the cores sweep (reversed so
-                            // `pop` walks it in order).
-                            let mem = env.default_system.memory_gb;
-                            *probe_phase = ProbePhase::Cores;
-                            *probe_queue = env
-                                .system_space
-                                .cores
-                                .iter()
-                                .rev()
-                                .map(|&c| SystemConfig::new(c, mem))
-                                .collect();
-                        }
-                        *features = Some(feats);
+                        // On a lost read: features stay unset, so the next
+                        // epoch re-profiles (the fault accounting happens in
+                        // the recovery loop).
                     } else if matches!(phase, EpochPhase::Probe) {
-                        probe_results.push((sys, goal.cost(duration, energy)));
+                        if !counter_fault {
+                            probe_results.push((sys, goal.cost(duration, energy)));
+                        }
                         if probe_queue.is_empty() {
                             let best = probe_results
                                 .iter()
@@ -373,7 +602,21 @@ impl TrialExecution {
                                         )?;
                                     }
                                 }
-                                _ => {}
+                                (_, None) => {
+                                    // Every probed tuple was lost to
+                                    // counter faults: re-probe the cores
+                                    // sweep from scratch (the paper's
+                                    // argmin needs at least one survivor).
+                                    let mem = env.default_system.memory_gb;
+                                    *probe_phase = ProbePhase::Cores;
+                                    *probe_queue = env
+                                        .system_space
+                                        .cores
+                                        .iter()
+                                        .rev()
+                                        .map(|&c| SystemConfig::new(c, mem))
+                                        .collect();
+                                }
                             }
                         }
                     }
@@ -510,5 +753,77 @@ mod tests {
         let tt_default = t_default.training_time_secs(&e, 10);
         let tt_big = t_big.training_time_secs(&e, 10);
         assert!(tt_big < tt_default);
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_byte_identically() {
+        let e = env();
+        let mut t = make_trial(256, SystemTuner::pipelined(ProbeGoal::Runtime));
+        let mut rng = StdRng::seed_from_u64(7);
+        t.run_epochs(&e, 3, None, 1.0, &mut rng).unwrap();
+        let ckpt = t.checkpoint(&rng);
+        t.run_epochs(&e, 4, None, 1.0, &mut rng).unwrap();
+        let records_first: Vec<EpochRecord> = t.records().to_vec();
+        let secs_first = t.duration_secs();
+        let acc_first = t.accuracy().unwrap();
+        // Roll back and rerun: the restored RNG stream must reproduce every
+        // stochastic draw, so the replay is byte-identical.
+        t.restore(ckpt, &mut rng);
+        assert_eq!(t.records().len(), 3);
+        t.run_epochs(&e, 4, None, 1.0, &mut rng).unwrap();
+        assert_eq!(t.records(), records_first.as_slice());
+        assert_eq!(t.duration_secs().to_bits(), secs_first.to_bits());
+        assert_eq!(t.accuracy().unwrap().to_bits(), acc_first.to_bits());
+    }
+
+    #[test]
+    fn crash_every_epoch_exhausts_the_retry_budget() {
+        let e = env().with_fault_plan(pipetune_cluster::FaultPlan::crashes(99, 1.0));
+        let mut t = make_trial(256, SystemTuner::Fixed(e.default_system)).with_trial_id(4);
+        let mut rng = StdRng::seed_from_u64(8);
+        let err = t.run_epochs(&e, 5, None, 1.0, &mut rng).unwrap_err();
+        match err {
+            PipeTuneError::RetriesExhausted { trial_id, attempts } => {
+                assert_eq!(trial_id, 4);
+                assert_eq!(attempts, e.retry.max_attempts);
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        let report = t.fault_report();
+        assert_eq!(report.abandoned, 1);
+        assert_eq!(report.crashes, u64::from(e.retry.max_attempts));
+        assert_eq!(report.retried, u64::from(e.retry.max_attempts) - 1);
+        assert!(report.wasted_epoch_secs > 0.0);
+        assert!(report.recovery_overhead_secs > 0.0);
+        // No epoch ever committed.
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn recovered_crash_leaves_training_state_equal_to_fault_free_run() {
+        // Crash probability low enough that the retry budget absorbs every
+        // crash: the run completes, and because crashed attempts roll back
+        // model + RNG state, the surviving epochs are bit-equal to a
+        // fault-free run — only the clock and the fault report differ.
+        let plan = pipetune_cluster::FaultPlan::crashes(17, 0.3);
+        let clean_env = env();
+        let faulty_env = env().with_fault_plan(plan);
+        let run = |e: &ExperimentEnv| {
+            let mut t = make_trial(256, SystemTuner::Fixed(e.default_system)).with_trial_id(2);
+            let mut rng = StdRng::seed_from_u64(9);
+            t.run_epochs(e, 8, None, 1.0, &mut rng).unwrap();
+            t
+        };
+        let mut clean = run(&clean_env);
+        let mut faulty = run(&faulty_env);
+        assert!(faulty.fault_report().crashes > 0, "plan should inject at least one crash");
+        assert!(faulty.fault_report().recovered > 0);
+        assert_eq!(faulty.records().len(), clean.records().len());
+        assert_eq!(
+            faulty.accuracy().unwrap().to_bits(),
+            clean.accuracy().unwrap().to_bits(),
+            "crash recovery must not perturb training"
+        );
+        assert!(faulty.duration_secs() > clean.duration_secs(), "faults cost simulated time");
     }
 }

@@ -110,6 +110,9 @@ pub struct TuningOutcome {
     /// seed `env.subseed(best_trial_id)`, so the exact model/dataset can be
     /// rebuilt.
     pub best_trial_id: u64,
+    /// Faults injected and recovered from during the job (clean when the
+    /// environment's fault plan is empty).
+    pub fault_report: pipetune_cluster::FaultReport,
 }
 
 /// The PipeTune middleware. Holds the cross-job ground truth; run one HPT
@@ -195,6 +198,7 @@ impl PipeTune {
             convergence: convergence_from(&result.outcomes),
             model_weights: result.best_weights,
             best_trial_id: result.best_trial_id,
+            fault_report: result.fault_report,
             gt_stats: GroundTruthStats {
                 recorded: stats_after.recorded - stats_before.recorded,
                 hits: stats_after.hits - stats_before.hits,

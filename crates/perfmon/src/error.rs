@@ -1,0 +1,46 @@
+//! Typed profiler failures.
+//!
+//! Real PMU reads fail: `perf_event_open` can lose its file descriptor when
+//! a node is drained, counters return `EBADF`/`ENODEV` mid-run after CPU
+//! hotplug, and RDPMC faults under migration. The middleware treats these as
+//! *transient* — the epoch's training is fine, only its measurement is lost
+//! — so the error carries enough context to re-profile and is distinct from
+//! substrate errors that poison the trial.
+
+use std::error::Error;
+use std::fmt;
+
+/// A profiler-side failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfmonError {
+    /// A hardware counter read failed transiently during the given epoch;
+    /// the profile for that epoch is unusable and must be re-collected.
+    CounterRead {
+        /// 1-based epoch index whose measurement was lost.
+        epoch: u32,
+    },
+}
+
+impl fmt::Display for PerfmonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfmonError::CounterRead { epoch } => {
+                write!(f, "transient counter read failure during epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl Error for PerfmonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_the_lost_epoch() {
+        let e = PerfmonError::CounterRead { epoch: 7 };
+        assert!(e.to_string().contains("epoch 7"));
+        assert!(e.to_string().contains("counter read"));
+    }
+}

@@ -33,11 +33,13 @@
 //! assert_eq!(profile.counts().len(), pipetune_perfmon::NUM_EVENTS);
 //! ```
 
+mod error;
 mod events;
 mod filter;
 mod profiler;
 mod sampling;
 
+pub use error::PerfmonError;
 pub use events::{event_index, EVENT_NAMES, NUM_EVENTS};
 pub use filter::{decorrelated_events, pearson};
 pub use profiler::{EpochProfile, Profiler, WorkloadSignature};

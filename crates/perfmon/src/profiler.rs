@@ -307,6 +307,30 @@ impl Profiler {
             .collect();
         EpochProfile { counts }
     }
+
+    /// Fallible variant of [`Profiler::profile_epoch`] for environments
+    /// with injected counter faults. When `counter_fault` is set the read
+    /// fails with [`PerfmonError::CounterRead`] *without consuming any RNG
+    /// draws*, so a caller that retries next epoch sees the same noise
+    /// stream it would have seen profiling that epoch directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfmonError::CounterRead`] when `counter_fault` is set.
+    pub fn try_profile_epoch<R: Rng>(
+        &self,
+        sig: &WorkloadSignature,
+        cores: u32,
+        epoch_secs: f64,
+        rng: &mut R,
+        epoch: u32,
+        counter_fault: bool,
+    ) -> Result<EpochProfile, crate::PerfmonError> {
+        if counter_fault {
+            return Err(crate::PerfmonError::CounterRead { epoch });
+        }
+        Ok(self.profile_epoch(sig, cores, epoch_secs, rng))
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +355,20 @@ mod tests {
             memory_intensity: 0.9,
             branch_ratio: 0.16,
         }
+    }
+
+    #[test]
+    fn try_profile_fault_fails_without_consuming_rng() {
+        let p = Profiler::default();
+        let sig = cnn_sig();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let err = p.try_profile_epoch(&sig, 8, 60.0, &mut rng_a, 3, true).expect_err("fault");
+        assert_eq!(err, crate::PerfmonError::CounterRead { epoch: 3 });
+        // The failed read consumed nothing: the retry sees the same noise
+        // stream a fresh profiler call would.
+        let retry = p.try_profile_epoch(&sig, 8, 60.0, &mut rng_a, 4, false).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(9);
+        assert_eq!(retry, p.profile_epoch(&sig, 8, 60.0, &mut rng_b));
     }
 
     #[test]

@@ -117,6 +117,30 @@ impl Profiler {
         }
         SampleTrace { windows, epoch_secs }
     }
+
+    /// Fallible variant of [`Profiler::sample_epoch`] mirroring
+    /// [`Profiler::try_profile_epoch`]: an injected counter fault aborts the
+    /// whole 1 Hz trace (the perf session died mid-epoch) without consuming
+    /// RNG draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PerfmonError::CounterRead`] when `counter_fault` is
+    /// set.
+    pub fn try_sample_epoch<R: Rng>(
+        &self,
+        sig: &WorkloadSignature,
+        cores: u32,
+        epoch_secs: f64,
+        rng: &mut R,
+        epoch: u32,
+        counter_fault: bool,
+    ) -> Result<SampleTrace, crate::PerfmonError> {
+        if counter_fault {
+            return Err(crate::PerfmonError::CounterRead { epoch });
+        }
+        Ok(self.sample_epoch(sig, cores, epoch_secs, rng))
+    }
 }
 
 #[cfg(test)]

@@ -168,6 +168,11 @@ impl Database {
 
     /// Serialises the whole store to a JSON file.
     ///
+    /// The write is crash-safe: the JSON goes to a unique temporary file in
+    /// the destination directory and is published with an atomic rename, so
+    /// a crash mid-save leaves either the previous file or the new one —
+    /// never a truncated mix (the warm-start path depends on this).
+    ///
     /// # Errors
     ///
     /// Returns [`TsdbError::Io`] on filesystem failures.
@@ -175,7 +180,24 @@ impl Database {
         let guard = self.points.read();
         let json = serde_json::to_string(&*guard)
             .map_err(|e| TsdbError::Corrupt { reason: e.to_string() })?;
-        std::fs::write(path, json)?;
+        drop(guard);
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp_name = format!(
+            ".{}.{}.{}.tmp",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("tsdb"),
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        let tmp = match dir {
+            Some(d) => d.join(&tmp_name),
+            None => std::path::PathBuf::from(&tmp_name),
+        };
+        std::fs::write(&tmp, json)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -294,6 +316,32 @@ mod tests {
         let loaded = Database::load(&path).unwrap();
         assert_eq!(loaded.len(), db.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_existing_file_atomically_and_leaves_no_temp() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("pipetune_tsdb_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        // Overwrite an existing (stale) file in place.
+        std::fs::write(&path, "stale contents").unwrap();
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        // No temporary artefacts survive a successful save.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        // Saving into a missing directory fails without clobbering `path`.
+        let bad = dir.join("no_such_dir").join("db.json");
+        assert!(matches!(db.save(&bad), Err(TsdbError::Io(_))));
+        assert!(Database::load(&path).is_ok(), "original file untouched");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

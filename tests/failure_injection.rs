@@ -3,8 +3,8 @@
 //! scores, pathological environments.
 
 use pipetune::{
-    ExperimentEnv, GroundTruth, HyperParams, PipeTune, ProbeGoal, SystemTuner, TrialExecution,
-    TunerOptions, WorkloadSpec,
+    ExperimentEnv, FaultPlan, GroundTruth, HyperParams, PipeTune, PipeTuneError, ProbeGoal,
+    SystemTuner, TrialExecution, TuneV2, TunerOptions, WorkloadSpec,
 };
 use pipetune_search::{HyperBand, ParamSpec, SearchSpace, TrialReport, TrialScheduler};
 use rand::rngs::StdRng;
@@ -111,6 +111,117 @@ fn extreme_contention_still_yields_finite_times() {
     trial.run_epochs(&env, 2, None, 1e6, &mut rng).expect("runs");
     assert!(trial.duration_secs().is_finite());
     assert!(trial.energy_j().is_finite());
+}
+
+#[test]
+fn crash_every_epoch_abandons_the_trial_after_the_retry_budget() {
+    // Certain crash probability: every attempt of every epoch dies, so the
+    // first epoch burns the whole retry budget and the trial is abandoned
+    // with a typed error.
+    let env = ExperimentEnv::distributed(2005).with_fault_plan(FaultPlan::crashes(31, 1.0));
+    let hp = HyperParams { batch_size: 256, learning_rate: 0.02, epochs: 20, ..HyperParams::default() };
+    let workload =
+        WorkloadSpec::lenet_mnist().with_scale(0.2).instantiate(&hp, 1).expect("builds");
+    let mut trial =
+        TrialExecution::new(workload, SystemTuner::Fixed(env.default_system)).with_trial_id(7);
+    let mut rng = StdRng::seed_from_u64(9);
+    let err = trial.run_epochs(&env, 3, None, 1.0, &mut rng).expect_err("must abandon");
+    match err {
+        PipeTuneError::RetriesExhausted { trial_id, attempts } => {
+            assert_eq!(trial_id, 7);
+            assert_eq!(attempts, env.retry.max_attempts);
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+    assert_eq!(trial.fault_report().abandoned, 1);
+}
+
+#[test]
+fn scheduler_terminates_when_every_trial_is_abandoned() {
+    // At the job level, universal abandonment must not wedge the scheduler:
+    // abandoned trials score NEG_INFINITY, HyperBand drains normally, and
+    // the run surfaces a descriptive error instead of hanging or panicking.
+    let env = ExperimentEnv::distributed(2006).with_fault_plan(FaultPlan::crashes(32, 1.0));
+    let err = PipeTune::new(TunerOptions::fast())
+        .run(&env, &WorkloadSpec::lenet_mnist())
+        .expect_err("no trial can survive a certain crash");
+    assert!(err.to_string().contains("abandoned"), "got: {err}");
+}
+
+#[test]
+fn straggler_only_plan_changes_durations_but_not_accuracies() {
+    // Stragglers slow epochs down without losing work, so the tuned model
+    // and every trial accuracy must be bit-equal to the fault-free run;
+    // only the clocks (and the fault report) move.
+    let clean_env = ExperimentEnv::distributed(2007);
+    let slow_env = ExperimentEnv::distributed(2007).with_fault_plan(FaultPlan::stragglers(33, 0.4));
+    let clean =
+        PipeTune::new(TunerOptions::fast()).run(&clean_env, &WorkloadSpec::lenet_mnist()).unwrap();
+    let slow =
+        PipeTune::new(TunerOptions::fast()).run(&slow_env, &WorkloadSpec::lenet_mnist()).unwrap();
+    assert!(slow.fault_report.stragglers > 0, "plan should inject stragglers");
+    assert_eq!(slow.fault_report.crashes, 0);
+    assert_eq!(slow.fault_report.abandoned, 0);
+    assert_eq!(slow.best_accuracy.to_bits(), clean.best_accuracy.to_bits());
+    // Same trials, same accuracies (completion order may shift with the
+    // inflated clocks, so compare as multisets).
+    let accs = |o: &pipetune::TuningOutcome| {
+        let mut a: Vec<u32> = o.convergence.iter().map(|p| p.accuracy.to_bits()).collect();
+        a.sort_unstable();
+        a
+    };
+    assert_eq!(accs(&slow), accs(&clean));
+    assert!(
+        slow.tuning_secs > clean.tuning_secs,
+        "stragglers must inflate tuning time: {} vs {}",
+        slow.tuning_secs,
+        clean.tuning_secs
+    );
+    assert!(slow.fault_report.wasted_epoch_secs > 0.0);
+}
+
+#[test]
+fn pipetune_still_beats_tune_v2_on_tuning_time_under_faults() {
+    // Table 2's headline must survive a hostile cluster: under one identical
+    // mixed fault plan, PipeTune's tuning time stays ahead of Tune V2's.
+    let plan = FaultPlan::mixed(34);
+    let env = ExperimentEnv::distributed(2008).with_fault_plan(plan.clone());
+    let pipetune =
+        PipeTune::new(TunerOptions::fast()).run(&env, &WorkloadSpec::lenet_mnist()).unwrap();
+    let v2 = TuneV2::new(TunerOptions::fast()).run(&env, &WorkloadSpec::lenet_mnist()).unwrap();
+    assert!(
+        pipetune.tuning_secs < v2.tuning_secs,
+        "PipeTune {}s vs Tune V2 {}s under faults",
+        pipetune.tuning_secs,
+        v2.tuning_secs
+    );
+    assert!(pipetune.fault_report.injected > 0);
+    assert!(v2.fault_report.injected > 0);
+}
+
+#[test]
+fn crash_recovery_completes_with_accuracy_parity() {
+    // Moderate crash probability: the retry budget absorbs the crashes, the
+    // job completes, recovery is visible in the report, and — because
+    // crashed attempts roll model and RNG state back to the epoch boundary —
+    // the tuned accuracy stays within a tight parity band of the fault-free
+    // run.
+    let clean_env = ExperimentEnv::distributed(2009);
+    let crash_env = ExperimentEnv::distributed(2009).with_fault_plan(FaultPlan::crashes(35, 0.05));
+    let clean =
+        PipeTune::new(TunerOptions::fast()).run(&clean_env, &WorkloadSpec::lenet_mnist()).unwrap();
+    let crashed =
+        PipeTune::new(TunerOptions::fast()).run(&crash_env, &WorkloadSpec::lenet_mnist()).unwrap();
+    assert!(crashed.fault_report.crashes > 0, "plan should inject crashes");
+    assert!(crashed.fault_report.recovered > 0, "crashes should be recovered from");
+    assert!(crashed.fault_report.recovery_overhead_secs > 0.0, "backoff costs simulated time");
+    assert!(
+        (f64::from(crashed.best_accuracy) - f64::from(clean.best_accuracy)).abs() < 0.02,
+        "accuracy parity violated: {} vs {}",
+        crashed.best_accuracy,
+        clean.best_accuracy
+    );
+    assert!(crashed.tuning_secs > clean.tuning_secs, "recovery is not free");
 }
 
 #[test]
