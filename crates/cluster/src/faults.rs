@@ -55,6 +55,19 @@ pub enum FaultKind {
 /// configured ranges. The empty plan ([`FaultPlan::none`]) injects nothing
 /// and is the default everywhere, so fault-free runs are bit-identical to
 /// builds that predate fault injection.
+///
+/// ```
+/// use pipetune_cluster::FaultPlan;
+///
+/// let plan = FaultPlan::mixed(7);
+/// assert!(!plan.is_empty());
+/// // Fault decisions are pure functions of (trial, epoch, attempt) — the
+/// // same query always returns the same answer, on any thread, in any
+/// // order, which is what keeps faulty runs replayable.
+/// assert_eq!(plan.at_epoch(3, 1, 0), plan.at_epoch(3, 1, 0));
+/// // The empty plan never injects anything.
+/// assert_eq!(FaultPlan::none().at_epoch(3, 1, 0), None);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed decorrelating this plan from every other stochastic component.

@@ -23,9 +23,12 @@
 //! Everything is deterministic under a seed; times are simulated, never wall
 //! clock.
 
+#![warn(missing_docs)]
+
 mod arrivals;
 mod cost;
 mod faults;
+pub mod observe;
 mod sim;
 mod system;
 mod topology;

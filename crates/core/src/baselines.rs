@@ -62,6 +62,7 @@ impl TuneV1 {
             &spec,
             scheduler.as_mut(),
             Objective::Accuracy,
+            "tune_v1",
             |_config| SystemTuner::Fixed(default_sys),
             None,
             contention,
@@ -151,6 +152,7 @@ impl TuneV2 {
             &spec,
             scheduler.as_mut(),
             Objective::AccuracyPerTime,
+            "tune_v2",
             |config| SystemTuner::Fixed(system_from_config(config).unwrap_or(default_sys)),
             None,
             contention,

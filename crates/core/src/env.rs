@@ -3,6 +3,7 @@
 use pipetune_cluster::{ClusterSpec, CostModel, FaultPlan, RetryPolicy, SystemConfig, SystemSpace};
 use pipetune_energy::PowerModel;
 use pipetune_perfmon::Profiler;
+use pipetune_telemetry::TelemetryHandle;
 
 /// Bundles the simulated infrastructure (§7.1.1): cluster inventory, cost
 /// model, power model, PMU, system-parameter grid, default trial
@@ -45,6 +46,13 @@ pub struct ExperimentEnv {
     /// blind spots on short epochs) instead of the closed-form epoch
     /// average. Off by default; the sampling extension turns it on.
     pub sampled_profiling: bool,
+    /// Structured observability (spans, events, metrics). Disabled by
+    /// default — a disabled handle is a no-op at every instrumentation
+    /// site and leaves all run results bit-identical to uninstrumented
+    /// builds. Enable with [`ExperimentEnv::with_telemetry`]; exported
+    /// traces are byte-identical for every [`ExperimentEnv::workers`]
+    /// count (see `docs/telemetry.md`).
+    pub telemetry: TelemetryHandle,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
 }
@@ -66,6 +74,7 @@ impl ExperimentEnv {
             retry: RetryPolicy::default(),
             profile_overhead: 0.02,
             sampled_profiling: false,
+            telemetry: TelemetryHandle::disabled(),
             seed,
         }
     }
@@ -90,6 +99,7 @@ impl ExperimentEnv {
             retry: RetryPolicy::default(),
             profile_overhead: 0.02,
             sampled_profiling: false,
+            telemetry: TelemetryHandle::disabled(),
             seed,
         }
     }
@@ -132,6 +142,28 @@ impl ExperimentEnv {
     #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Installs a telemetry handle. Pass
+    /// [`TelemetryHandle::enabled`] to record spans, events and metrics
+    /// for every run executed against this environment; keep the handle
+    /// (or a clone) to snapshot and export them afterwards.
+    ///
+    /// ```
+    /// use pipetune::ExperimentEnv;
+    /// use pipetune_telemetry::TelemetryHandle;
+    ///
+    /// let telemetry = TelemetryHandle::enabled();
+    /// let env = ExperimentEnv::distributed(42).with_telemetry(telemetry.clone());
+    /// assert!(env.telemetry.is_enabled());
+    /// // ... run a tuner against `env`, then:
+    /// let snapshot = telemetry.snapshot().unwrap();
+    /// assert_eq!(snapshot.spans.len(), 0); // nothing ran yet
+    /// ```
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

@@ -373,7 +373,7 @@ enum GtEvent {
 
 /// Thread-safe wrapper sharing one [`GroundTruth`] across executor threads.
 ///
-/// Reads go through an [`RwLock`] so any number of trials can consult the
+/// Reads go through an [`std::sync::RwLock`] so any number of trials can consult the
 /// history concurrently; writes never happen while trials run. Instead each
 /// trial works against a [`GtSession`] that buffers its would-be mutations
 /// (hit/miss accounting and probe records), and the coordinator applies the

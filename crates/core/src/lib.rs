@@ -34,6 +34,8 @@
 //! # Ok::<(), pipetune::PipeTuneError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod baselines;
 mod env;
 mod error;
@@ -41,6 +43,7 @@ mod experiments;
 mod groundtruth;
 mod hyper;
 mod objective;
+pub mod observe;
 mod related;
 mod runner;
 mod scheduler_choice;

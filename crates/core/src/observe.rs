@@ -1,0 +1,64 @@
+//! Canonical metric names the executor records (see `docs/telemetry.md`).
+//!
+//! Every name lives here so exporters, dashboards and tests share one
+//! vocabulary. Counters are cumulative over a [`crate::ExperimentEnv`]
+//! telemetry handle's lifetime; histograms use the fixed bucket layouts
+//! from [`pipetune_telemetry`]; gauges hold last-written values.
+//!
+//! Cluster-, PMU- and energy-level names live next to their subsystems:
+//! [`pipetune_cluster::observe`], [`pipetune_perfmon::observe`] and
+//! [`pipetune_energy::observe`].
+
+/// Histogram of committed epoch durations, simulated seconds
+/// ([`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
+pub const EPOCH_SECS: &str = "trial.epoch_secs";
+
+/// Counter: epochs committed (crashed attempts excluded).
+pub const EPOCHS_TOTAL: &str = "epochs.total";
+
+/// Counter: epochs that ran in [`crate::EpochPhase::Profile`].
+pub const EPOCHS_PROFILE: &str = "epochs.profile";
+
+/// Counter: epochs that ran in [`crate::EpochPhase::Probe`].
+pub const EPOCHS_PROBE: &str = "epochs.probe";
+
+/// Counter: epochs that ran in [`crate::EpochPhase::Tuned`] or
+/// [`crate::EpochPhase::Reused`] (a settled configuration in force).
+pub const EPOCHS_TUNED: &str = "epochs.tuned";
+
+/// Counter: epochs that ran in [`crate::EpochPhase::Fixed`] (baselines).
+pub const EPOCHS_FIXED: &str = "epochs.fixed";
+
+/// Counter: probe measurements kept (lost counter reads excluded).
+pub const PROBE_COUNT: &str = "probe.count";
+
+/// Counter: ground-truth lookups answered with a configuration.
+pub const GT_HITS: &str = "gt.hits";
+
+/// Counter: ground-truth lookups that fell through to probing.
+pub const GT_MISSES: &str = "gt.misses";
+
+/// Counter: probed optima persisted into the ground truth.
+pub const GT_RECORDED: &str = "gt.recorded";
+
+/// Counter: k-means refits the ground truth ran.
+pub const GT_REFITS: &str = "gt.refits";
+
+/// Gauge: hits ÷ lookups over the most recent job (NaN-free: unset until
+/// the first job with at least one lookup finishes).
+pub const GT_HIT_RATE: &str = "gt.hit_rate";
+
+/// Counter: scheduler rounds (= batches) the executor ran.
+pub const ROUNDS: &str = "executor.rounds";
+
+/// Histogram of trials per scheduler batch
+/// ([`pipetune_telemetry::COUNT_BUCKETS`]).
+pub const BATCH_TRIALS: &str = "executor.batch_trials";
+
+/// Histogram of batch-size ÷ parallel-slot occupancy
+/// ([`pipetune_telemetry::RATIO_BUCKETS`]); values above 1.0 mean trials
+/// queued behind busy simulated slots.
+pub const QUEUE_OCCUPANCY: &str = "executor.queue_occupancy";
+
+/// Gauge: epochs the scheduler issued over its whole run.
+pub const SCHEDULER_EPOCHS: &str = "scheduler.epochs_issued";

@@ -19,13 +19,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
-use pipetune_cluster::FaultReport;
+use pipetune_cluster::{observe as cluster_observe, FaultReport};
 use pipetune_search::{Config, TrialId, TrialRequest, TrialReport, TrialScheduler};
+use pipetune_telemetry::{EventKind, SpanId, SpanKind, COUNT_BUCKETS, RATIO_BUCKETS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::groundtruth::{GroundTruthAccess, GtSession, SharedGroundTruth};
 use crate::objective::Objective;
+use crate::observe;
 use crate::trial::{SystemTuner, TrialExecution};
 use crate::{ExperimentEnv, GroundTruth, HyperParams, PipeTuneError, WorkloadSpec};
 
@@ -156,6 +158,8 @@ struct ItemResult<'s, 'a> {
     session: Option<GtSession<'s, 'a>>,
     accuracy: f32,
     score: f64,
+    /// Epochs the scheduler requested for this rung.
+    epochs: u32,
     delta_secs: f64,
     delta_energy: f64,
     /// Fault counters this rung added to the trial's report.
@@ -223,6 +227,7 @@ fn execute_item<'s, 'a>(
         session,
         accuracy,
         score,
+        epochs: req.epochs,
         delta_secs,
         delta_energy,
         faults,
@@ -237,11 +242,19 @@ fn execute_item<'s, 'a>(
 /// PipeTune). The ground truth, when supplied, is shared across trials (and,
 /// via the caller, across jobs). Each batch really executes on
 /// `env.workers` threads; see the module docs for the determinism contract.
+///
+/// `run_label` names the root `tuning_run` telemetry span when
+/// [`ExperimentEnv::telemetry`] is enabled; telemetry recording happens
+/// entirely on the coordinator (spans) or in per-trial buffers merged in
+/// request order (everything inside a trial), so traces are byte-identical
+/// for every worker count — `env.workers` is deliberately never recorded.
+#[allow(clippy::too_many_arguments)] // crate-internal driver; the three call sites read best flat
 pub(crate) fn run_scheduler<F>(
     env: &ExperimentEnv,
     spec: &WorkloadSpec,
     scheduler: &mut dyn TrialScheduler,
     objective: Objective,
+    run_label: &str,
     mut policy: F,
     ground_truth: Option<&mut GroundTruth>,
     contention: f64,
@@ -250,6 +263,18 @@ where
     F: FnMut(&Config) -> SystemTuner,
 {
     let shared: Option<SharedGroundTruth<'_>> = ground_truth.map(SharedGroundTruth::new);
+    let telemetry = &env.telemetry;
+    let run_span = telemetry.open_span(
+        SpanId::NONE,
+        SpanKind::TuningRun,
+        run_label,
+        0.0,
+        vec![
+            ("workload", spec.name().into()),
+            ("seed", env.seed.into()),
+            ("parallel_slots", env.parallel_slots.into()),
+        ],
+    );
     let mut trials: HashMap<TrialId, TrialSlot> = HashMap::new();
     let mut clock = 0.0f64;
     let mut energy = 0.0f64;
@@ -276,6 +301,20 @@ where
         // from `policy` here on the coordinator (it may be an FnMut);
         // workload instantiation — the expensive part — happens on workers.
         let n = reqs.len();
+        let rung_span = telemetry.open_span(
+            run_span,
+            SpanKind::Rung,
+            format!("round {round}"),
+            clock,
+            vec![("round", round.into()), ("trials", n.into())],
+        );
+        let batch_span = telemetry.open_span(
+            rung_span,
+            SpanKind::Batch,
+            format!("batch of {n}"),
+            clock,
+            vec![],
+        );
         let mut items: Vec<Mutex<Option<WorkItem>>> = Vec::with_capacity(n);
         for req in reqs {
             let slot = trials.remove(&req.id);
@@ -323,10 +362,36 @@ where
         let mut reports = Vec::with_capacity(n);
         let mut sessions: Vec<GtSession<'_, '_>> = Vec::new();
         for cell in results {
-            let item = cell.into_inner().expect("every item executed")?;
+            let mut item = cell.into_inner().expect("every item executed")?;
             durations.push(item.delta_secs);
             energy += item.delta_energy;
             fault_report.merge(&item.faults);
+            if telemetry.is_enabled() {
+                // Trial span on the trial-cumulative clock, then the
+                // worker-local buffer (epoch spans, pipeline events, trial
+                // metrics) merged under it — all in request order.
+                let end_secs = item.slot.exec.duration_secs();
+                let mut attrs = vec![("trial", item.id.0.into()), ("epochs", item.epochs.into())];
+                match item.abandoned {
+                    None => {
+                        attrs.push(("accuracy", item.accuracy.into()));
+                        attrs.push(("score", item.score.into()));
+                    }
+                    Some(attempts) => attrs.push(("abandoned_after_attempts", attempts.into())),
+                }
+                let trial_span = telemetry.open_span(
+                    batch_span,
+                    SpanKind::Trial,
+                    format!("trial {}", item.id.0),
+                    end_secs - item.delta_secs,
+                    attrs,
+                );
+                let faults = item.faults;
+                telemetry
+                    .with_metrics(|m| cluster_observe::record_fault_report(&faults, m));
+                telemetry.merge_buffer(trial_span, item.slot.exec.telemetry_mut());
+                telemetry.close_span(trial_span, end_secs);
+            }
             reports.push((item.id, item.accuracy, item.score, item.abandoned));
             sessions.extend(item.session);
             if item.abandoned.is_none() {
@@ -353,8 +418,35 @@ where
             fault_report.stragglers += slow;
             fault_report.recovered += slow;
             fault_report.wasted_epoch_secs += (weighted - unweighted).max(0.0);
+            if telemetry.is_enabled() {
+                for (slot, &speed) in speeds.iter().enumerate() {
+                    if speed < 1.0 {
+                        telemetry.event(
+                            rung_span,
+                            EventKind::Fault,
+                            clock,
+                            vec![
+                                ("fault", "slot_straggler".into()),
+                                ("slot", slot.into()),
+                                ("speed", speed.into()),
+                            ],
+                        );
+                    }
+                }
+                telemetry.with_metrics(|m| {
+                    m.counter_add(cluster_observe::FAULTS_INJECTED, slow);
+                    m.counter_add(cluster_observe::FAULTS_STRAGGLERS, slow);
+                    m.counter_add(cluster_observe::FAULTS_RECOVERED, slow);
+                });
+            }
             (completions, weighted)
         };
+        telemetry.with_metrics(|m| {
+            cluster_observe::record_slot_speeds(&speeds, m);
+            m.counter_add(observe::ROUNDS, 1);
+            m.observe(observe::BATCH_TRIALS, COUNT_BUCKETS, n as f64);
+            m.observe(observe::QUEUE_OCCUPANCY, RATIO_BUCKETS, n as f64 / slots as f64);
+        });
         round += 1;
 
         for ((id, accuracy, score, abandoned), offset) in reports.iter().zip(&completions) {
@@ -374,6 +466,8 @@ where
             scheduler.report(TrialReport { id: *id, score: *score, epochs_run: 0 });
         }
         clock += makespan;
+        telemetry.close_span(batch_span, clock);
+        telemetry.close_span(rung_span, clock);
     }
 
     let (_, best_id) = best.ok_or_else(|| {
@@ -391,6 +485,12 @@ where
             }
         }
     })?;
+    telemetry.gauge_set(observe::SCHEDULER_EPOCHS, scheduler.epochs_issued() as f64);
+    telemetry.gauge_set(cluster_observe::FAULTS_WASTED_SECS, fault_report.wasted_epoch_secs);
+    telemetry
+        .gauge_set(cluster_observe::FAULTS_RECOVERY_SECS, fault_report.recovery_overhead_secs);
+    telemetry.close_span(run_span, clock);
+
     let best_trial = &mut trials.get_mut(&best_id).expect("best trial exists").exec;
     let best_accuracy = best_trial.accuracy()?;
     let best_hp = *best_trial.workload().hyperparams();

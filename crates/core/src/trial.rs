@@ -9,10 +9,12 @@
 //! the Tune V1/V2 behaviour.
 
 use pipetune_cluster::{FaultKind, FaultReport, SystemConfig};
+use pipetune_telemetry::{EventKind, SpanKind, TelemetryBuffer, DURATION_BUCKETS_SECS};
 use rand::rngs::StdRng;
 
 use crate::groundtruth::GroundTruthAccess;
 use crate::objective::ProbeGoal;
+use crate::observe;
 use crate::workload::EpochWorkload;
 use crate::{ExperimentEnv, PipeTuneError, WorkloadInstance};
 
@@ -30,6 +32,29 @@ pub enum EpochPhase {
     Tuned,
     /// Fixed-policy epoch (baselines).
     Fixed,
+}
+
+impl EpochPhase {
+    /// Stable lower-case name (span labels, trace attributes, docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            EpochPhase::Profile => "profile",
+            EpochPhase::Reused => "reused",
+            EpochPhase::Probe => "probe",
+            EpochPhase::Tuned => "tuned",
+            EpochPhase::Fixed => "fixed",
+        }
+    }
+}
+
+/// Per-phase epoch counter name (see [`crate::observe`]).
+fn phase_counter(phase: EpochPhase) -> &'static str {
+    match phase {
+        EpochPhase::Profile => observe::EPOCHS_PROFILE,
+        EpochPhase::Probe => observe::EPOCHS_PROBE,
+        EpochPhase::Tuned | EpochPhase::Reused => observe::EPOCHS_TUNED,
+        EpochPhase::Fixed => observe::EPOCHS_FIXED,
+    }
 }
 
 /// One executed epoch.
@@ -145,6 +170,7 @@ pub struct TrialExecution {
     total_energy_j: f64,
     trial_id: u64,
     faults: FaultReport,
+    telemetry: TelemetryBuffer,
 }
 
 impl TrialExecution {
@@ -158,6 +184,7 @@ impl TrialExecution {
             total_energy_j: 0.0,
             trial_id: 0,
             faults: FaultReport::default(),
+            telemetry: TelemetryBuffer::disabled(),
         }
     }
 
@@ -180,6 +207,13 @@ impl TrialExecution {
         self.faults
     }
 
+    /// The worker-local telemetry buffer. The executor's coordinator drains
+    /// it into the run's [`pipetune_telemetry::TelemetryHandle`] in
+    /// scheduler request order after every rung (see `docs/telemetry.md`).
+    pub fn telemetry_mut(&mut self) -> &mut TelemetryBuffer {
+        &mut self.telemetry
+    }
+
     /// Snapshots the full trial state (model, optimizer, tuner, records,
     /// accounting, RNG stream) at the current epoch boundary.
     pub fn checkpoint(&self, rng: &StdRng) -> TrialCheckpoint {
@@ -194,8 +228,10 @@ impl TrialExecution {
     }
 
     /// Rolls the trial (and its RNG stream) back to `ckpt`. Fault counters
-    /// are deliberately *not* rolled back — recovery accounting must survive
-    /// the state restore it causes.
+    /// and the telemetry buffer are deliberately *not* rolled back —
+    /// recovery accounting must survive the state restore it causes (doomed
+    /// epoch attempts are instead recorded under a suppression window, see
+    /// [`TelemetryBuffer::set_suppressed`]).
     pub fn restore(&mut self, ckpt: TrialCheckpoint, rng: &mut StdRng) {
         self.workload = ckpt.workload;
         self.tuner = ckpt.tuner;
@@ -298,6 +334,9 @@ impl TrialExecution {
         contention: f64,
         rng: &mut StdRng,
     ) -> Result<(), PipeTuneError> {
+        if env.telemetry.is_enabled() {
+            self.telemetry.enable();
+        }
         if env.fault_plan.is_empty() {
             // Fault-free fast path: zero extra arithmetic, zero extra RNG
             // traffic — bit-identical to builds without fault injection.
@@ -320,7 +359,21 @@ impl TrialExecution {
                     // model/optimizer/RNG state rewinds to the epoch
                     // boundary.
                     let ckpt = self.checkpoint(rng);
-                    self.run_one_epoch(env, &mut None, contention, rng, 1.0, false)?;
+                    if self.telemetry.is_active() {
+                        self.telemetry.push_event(
+                            EventKind::Checkpoint,
+                            None,
+                            self.total_secs,
+                            vec![("epoch", epoch_idx.into()), ("attempt", attempt.into())],
+                        );
+                    }
+                    // The doomed attempt must not appear in the trace: only
+                    // committed epochs, plus the explicit fault/retry events
+                    // below.
+                    self.telemetry.set_suppressed(true);
+                    let doomed = self.run_one_epoch(env, &mut None, contention, rng, 1.0, false);
+                    self.telemetry.set_suppressed(false);
+                    doomed?;
                     let attempt_secs = self.total_secs - ckpt.total_secs;
                     let attempt_energy = self.total_energy_j - ckpt.total_energy_j;
                     self.restore(ckpt, rng);
@@ -330,15 +383,46 @@ impl TrialExecution {
                     self.total_energy_j += attempt_energy * wasted_fraction;
                     self.faults.wasted_epoch_secs += wasted;
                     self.faults.recovery_overhead_secs += backoff;
+                    if self.telemetry.is_active() {
+                        let mut attrs = pipetune_cluster::observe::fault_attrs(
+                            &FaultKind::NodeCrash { wasted_fraction },
+                        );
+                        attrs.push(("epoch", epoch_idx.into()));
+                        attrs.push(("attempt", attempt.into()));
+                        attrs.push(("wasted_secs", wasted.into()));
+                        attrs.push(("backoff_secs", backoff.into()));
+                        self.telemetry.push_event(
+                            EventKind::Fault,
+                            None,
+                            self.total_secs,
+                            attrs,
+                        );
+                    }
                     attempt += 1;
                     if attempt >= env.retry.max_attempts.max(1) {
                         self.faults.abandoned += 1;
+                        if self.telemetry.is_active() {
+                            self.telemetry.push_event(
+                                EventKind::Retry,
+                                None,
+                                self.total_secs,
+                                vec![("epoch", epoch_idx.into()), ("abandoned", true.into())],
+                            );
+                        }
                         return Err(PipeTuneError::RetriesExhausted {
                             trial_id: self.trial_id,
                             attempts: attempt,
                         });
                     }
                     self.faults.retried += 1;
+                    if self.telemetry.is_active() {
+                        self.telemetry.push_event(
+                            EventKind::Retry,
+                            None,
+                            self.total_secs,
+                            vec![("epoch", epoch_idx.into()), ("attempt", attempt.into())],
+                        );
+                    }
                     continue;
                 }
                 // Non-crash faults complete the epoch in one attempt.
@@ -367,6 +451,11 @@ impl TrialExecution {
                     }
                     _ => (1.0, false),
                 };
+                if let Some(kind) = fault.filter(|_| self.telemetry.is_active()) {
+                    let mut attrs = pipetune_cluster::observe::fault_attrs(&kind);
+                    attrs.push(("epoch", epoch_idx.into()));
+                    self.telemetry.push_event(EventKind::Fault, None, self.total_secs, attrs);
+                }
                 let before_secs = self.total_secs;
                 self.run_one_epoch(
                     env,
@@ -456,6 +545,37 @@ impl TrialExecution {
                 train_score: outcome.train_score,
                 phase,
             });
+            // Epoch span on the trial-cumulative simulated clock; the
+            // executor re-bases nothing — trial/epoch spans are documented
+            // to use trial time, rung/batch spans wall-clock time.
+            let epoch_span = if self.telemetry.is_active() {
+                let span = self.telemetry.push_span(
+                    SpanKind::Epoch,
+                    format!("epoch {epoch_idx} ({})", phase.name()),
+                    None,
+                    self.total_secs - duration,
+                    self.total_secs,
+                    vec![
+                        ("epoch", epoch_idx.into()),
+                        ("phase", phase.name().into()),
+                        ("cores", sys.cores.into()),
+                        ("memory_gb", sys.memory_gb.into()),
+                        ("freq_mhz", sys.freq_mhz.into()),
+                        ("energy_j", energy.into()),
+                        ("train_score", outcome.train_score.into()),
+                    ],
+                );
+                let watts = env.trial_power(&sys);
+                self.telemetry.with_metrics(|m| {
+                    m.observe(observe::EPOCH_SECS, DURATION_BUCKETS_SECS, duration);
+                    m.counter_add(observe::EPOCHS_TOTAL, 1);
+                    m.counter_add(phase_counter(phase), 1);
+                    pipetune_energy::observe::record_epoch_energy(watts, energy, m);
+                });
+                Some(span)
+            } else {
+                None
+            };
 
             // Pipelined post-epoch bookkeeping.
             if let SystemTuner::Pipelined {
@@ -483,11 +603,42 @@ impl TrialExecution {
                             env.profiler
                                 .try_profile_epoch(&sig, sys.cores, duration, rng, epoch_idx, counter_fault)
                         };
+                        if self.telemetry.is_active() {
+                            self.telemetry.push_event(
+                                EventKind::Profile,
+                                epoch_span,
+                                self.total_secs,
+                                vec![
+                                    ("epoch", epoch_idx.into()),
+                                    ("lost", profile.is_err().into()),
+                                ],
+                            );
+                            if profile.is_err() {
+                                self.telemetry
+                                    .with_metrics(pipetune_perfmon::observe::record_lost_read);
+                            }
+                        }
                         if let Ok(profile) = profile {
+                            if self.telemetry.is_active() {
+                                self.telemetry.with_metrics(|m| {
+                                    pipetune_perfmon::observe::record_profile(&profile, m);
+                                });
+                            }
                             let feats = profile.features();
                             if let Some(gt) = ground_truth.as_deref_mut() {
                                 if let Some(cfg) = gt.lookup(&feats) {
                                     *chosen = Some(cfg);
+                                }
+                                if self.telemetry.is_active() {
+                                    self.telemetry.push_event(
+                                        EventKind::GtLookup,
+                                        epoch_span,
+                                        self.total_secs,
+                                        vec![
+                                            ("epoch", epoch_idx.into()),
+                                            ("hit", chosen.is_some().into()),
+                                        ],
+                                    );
                                 }
                             }
                             if chosen.is_none() {
@@ -509,6 +660,27 @@ impl TrialExecution {
                         // epoch re-profiles (the fault accounting happens in
                         // the recovery loop).
                     } else if matches!(phase, EpochPhase::Probe) {
+                        if self.telemetry.is_active() {
+                            let mut attrs = vec![
+                                ("epoch", epoch_idx.into()),
+                                ("cores", sys.cores.into()),
+                                ("memory_gb", sys.memory_gb.into()),
+                                ("freq_mhz", sys.freq_mhz.into()),
+                                ("lost", counter_fault.into()),
+                            ];
+                            if !counter_fault {
+                                attrs.push(("cost", goal.cost(duration, energy).into()));
+                                self.telemetry.with_metrics(|m| {
+                                    m.counter_add(observe::PROBE_COUNT, 1);
+                                });
+                            }
+                            self.telemetry.push_event(
+                                EventKind::Probe,
+                                epoch_span,
+                                self.total_secs,
+                                attrs,
+                            );
+                        }
                         if !counter_fault {
                             probe_results.push((sys, goal.cost(duration, energy)));
                         }

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::objective::{Objective, ProbeGoal};
+use crate::observe;
 use crate::runner::{run_scheduler, TrialOutcome};
 use crate::trial::SystemTuner;
 use crate::{ExperimentEnv, GroundTruth, GroundTruthStats, HyperParams, HyperSpace, PipeTuneError, WorkloadSpec};
@@ -117,6 +118,20 @@ pub struct TuningOutcome {
 
 /// The PipeTune middleware. Holds the cross-job ground truth; run one HPT
 /// job per [`PipeTune::run`] call.
+///
+/// ```no_run
+/// use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+///
+/// let env = ExperimentEnv::distributed(42);
+/// let mut tuner = PipeTune::new(TunerOptions::fast());
+/// // Jobs share the tuner's ground truth: the second job on a similar
+/// // workload reuses the first job's probed optimum instead of re-probing.
+/// let first = tuner.run(&env, &WorkloadSpec::lenet_mnist())?;
+/// let second = tuner.run(&env, &WorkloadSpec::lenet_mnist())?;
+/// assert!(second.gt_stats.hits > 0);
+/// println!("{:.1}% in {:.0}s", 100.0 * first.best_accuracy, first.tuning_secs);
+/// # Ok::<(), pipetune::PipeTuneError>(())
+/// ```
 #[derive(Debug)]
 pub struct PipeTune {
     options: TunerOptions,
@@ -181,11 +196,29 @@ impl PipeTune {
             &spec,
             scheduler.as_mut(),
             Objective::Accuracy,
+            "pipetune",
             |_config| SystemTuner::pipelined(goal),
             Some(&mut self.ground_truth),
             1.0,
         )?;
         let stats_after = self.ground_truth.stats();
+        if env.telemetry.is_enabled() {
+            let hits = (stats_after.hits - stats_before.hits) as u64;
+            let misses = (stats_after.misses - stats_before.misses) as u64;
+            env.telemetry.with_metrics(|m| {
+                m.counter_add(observe::GT_HITS, hits);
+                m.counter_add(observe::GT_MISSES, misses);
+                m.counter_add(
+                    observe::GT_RECORDED,
+                    (stats_after.recorded - stats_before.recorded) as u64,
+                );
+                m.counter_add(observe::GT_REFITS, (stats_after.refits - stats_before.refits) as u64);
+                if hits + misses > 0 {
+                    #[allow(clippy::cast_precision_loss)]
+                    m.gauge_set(observe::GT_HIT_RATE, hits as f64 / (hits + misses) as f64);
+                }
+            });
+        }
         Ok(TuningOutcome {
             workload: spec.name(),
             best_accuracy: result.best_accuracy,

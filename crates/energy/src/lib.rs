@@ -24,6 +24,7 @@
 //! assert!(joules > 0.0);
 //! ```
 
+pub mod observe;
 mod pdu;
 mod power;
 

@@ -33,9 +33,12 @@
 //! assert_eq!(profile.counts().len(), pipetune_perfmon::NUM_EVENTS);
 //! ```
 
+#![warn(missing_docs)]
+
 mod error;
 mod events;
 mod filter;
+pub mod observe;
 mod profiler;
 mod sampling;
 

@@ -310,13 +310,13 @@ impl Profiler {
 
     /// Fallible variant of [`Profiler::profile_epoch`] for environments
     /// with injected counter faults. When `counter_fault` is set the read
-    /// fails with [`PerfmonError::CounterRead`] *without consuming any RNG
+    /// fails with [`crate::PerfmonError::CounterRead`] *without consuming any RNG
     /// draws*, so a caller that retries next epoch sees the same noise
     /// stream it would have seen profiling that epoch directly.
     ///
     /// # Errors
     ///
-    /// Returns [`PerfmonError::CounterRead`] when `counter_fault` is set.
+    /// Returns [`crate::PerfmonError::CounterRead`] when `counter_fault` is set.
     pub fn try_profile_epoch<R: Rng>(
         &self,
         sig: &WorkloadSignature,

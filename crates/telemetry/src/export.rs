@@ -1,0 +1,330 @@
+//! Exporters: deterministic JSON, tsdb line protocol and the end-of-run
+//! summary table.
+//!
+//! All three are pure functions of a [`TelemetrySnapshot`], so two
+//! byte-identical runs export byte-identical artefacts — the property the
+//! telemetry determinism suite asserts across executor worker counts.
+
+use pipetune_tsdb::Point;
+use serde_json::Value;
+
+use crate::handle::TelemetrySnapshot;
+use crate::span::{AttrValue, Attrs, Event, Span};
+
+fn attrs_json(attrs: &Attrs) -> Value {
+    let mut obj = serde_json::Map::new();
+    for (key, value) in attrs {
+        obj.insert((*key).to_string(), value.to_json());
+    }
+    Value::Object(obj)
+}
+
+fn span_json(id: usize, span: &Span) -> Value {
+    let mut obj = serde_json::Map::new();
+    obj.insert("id".into(), Value::U64(id as u64));
+    obj.insert("kind".into(), Value::String(span.kind.name().into()));
+    obj.insert("label".into(), Value::String(span.label.clone()));
+    obj.insert(
+        "parent".into(),
+        span.parent.map_or(Value::Null, |p| Value::U64(u64::from(p))),
+    );
+    obj.insert("start_secs".into(), Value::F64(span.start_secs));
+    // Open spans carry NaN, which JSON cannot represent; export null.
+    obj.insert(
+        "end_secs".into(),
+        if span.end_secs.is_finite() { Value::F64(span.end_secs) } else { Value::Null },
+    );
+    obj.insert("attrs".into(), attrs_json(&span.attrs));
+    Value::Object(obj)
+}
+
+fn event_json(event: &Event) -> Value {
+    let mut obj = serde_json::Map::new();
+    obj.insert("kind".into(), Value::String(event.kind.name().into()));
+    obj.insert(
+        "span".into(),
+        event.span.map_or(Value::Null, |s| Value::U64(u64::from(s))),
+    );
+    obj.insert("at_secs".into(), Value::F64(event.at_secs));
+    obj.insert("attrs".into(), attrs_json(&event.attrs));
+    Value::Object(obj)
+}
+
+/// Microsecond timestamp for a simulated-seconds instant (clamped at 0).
+fn timestamp_us(secs: f64) -> u64 {
+    if secs.is_finite() && secs > 0.0 {
+        (secs * 1e6) as u64
+    } else {
+        0
+    }
+}
+
+impl TelemetrySnapshot {
+    /// The full snapshot (spans, events, metrics) as one JSON value with
+    /// sorted object keys throughout.
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("version".into(), Value::U64(1));
+        obj.insert(
+            "spans".into(),
+            Value::Array(
+                self.spans.iter().enumerate().map(|(i, s)| span_json(i, s)).collect(),
+            ),
+        );
+        obj.insert(
+            "events".into(),
+            Value::Array(self.events.iter().map(event_json).collect()),
+        );
+        obj.insert("metrics".into(), self.metrics.to_json());
+        Value::Object(obj)
+    }
+
+    /// The snapshot as a pretty-printed JSON string (the trace-dump
+    /// artefact format).
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json())
+            .expect("telemetry snapshot serialises infallibly")
+    }
+
+    /// The metrics registry alone as a compact JSON string.
+    pub fn metrics_json_string(&self) -> String {
+        serde_json::to_string(&self.metrics.to_json())
+            .expect("metrics registry serialises infallibly")
+    }
+
+    /// The snapshot as tsdb points: one `pipetune_span` point per span
+    /// (tags `kind`/`label`, fields `start_secs`/`end_secs`/
+    /// `duration_secs` plus numeric attributes), one `pipetune_event`
+    /// point per event, one `pipetune_counter`/`pipetune_gauge` point per
+    /// metric and one `pipetune_histogram` point per histogram.
+    pub fn to_points(&self) -> Vec<Point> {
+        let mut points = Vec::new();
+        for (id, span) in self.spans.iter().enumerate() {
+            let end = if span.end_secs.is_finite() { span.end_secs } else { span.start_secs };
+            let mut p = Point::new("pipetune_span", timestamp_us(span.start_secs))
+                .tag("kind", span.kind.name())
+                .tag("label", span.label.as_str())
+                .field("span_id", id as f64)
+                .field("start_secs", span.start_secs)
+                .field("end_secs", end)
+                .field("duration_secs", end - span.start_secs);
+            for (key, value) in &span.attrs {
+                match value {
+                    AttrValue::Str(s) => p = p.tag(*key, s.as_str()),
+                    other => {
+                        if let Some(f) = other.as_field() {
+                            p = p.field(*key, f);
+                        }
+                    }
+                }
+            }
+            points.push(p);
+        }
+        for event in &self.events {
+            let mut p = Point::new("pipetune_event", timestamp_us(event.at_secs))
+                .tag("kind", event.kind.name())
+                .field("at_secs", event.at_secs);
+            if let Some(span) = event.span {
+                p = p.field("span_id", f64::from(span));
+            }
+            for (key, value) in &event.attrs {
+                match value {
+                    AttrValue::Str(s) => p = p.tag(*key, s.as_str()),
+                    other => {
+                        if let Some(f) = other.as_field() {
+                            p = p.field(*key, f);
+                        }
+                    }
+                }
+            }
+            points.push(p);
+        }
+        for (name, value) in self.metrics.counters() {
+            points.push(
+                Point::new("pipetune_counter", 0).tag("name", name).field("value", value as f64),
+            );
+        }
+        for (name, value) in self.metrics.gauges() {
+            points.push(Point::new("pipetune_gauge", 0).tag("name", name).field("value", value));
+        }
+        for (name, hist) in self.metrics.histograms() {
+            let mut p = Point::new("pipetune_histogram", 0)
+                .tag("name", name)
+                .field("count", hist.count() as f64)
+                .field("sum", hist.sum())
+                .field_vec("bucket", &hist.counts().iter().map(|&c| c as f64).collect::<Vec<_>>());
+            if hist.count() > 0 {
+                p = p.field("min", hist.min()).field("max", hist.max());
+            }
+            points.push(p);
+        }
+        points
+    }
+
+    /// The snapshot in InfluxDB line protocol (one line per
+    /// [`TelemetrySnapshot::to_points`] point), suitable for replay into a
+    /// real InfluxDB or into the embedded [`pipetune_tsdb::Database`].
+    pub fn to_line_protocol(&self) -> String {
+        let mut out = String::new();
+        for point in self.to_points() {
+            out.push_str(&point.to_line_protocol());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The human-readable end-of-run summary: span counts per kind, then
+    /// every counter, gauge and histogram in sorted order.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── telemetry summary ─────────────────────────────────────────\n");
+        out.push_str(&format!(
+            "{:<38} {:>10} {:>10}\n",
+            "spans", "count", ""
+        ));
+        for kind in [
+            crate::SpanKind::TuningRun,
+            crate::SpanKind::Rung,
+            crate::SpanKind::Batch,
+            crate::SpanKind::Trial,
+            crate::SpanKind::Epoch,
+        ] {
+            let n = self.spans.iter().filter(|s| s.kind == kind).count();
+            if n > 0 {
+                out.push_str(&format!("  {:<36} {:>10}\n", kind.name(), n));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str(&format!("{:<38} {:>10}\n", "events", ""));
+            for kind in [
+                crate::EventKind::Profile,
+                crate::EventKind::GtLookup,
+                crate::EventKind::Probe,
+                crate::EventKind::Checkpoint,
+                crate::EventKind::Fault,
+                crate::EventKind::Retry,
+            ] {
+                let n = self.events.iter().filter(|e| e.kind == kind).count();
+                if n > 0 {
+                    out.push_str(&format!("  {:<36} {:>10}\n", kind.name(), n));
+                }
+            }
+        }
+        let counters: Vec<_> = self.metrics.counters().collect();
+        if !counters.is_empty() {
+            out.push_str(&format!("{:<38} {:>10}\n", "counters", ""));
+            for (name, value) in counters {
+                out.push_str(&format!("  {:<36} {:>10}\n", name, value));
+            }
+        }
+        let gauges: Vec<_> = self.metrics.gauges().collect();
+        if !gauges.is_empty() {
+            out.push_str(&format!("{:<38} {:>10}\n", "gauges", ""));
+            for (name, value) in gauges {
+                out.push_str(&format!("  {:<36} {:>10.4}\n", name, value));
+            }
+        }
+        let hists: Vec<_> = self.metrics.histograms().collect();
+        if !hists.is_empty() {
+            out.push_str(&format!(
+                "{:<38} {:>8} {:>10} {:>10} {:>10}\n",
+                "histograms", "count", "mean", "p90≤", "max"
+            ));
+            for (name, h) in hists {
+                out.push_str(&format!(
+                    "  {:<36} {:>8} {:>10.3} {:>10.3} {:>10.3}\n",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.quantile_bound(0.9),
+                    if h.count() > 0 { h.max() } else { 0.0 },
+                ));
+            }
+        }
+        out.push_str("──────────────────────────────────────────────────────────────\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsRegistry, COUNT_BUCKETS};
+    use crate::span::{EventKind, SpanKind};
+
+    fn snapshot() -> TelemetrySnapshot {
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter_add("epochs.total", 12);
+        metrics.gauge_set("gt.hit_rate", 0.5);
+        metrics.observe("executor.batch_trials", COUNT_BUCKETS, 3.0);
+        TelemetrySnapshot {
+            spans: vec![
+                Span {
+                    kind: SpanKind::TuningRun,
+                    label: "lenet/mnist".into(),
+                    parent: None,
+                    start_secs: 0.0,
+                    end_secs: 100.0,
+                    attrs: vec![("seed", AttrValue::U64(42))],
+                },
+                Span {
+                    kind: SpanKind::Epoch,
+                    label: "epoch 1/profile".into(),
+                    parent: Some(0),
+                    start_secs: 0.0,
+                    end_secs: f64::NAN,
+                    attrs: vec![("system", AttrValue::Str("8c/32GB".into()))],
+                },
+            ],
+            events: vec![Event {
+                kind: EventKind::GtLookup,
+                span: Some(1),
+                at_secs: 10.0,
+                attrs: vec![("hit", AttrValue::Bool(false))],
+            }],
+            metrics,
+        }
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_handles_open_spans() {
+        let snap = snapshot();
+        let a = snap.to_json_string();
+        let b = snap.to_json_string();
+        assert_eq!(a, b);
+        assert!(a.contains("\"end_secs\": null"), "open span exports null end");
+        assert!(a.contains("\"tuning_run\""));
+        assert!(a.contains("\"gt_lookup\""));
+        assert!(a.contains("\"epochs.total\""));
+    }
+
+    #[test]
+    fn tsdb_export_maps_spans_events_and_metrics() {
+        let snap = snapshot();
+        let points = snap.to_points();
+        // 2 spans + 1 event + 1 counter + 1 gauge + 1 histogram.
+        assert_eq!(points.len(), 6);
+        assert!(points.iter().all(Point::is_storable));
+        let lines = snap.to_line_protocol();
+        assert_eq!(lines.lines().count(), 6);
+        assert!(lines.contains("pipetune_span,kind=tuning_run"));
+        assert!(lines.contains("pipetune_event,kind=gt_lookup"));
+        // String attrs become tags; numeric attrs become fields.
+        assert!(lines.contains("system=8c/32GB") || lines.contains("system=8c\\/32GB"));
+        // Round-trips through the embedded store.
+        let db = pipetune_tsdb::Database::new();
+        for p in points {
+            db.write(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn summary_table_lists_every_section() {
+        let table = snapshot().summary_table();
+        for needle in
+            ["spans", "tuning_run", "events", "gt_lookup", "epochs.total", "gt.hit_rate", "executor.batch_trials"]
+        {
+            assert!(table.contains(needle), "summary missing {needle}:\n{table}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! [`TelemetryHandle`]: the cheap, cloneable entry point a run threads
+//! through its `ExperimentEnv`.
+//!
+//! Disabled (the default) it is a `None` — every call is a branch and a
+//! return, no allocation, no locking, so instrumented code is zero-cost
+//! for callers that never opt in. Enabled, it shares one mutex-guarded
+//! sink across all clones; the executor's coordinator is the only writer
+//! during a batch merge, so snapshots are consistent and deterministic.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::collector::TelemetryBuffer;
+use crate::metrics::MetricsRegistry;
+use crate::span::{Attrs, Event, EventKind, Span, SpanKind};
+
+/// Identifier of a span recorded through a [`TelemetryHandle`].
+///
+/// [`SpanId::NONE`] is the root sentinel: using it as a parent records a
+/// top-level span, and every operation on it through a disabled handle is
+/// a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// The "no parent" / "disabled" sentinel.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+
+    fn to_parent(self) -> Option<u32> {
+        (self != SpanId::NONE).then_some(self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Sink {
+    spans: Vec<Span>,
+    events: Vec<Event>,
+    metrics: MetricsRegistry,
+}
+
+/// A consistent copy of everything a run has recorded so far: the span
+/// tree, the event log and the metrics registry, all taken under one lock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// All spans, in record order; `parent` indexes into this vector.
+    pub spans: Vec<Span>,
+    /// All events, in record order; `span` indexes into `spans`.
+    pub events: Vec<Event>,
+    /// The merged metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+/// Shared handle to a run's telemetry sink. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use pipetune_telemetry::{SpanId, SpanKind, TelemetryHandle};
+///
+/// let telemetry = TelemetryHandle::enabled();
+/// let run = telemetry.open_span(SpanId::NONE, SpanKind::TuningRun, "demo", 0.0, vec![]);
+/// telemetry.counter_add("demo.events", 1);
+/// telemetry.close_span(run, 12.5);
+///
+/// let snap = telemetry.snapshot().expect("enabled handle");
+/// assert_eq!(snap.spans.len(), 1);
+/// assert_eq!(snap.metrics.counter("demo.events"), 1);
+///
+/// // Disabled handles record nothing and cost nothing.
+/// let off = TelemetryHandle::disabled();
+/// assert!(off.snapshot().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryHandle {
+    sink: Option<Arc<Mutex<Sink>>>,
+}
+
+impl TelemetryHandle {
+    /// A disabled handle: every operation is a no-op (the default).
+    pub fn disabled() -> Self {
+        TelemetryHandle { sink: None }
+    }
+
+    /// A live handle with a fresh, empty sink.
+    pub fn enabled() -> Self {
+        TelemetryHandle { sink: Some(Arc::new(Mutex::new(Sink::default()))) }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, Sink>> {
+        self.sink.as_ref().map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Opens a span (end time unknown yet) and returns its id.
+    /// [`SpanId::NONE`] when disabled.
+    pub fn open_span(
+        &self,
+        parent: SpanId,
+        kind: SpanKind,
+        label: impl Into<String>,
+        start_secs: f64,
+        attrs: Attrs,
+    ) -> SpanId {
+        match self.lock() {
+            None => SpanId::NONE,
+            Some(mut sink) => {
+                let idx = sink.spans.len() as u32;
+                sink.spans.push(Span {
+                    kind,
+                    label: label.into(),
+                    parent: parent.to_parent(),
+                    start_secs,
+                    end_secs: f64::NAN,
+                    attrs,
+                });
+                SpanId(idx)
+            }
+        }
+    }
+
+    /// Closes an open span at `end_secs` (no-op on [`SpanId::NONE`]).
+    pub fn close_span(&self, id: SpanId, end_secs: f64) {
+        if id == SpanId::NONE {
+            return;
+        }
+        if let Some(mut sink) = self.lock() {
+            if let Some(span) = sink.spans.get_mut(id.0 as usize) {
+                span.end_secs = end_secs;
+            }
+        }
+    }
+
+    /// Records a point event against `span` (or top-level on
+    /// [`SpanId::NONE`]).
+    pub fn event(&self, span: SpanId, kind: EventKind, at_secs: f64, attrs: Attrs) {
+        if let Some(mut sink) = self.lock() {
+            sink.events.push(Event { kind, span: span.to_parent(), at_secs, attrs });
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(mut sink) = self.lock() {
+            sink.metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(mut sink) = self.lock() {
+            sink.metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Records a histogram observation (bounds fixed on first use).
+    pub fn observe(&self, name: &str, bounds: &[f64], value: f64) {
+        if let Some(mut sink) = self.lock() {
+            sink.metrics.observe(name, bounds, value);
+        }
+    }
+
+    /// Runs `f` against the sink's metrics registry iff enabled — the
+    /// hook the per-crate observe helpers (which take a
+    /// `&mut MetricsRegistry`) plug into from the coordinator thread.
+    pub fn with_metrics<F: FnOnce(&mut MetricsRegistry)>(&self, f: F) {
+        if let Some(mut sink) = self.lock() {
+            f(&mut sink.metrics);
+        }
+    }
+
+    /// Merges a worker-local buffer into the sink, re-parenting the
+    /// buffer's root spans/events under `parent` and remapping local span
+    /// indices. The executor calls this on the coordinator thread in
+    /// scheduler request order — that ordering is what makes the final
+    /// trace independent of worker count.
+    pub fn merge_buffer(&self, parent: SpanId, buf: &mut TelemetryBuffer) {
+        let Some(mut sink) = self.lock() else { return };
+        let (spans, events, metrics) = buf.drain();
+        let offset = sink.spans.len() as u32;
+        for span in spans {
+            let remapped = Span {
+                parent: span.parent.map(|p| p + offset).or_else(|| parent.to_parent()),
+                ..span
+            };
+            sink.spans.push(remapped);
+        }
+        for event in events {
+            let remapped = Event {
+                span: event.span.map(|s| s + offset).or_else(|| parent.to_parent()),
+                ..event
+            };
+            sink.events.push(remapped);
+        }
+        sink.metrics.merge(&metrics);
+    }
+
+    /// A consistent snapshot of everything recorded so far; `None` when
+    /// disabled.
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.lock().map(|sink| TelemetrySnapshot {
+            spans: sink.spans.clone(),
+            events: sink.events.clone(),
+            metrics: sink.metrics.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::metrics::COUNT_BUCKETS;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TelemetryHandle::disabled();
+        let id = h.open_span(SpanId::NONE, SpanKind::TuningRun, "r", 0.0, vec![]);
+        assert_eq!(id, SpanId::NONE);
+        h.close_span(id, 1.0);
+        h.counter_add("c", 1);
+        h.observe("h", COUNT_BUCKETS, 1.0);
+        assert!(h.snapshot().is_none());
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let h = TelemetryHandle::enabled();
+        let h2 = h.clone();
+        h.counter_add("c", 1);
+        h2.counter_add("c", 2);
+        assert_eq!(h.snapshot().unwrap().metrics.counter("c"), 3);
+    }
+
+    #[test]
+    fn open_close_span_fills_end_time() {
+        let h = TelemetryHandle::enabled();
+        let run = h.open_span(SpanId::NONE, SpanKind::TuningRun, "r", 0.0, vec![]);
+        let rung = h.open_span(run, SpanKind::Rung, "rung 0", 0.0, vec![]);
+        h.close_span(rung, 5.0);
+        h.close_span(run, 9.0);
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.spans[0].end_secs, 9.0);
+        assert_eq!(snap.spans[1].parent, Some(0));
+        assert_eq!(snap.spans[1].end_secs, 5.0);
+    }
+
+    #[test]
+    fn merge_buffer_remaps_parents_and_spans() {
+        let h = TelemetryHandle::enabled();
+        let run = h.open_span(SpanId::NONE, SpanKind::TuningRun, "r", 0.0, vec![]);
+        let trial = h.open_span(run, SpanKind::Trial, "t0", 0.0, vec![]);
+
+        let mut buf = TelemetryBuffer::enabled();
+        let local = buf.push_span(SpanKind::Epoch, "e1", None, 0.0, 1.0, vec![]);
+        buf.push_span(SpanKind::Epoch, "e2", Some(local), 1.0, 2.0, vec![]);
+        buf.push_event(EventKind::Probe, Some(local), 0.5, vec![]);
+        buf.push_event(EventKind::GtLookup, None, 0.1, vec![]);
+        buf.counter_add("c", 4);
+
+        h.merge_buffer(trial, &mut buf);
+        let snap = h.snapshot().unwrap();
+        // Spans: run (0), trial (1), e1 (2), e2 (3).
+        assert_eq!(snap.spans[2].parent, Some(1), "rootless buffer span re-parents to trial");
+        assert_eq!(snap.spans[3].parent, Some(2), "local index offsets by sink length");
+        assert_eq!(snap.events[0].span, Some(2));
+        assert_eq!(snap.events[1].span, Some(1));
+        assert_eq!(snap.metrics.counter("c"), 4);
+        // Buffer drained in place.
+        assert!(buf.spans().is_empty());
+    }
+
+    #[test]
+    fn merge_order_determines_trace_order() {
+        // Two buffers merged in opposite orders give different byte
+        // streams — which is why the executor always merges in request
+        // order.
+        let build = |first: &str, second: &str| {
+            let h = TelemetryHandle::enabled();
+            for label in [first, second] {
+                let mut buf = TelemetryBuffer::enabled();
+                buf.push_span(SpanKind::Trial, label, None, 0.0, 1.0, vec![]);
+                h.merge_buffer(SpanId::NONE, &mut buf);
+            }
+            h.snapshot().unwrap()
+        };
+        let ab = build("a", "b");
+        let ba = build("b", "a");
+        assert_ne!(ab.spans, ba.spans);
+        assert_eq!(ab.spans[0].label, "a");
+    }
+}

@@ -1,0 +1,359 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Everything is keyed by a string name in sorted maps, so snapshots and
+//! exports are deterministic. Histograms use **fixed bucket boundaries**
+//! supplied at first observation (and asserted equal on merge): merging two
+//! registries is then pure element-wise addition, independent of the order
+//! individual observations arrived in — the property the request-order
+//! merge in the executor relies on.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// Standard duration buckets (simulated seconds) for epoch/trial timings.
+pub const DURATION_BUCKETS_SECS: &[f64] =
+    &[1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0];
+
+/// Standard energy buckets (joules) for per-epoch energy.
+pub const ENERGY_BUCKETS_J: &[f64] =
+    &[1e3, 5e3, 1e4, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7];
+
+/// Standard small-count buckets (batch sizes, queue depths, retries).
+pub const COUNT_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Standard ratio buckets for occupancy / hit-rate style observations in
+/// `[0, 1]` (and slightly above, for oversubscription).
+pub const RATIO_BUCKETS: &[f64] = &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.5, 2.0];
+
+/// A histogram with fixed bucket boundaries.
+///
+/// `counts[i]` counts observations `<= bounds[i]`; the implicit final
+/// bucket (`counts[bounds.len()]`) catches everything larger. `sum` and
+/// `count` track the exact total, so means are available without bucket
+/// error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `bounds` (must be sorted ascending).
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds another histogram's observations into this one. Both must have
+    /// been created over the same bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds mismatch on merge");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The bucket boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (bucket-level
+    /// resolution; returns `max` for the overflow bucket, 0 when empty).
+    pub fn quantile_bound(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return self.bounds.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert(
+            "bounds".into(),
+            Value::Array(self.bounds.iter().map(|&b| Value::F64(b)).collect()),
+        );
+        obj.insert(
+            "counts".into(),
+            Value::Array(self.counts.iter().map(|&c| Value::U64(c)).collect()),
+        );
+        obj.insert("sum".into(), Value::F64(self.sum));
+        obj.insert("count".into(), Value::U64(self.count));
+        if self.count > 0 {
+            obj.insert("min".into(), Value::F64(self.min));
+            obj.insert("max".into(), Value::F64(self.max));
+        }
+        Value::Object(obj)
+    }
+}
+
+/// Counters, gauges and histograms keyed by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge (last write wins — merges apply the other
+    /// registry's writes after this one's, so the executor's request-order
+    /// merge makes "last" deterministic).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one observation in the named histogram, creating it over
+    /// `bounds` on first use.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .observe(value);
+    }
+
+    /// Folds `other` into `self`: counters and histograms add, gauges take
+    /// `other`'s value. Callers must merge in a deterministic order (the
+    /// executor uses scheduler request order) to keep float sums and gauge
+    /// winners reproducible.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(h) => h.merge(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The named counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if ever observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The registry as a deterministic JSON value (sorted keys throughout).
+    pub fn to_json(&self) -> Value {
+        let mut counters = serde_json::Map::new();
+        for (name, v) in &self.counters {
+            counters.insert(name.clone(), Value::U64(*v));
+        }
+        let mut gauges = serde_json::Map::new();
+        for (name, v) in &self.gauges {
+            gauges.insert(name.clone(), Value::F64(*v));
+        }
+        let mut hists = serde_json::Map::new();
+        for (name, h) in &self.histograms {
+            hists.insert(name.clone(), h.to_json());
+        }
+        let mut obj = serde_json::Map::new();
+        obj.insert("counters".into(), Value::Object(counters));
+        obj.insert("gauges".into(), Value::Object(gauges));
+        obj.insert("histograms".into(), Value::Object(hists));
+        Value::Object(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations_at_boundaries() {
+        let mut h = Histogram::with_bounds(&[1.0, 5.0, 10.0]);
+        // A boundary value lands in its own bucket (`<= bound`).
+        h.observe(1.0);
+        h.observe(0.2);
+        h.observe(5.0);
+        h.observe(5.1);
+        h.observe(100.0);
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 111.3).abs() < 1e-9);
+        assert_eq!(h.min(), 0.2);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise_and_order_free() {
+        let mut a = Histogram::with_bounds(&[2.0, 4.0]);
+        let mut b = Histogram::with_bounds(&[2.0, 4.0]);
+        a.observe(1.0);
+        a.observe(3.0);
+        b.observe(9.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counts(), ba.counts());
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.counts(), &[1, 1, 1]);
+        assert_eq!(ab.min(), 1.0);
+        assert_eq!(ab.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds mismatch")]
+    fn histogram_merge_rejects_different_bounds() {
+        let mut a = Histogram::with_bounds(&[1.0]);
+        let b = Histogram::with_bounds(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn quantile_bound_walks_buckets() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0, 3.0]);
+        for v in [0.5, 1.5, 1.6, 2.5] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_bound(0.25), 1.0);
+        assert_eq!(h.quantile_bound(0.5), 2.0);
+        assert_eq!(h.quantile_bound(1.0), 3.0);
+        assert_eq!(Histogram::with_bounds(&[1.0]).quantile_bound(0.5), 0.0);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_overwrites_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 2);
+        a.gauge_set("g", 1.0);
+        a.observe("h", COUNT_BUCKETS, 3.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 3);
+        b.gauge_set("g", 9.0);
+        b.observe("h", COUNT_BUCKETS, 5.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn registry_json_is_sorted_and_complete() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 1);
+        r.gauge_set("m", 0.5);
+        r.observe("d", &[1.0], 0.5);
+        let json = serde_json::to_string(&r.to_json()).unwrap();
+        let a = json.find("\"a\"").unwrap();
+        let z = json.find("\"z\"").unwrap();
+        assert!(a < z, "counters must serialise in sorted order");
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"gauges\""));
+    }
+}

@@ -1,0 +1,231 @@
+//! The trace vocabulary: spans, events and their attributes.
+//!
+//! Spans form the hierarchy `tuning_run > rung > batch > trial > epoch`;
+//! events (`probe`, `gt_lookup`, `checkpoint`, `fault`, `retry`, `profile`)
+//! hang off a span. All timestamps are **simulated** seconds — never wall
+//! clock — so a trace is a pure function of the run's seed and
+//! configuration, byte-identical for every executor worker count.
+
+use serde_json::Value;
+
+/// The five levels of the span hierarchy.
+///
+/// Spans at [`SpanKind::TuningRun`], [`SpanKind::Rung`] and
+/// [`SpanKind::Batch`] level carry timestamps on the shared simulated wall
+/// clock (the one `TuningOutcome::tuning_secs` is measured on); spans at
+/// [`SpanKind::Trial`] and [`SpanKind::Epoch`] level carry timestamps on
+/// the *trial-cumulative* clock (the trial's own simulated seconds,
+/// `TrialExecution::duration_secs`). The `clock` attribute on every span
+/// names which timeline applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One whole HPT job (PipeTune or a baseline).
+    TuningRun,
+    /// One scheduler round (a HyperBand rung issues one or more of these).
+    Rung,
+    /// The batch of trial requests executed concurrently within a rung.
+    Batch,
+    /// One trial request: a trial's epochs for one scheduler round.
+    Trial,
+    /// One training epoch inside a trial.
+    Epoch,
+}
+
+impl SpanKind {
+    /// Stable lower-snake name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::TuningRun => "tuning_run",
+            SpanKind::Rung => "rung",
+            SpanKind::Batch => "batch",
+            SpanKind::Trial => "trial",
+            SpanKind::Epoch => "epoch",
+        }
+    }
+}
+
+/// Point events recorded against a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A probe epoch measured one candidate system configuration.
+    Probe,
+    /// The ground truth was consulted with first-epoch profile features
+    /// (attribute `hit` tells whether a known configuration was reused).
+    GtLookup,
+    /// An epoch-boundary trial checkpoint was taken (crash recovery).
+    Checkpoint,
+    /// A fault was injected (attribute `fault` names the kind).
+    Fault,
+    /// A crashed epoch attempt was rolled back and retried.
+    Retry,
+    /// A first-epoch hardware-counter profile was collected.
+    Profile,
+}
+
+impl EventKind {
+    /// Stable lower-snake name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Probe => "probe",
+            EventKind::GtLookup => "gt_lookup",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Fault => "fault",
+            EventKind::Retry => "retry",
+            EventKind::Profile => "profile",
+        }
+    }
+}
+
+/// An attribute value. Kept as a closed enum (rather than JSON values) so
+/// exports stay deterministic and the tsdb exporter can map numerics to
+/// fields and strings to tags.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (serialised from the exact bit pattern, so traces of
+    /// bit-identical runs are byte-identical).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The value as JSON.
+    pub fn to_json(&self) -> Value {
+        match self {
+            AttrValue::U64(v) => Value::U64(*v),
+            AttrValue::I64(v) => Value::I64(*v),
+            AttrValue::F64(v) => Value::F64(*v),
+            AttrValue::Str(s) => Value::String(s.clone()),
+            AttrValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+
+    /// The value as an `f64` field, if numeric (tsdb export).
+    pub fn as_field(&self) -> Option<f64> {
+        match self {
+            AttrValue::U64(v) => Some(*v as f64),
+            AttrValue::I64(v) => Some(*v as f64),
+            AttrValue::F64(v) => Some(*v),
+            AttrValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            AttrValue::Str(_) => None,
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<f32> for AttrValue {
+    fn from(v: f32) -> Self {
+        AttrValue::F64(f64::from(v))
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// Attribute list. Insertion order is preserved and deterministic (exports
+/// sort by key, so equal attribute *sets* export identically regardless of
+/// insertion order).
+pub type Attrs = Vec<(&'static str, AttrValue)>;
+
+/// A completed (or still open) span in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Hierarchy level.
+    pub kind: SpanKind,
+    /// Human label (workload name, `trial 7`, `epoch 3/probe`, ...).
+    pub label: String,
+    /// Index of the parent span within the same trace, if any.
+    pub parent: Option<u32>,
+    /// Start timestamp, simulated seconds (see [`SpanKind`] for which
+    /// clock).
+    pub start_secs: f64,
+    /// End timestamp, simulated seconds; `NaN` while the span is open
+    /// (exported as `null`).
+    pub end_secs: f64,
+    /// Key/value attributes.
+    pub attrs: Attrs,
+}
+
+/// A point event in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event class.
+    pub kind: EventKind,
+    /// Index of the span the event belongs to, if any.
+    pub span: Option<u32>,
+    /// Timestamp, simulated seconds (same clock as the owning span).
+    pub at_secs: f64,
+    /// Key/value attributes.
+    pub attrs: Attrs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(SpanKind::TuningRun.name(), "tuning_run");
+        assert_eq!(SpanKind::Epoch.name(), "epoch");
+        assert_eq!(EventKind::GtLookup.name(), "gt_lookup");
+        assert_eq!(EventKind::Retry.name(), "retry");
+    }
+
+    #[test]
+    fn attr_conversions_round_trip_through_json() {
+        assert_eq!(AttrValue::from(3u32).to_json(), Value::U64(3));
+        assert_eq!(AttrValue::from(-2i64).to_json(), Value::I64(-2));
+        assert_eq!(AttrValue::from(0.5f64).to_json(), Value::F64(0.5));
+        assert_eq!(AttrValue::from(true).to_json(), Value::Bool(true));
+        assert_eq!(AttrValue::from("x").to_json(), Value::String("x".into()));
+    }
+
+    #[test]
+    fn numeric_attrs_become_fields_strings_do_not() {
+        assert_eq!(AttrValue::from(2u64).as_field(), Some(2.0));
+        assert_eq!(AttrValue::from(false).as_field(), Some(0.0));
+        assert_eq!(AttrValue::from("tag").as_field(), None);
+    }
+}

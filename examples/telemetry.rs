@@ -1,0 +1,41 @@
+//! Telemetry: trace a tuning run and print the human-readable summary.
+//!
+//! ```sh
+//! cargo run --release --example telemetry
+//! ```
+//!
+//! Pass `--json` to dump the full span/event/metrics trace instead, or
+//! `--tsdb` for influx-style line protocol (both stream to stdout, ready to
+//! redirect into a file):
+//!
+//! ```sh
+//! cargo run --release --example telemetry -- --json > trace.json
+//! cargo run --release --example telemetry -- --tsdb > trace.lp
+//! ```
+
+use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+use pipetune_telemetry::TelemetryHandle;
+
+fn main() -> Result<(), pipetune::PipeTuneError> {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+
+    // Keep a clone of the handle: the environment carries one into the run,
+    // ours reads the shared sink back out afterwards.
+    let telemetry = TelemetryHandle::enabled();
+    let env = ExperimentEnv::distributed(42).with_telemetry(telemetry.clone());
+
+    // Two jobs on the same workload family so the trace shows both the
+    // probing path (job 1) and the ground-truth reuse path (job 2).
+    let mut tuner = PipeTune::new(TunerOptions::fast());
+    let spec = WorkloadSpec::lenet_mnist();
+    tuner.run(&env, &spec)?;
+    tuner.run(&env, &spec)?;
+
+    let snapshot = telemetry.snapshot().expect("telemetry was enabled");
+    match mode.as_str() {
+        "--json" => println!("{}", snapshot.to_json_string()),
+        "--tsdb" => print!("{}", snapshot.to_line_protocol()),
+        _ => println!("{}", snapshot.summary_table()),
+    }
+    Ok(())
+}

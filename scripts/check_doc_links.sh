@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Offline markdown link checker: every relative link target in the repo's
+# documentation must exist on disk. External (http/https/mailto) links are
+# skipped — CI has no network and their liveness is not ours to pin.
+#
+# Usage: scripts/check_doc_links.sh [file.md ...]
+# With no arguments, checks README.md, the top-level *.md and docs/*.md.
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md CHANGELOG.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+fi
+
+fail=0
+for file in "${files[@]}"; do
+  [ -f "$file" ] || { echo "missing doc file: $file"; fail=1; continue; }
+  dir=$(dirname "$file")
+  # Inline markdown links: [text](target). Targets with a scheme are skipped;
+  # in-page anchors (#...) are skipped; a trailing #fragment is stripped.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "$file: broken link -> $target"
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*](\([^)]*\))/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check FAILED"
+  exit 1
+fi
+echo "doc link check OK (${#files[@]} files)"

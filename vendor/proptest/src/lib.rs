@@ -139,7 +139,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](crate::collection::vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
