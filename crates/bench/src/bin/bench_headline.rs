@@ -1,0 +1,113 @@
+//! `bench_headline`: the paper-claim regression gate.
+//!
+//! Runs the headline single-tenancy experiments (Tune V1, Tune V2 and
+//! PipeTune with the §7.2 warm-started ground truth) under live
+//! telemetry, extracts the paper's claims from the traces — tuning-time
+//! reduction vs V1, speedup, energy reduction, final accuracy — and
+//! writes them as stable sorted-key JSON.
+//!
+//! ```text
+//! bench_headline [--out PATH] [--check BASELINE]
+//! ```
+//!
+//! With `--check`, the fresh metrics are compared against the committed
+//! baseline (`BENCH_pipetune.json`) under
+//! [`pipetune_insight::GateConfig::headline_defaults`]; the process exits
+//! non-zero when any gated metric regressed beyond tolerance, which is
+//! what fails the CI job.
+//!
+//! Everything is simulated-deterministic: re-running produces the same
+//! file byte for byte, so the committed baseline only changes when the
+//! pipeline's behaviour does.
+
+use std::process::ExitCode;
+
+use pipetune::{
+    warm_start_ground_truth, ExperimentEnv, PipeTune, TuneV1, TuneV2, TunerOptions, WorkloadSpec,
+};
+use pipetune_insight::{check, headline_metrics, BenchReport, GateConfig};
+use pipetune_telemetry::{TelemetryHandle, TelemetrySnapshot};
+
+const SEED: u64 = 41;
+
+/// Runs one approach over `spec` under a fresh telemetry handle and
+/// returns its trace.
+fn traced<F>(spec: &WorkloadSpec, run: F) -> TelemetrySnapshot
+where
+    F: FnOnce(&ExperimentEnv, &WorkloadSpec),
+{
+    let telemetry = TelemetryHandle::enabled();
+    let env = ExperimentEnv::distributed(SEED).with_telemetry(telemetry.clone());
+    run(&env, spec);
+    telemetry.snapshot().expect("enabled handle")
+}
+
+fn main() -> ExitCode {
+    let mut out_path = "BENCH_pipetune.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => return usage(),
+            },
+            "--check" => match args.next() {
+                Some(path) => check_path = Some(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let options = TunerOptions::fast();
+    let mut report = BenchReport { label: "bench_headline".into(), ..Default::default() };
+    for spec in [WorkloadSpec::lenet_mnist(), WorkloadSpec::lstm_news20()] {
+        let key = spec.name().replace('/', "_");
+        eprintln!("bench_headline: running {} (TuneV1, TuneV2, PipeTune)...", spec.name());
+        let v1 = traced(&spec, |env, spec| {
+            TuneV1::new(options).run(env, spec).expect("TuneV1 runs");
+        });
+        let v2 = traced(&spec, |env, spec| {
+            TuneV2::new(options).run(env, spec).expect("TuneV2 runs");
+        });
+        let pt = traced(&spec, |env, spec| {
+            let gt = warm_start_ground_truth(env, &WorkloadSpec::all_type12(), &options)
+                .expect("warm start");
+            PipeTune::with_ground_truth(options, gt).run(env, spec).expect("PipeTune runs");
+        });
+        report.metrics.extend(headline_metrics(&key, &v1, &v2, &pt));
+    }
+
+    let text = report.to_json_string();
+    if let Err(e) = std::fs::write(&out_path, format!("{text}\n")) {
+        eprintln!("bench_headline: cannot write {out_path}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("bench_headline: wrote {} metrics to {out_path}", report.metrics.len());
+
+    if let Some(baseline_path) = check_path {
+        let baseline = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| BenchReport::from_json_str(&t))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_headline: cannot load baseline {baseline_path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let outcome = check(&baseline, &report, &GateConfig::headline_defaults());
+        print!("{}", outcome.render());
+        if !outcome.passed() {
+            eprintln!("bench_headline: regression vs {baseline_path}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_headline [--out PATH] [--check BASELINE]");
+    ExitCode::from(1)
+}

@@ -1,0 +1,80 @@
+//! `pipetune-trace`: offline analysis of exported telemetry traces.
+//!
+//! ```text
+//! pipetune-trace report   <trace.json>           critical-path report
+//! pipetune-trace diff     <a.json> <b.json>      compare two traces
+//! pipetune-trace validate <trace.json>           check the span tree
+//! ```
+//!
+//! Traces are the JSON dumps written by
+//! [`pipetune_telemetry::TelemetrySnapshot::to_json_string`] (see
+//! `examples/telemetry.rs`). All analysis is a pure function of the trace,
+//! so the output is byte-identical no matter how many executor workers
+//! produced it.
+//!
+//! Exit codes: `0` success, `1` usage or I/O error, `2` invalid trace.
+
+use std::process::ExitCode;
+
+use pipetune_insight::{TraceDiff, TraceReport};
+use pipetune_telemetry::TelemetrySnapshot;
+
+const USAGE: &str = "usage: pipetune-trace <report|diff|validate> <trace.json> [b.json]";
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("pipetune-trace: cannot read {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+fn parse(path: &str, text: &str) -> Result<TelemetrySnapshot, ExitCode> {
+    TelemetrySnapshot::from_json_str(text).map_err(|e| {
+        eprintln!("pipetune-trace: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn run() -> Result<(), ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let invalid = |e| {
+        eprintln!("pipetune-trace: {e}");
+        ExitCode::from(2)
+    };
+    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        ["report", path] => {
+            let snap = parse(path, &read(path)?)?;
+            let report = TraceReport::from_snapshot(&snap).map_err(invalid)?;
+            print!("{}", report.render());
+            Ok(())
+        }
+        ["diff", a, b] => {
+            let snap_a = parse(a, &read(a)?)?;
+            let snap_b = parse(b, &read(b)?)?;
+            let diff = TraceDiff::between(&snap_a, &snap_b).map_err(invalid)?;
+            print!("{}", diff.render());
+            Ok(())
+        }
+        ["validate", path] => {
+            let snap = parse(path, &read(path)?)?;
+            snap.validate().map_err(invalid)?;
+            println!(
+                "{path}: valid trace ({} spans, {} events)",
+                snap.spans.len(),
+                snap.events.len()
+            );
+            Ok(())
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            Err(ExitCode::from(1))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}

@@ -1,15 +1,25 @@
 //! Exporters: deterministic JSON, tsdb line protocol and the end-of-run
-//! summary table.
+//! summary table — plus the JSON *importer*
+//! ([`TelemetrySnapshot::from_json_str`]) that turns a trace dump back into
+//! a snapshot for offline analysis.
 //!
-//! All three are pure functions of a [`TelemetrySnapshot`], so two
+//! All exporters are pure functions of a [`TelemetrySnapshot`], so two
 //! byte-identical runs export byte-identical artefacts — the property the
-//! telemetry determinism suite asserts across executor worker counts.
+//! telemetry determinism suite asserts across executor worker counts. The
+//! importer is the exporter's inverse up to bytes: export → parse → export
+//! is byte-identical (pinned by a property test below).
 
 use pipetune_tsdb::Point;
 use serde_json::Value;
 
 use crate::handle::TelemetrySnapshot;
-use crate::span::{AttrValue, Attrs, Event, Span};
+use crate::metrics::MetricsRegistry;
+use crate::span::{AttrValue, Attrs, Event, EventKind, Span, SpanKind};
+use crate::validate::TraceError;
+
+/// Alias under which the JSON trace artefact is documented: a trace dump
+/// *is* a serialised [`TelemetrySnapshot`].
+pub type TraceExport = TelemetrySnapshot;
 
 fn attrs_json(attrs: &Attrs) -> Value {
     let mut obj = serde_json::Map::new();
@@ -50,6 +60,120 @@ fn event_json(event: &Event) -> Value {
     Value::Object(obj)
 }
 
+/// Interns an attribute key: [`Attrs`] keys are `&'static str` (recording
+/// sites use literals), so re-imported keys are leaked once per *unique*
+/// key into a shared table. The trace vocabulary is a small fixed set, so
+/// the table — and the leak — stays bounded no matter how many traces a
+/// process parses.
+fn intern(key: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut table = INTERNED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = table.get(key) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(key.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+fn parse_error(reason: impl Into<String>) -> TraceError {
+    TraceError::Parse { reason: reason.into() }
+}
+
+/// Inverse of [`attrs_json`]. Integer attributes re-import as
+/// [`AttrValue::U64`] when non-negative (JSON does not distinguish
+/// signedness); `null` attributes re-import as [`AttrValue::F64`] NaN (the
+/// only value that exports as `null`). Both normalisations re-export to the
+/// same bytes.
+fn attrs_from_json(value: &Value, what: &str) -> Result<Attrs, TraceError> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| parse_error(format!("{what}: attrs must be an object")))?;
+    let mut attrs = Attrs::new();
+    for (key, v) in obj {
+        let attr = match v {
+            Value::Bool(b) => AttrValue::Bool(*b),
+            Value::String(s) => AttrValue::Str(s.clone()),
+            Value::U64(u) => AttrValue::U64(*u),
+            Value::I64(i) if *i >= 0 => AttrValue::U64(*i as u64),
+            Value::I64(i) => AttrValue::I64(*i),
+            Value::F64(f) => AttrValue::F64(*f),
+            Value::Null => AttrValue::F64(f64::NAN),
+            Value::Array(_) | Value::Object(_) => {
+                return Err(parse_error(format!("{what}: attr {key} has a non-scalar value")))
+            }
+        };
+        attrs.push((intern(key), attr));
+    }
+    Ok(attrs)
+}
+
+fn span_from_json(idx: usize, value: &Value) -> Result<Span, TraceError> {
+    let what = format!("span {idx}");
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .and_then(SpanKind::from_name)
+        .ok_or_else(|| parse_error(format!("{what}: missing or unknown kind")))?;
+    let label = value
+        .get("label")
+        .and_then(Value::as_str)
+        .ok_or_else(|| parse_error(format!("{what}: missing label")))?
+        .to_string();
+    let parent = match value.get("parent") {
+        None | Some(Value::Null) => None,
+        Some(p) => Some(
+            p.as_u64()
+                .and_then(|p| u32::try_from(p).ok())
+                .ok_or_else(|| parse_error(format!("{what}: parent must be a u32")))?,
+        ),
+    };
+    let start_secs = value
+        .get("start_secs")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| parse_error(format!("{what}: missing start_secs")))?;
+    // An open span exports `null`; re-import restores the NaN sentinel.
+    let end_secs = match value.get("end_secs") {
+        None | Some(Value::Null) => f64::NAN,
+        Some(e) => e
+            .as_f64()
+            .ok_or_else(|| parse_error(format!("{what}: end_secs must be a number")))?,
+    };
+    let attrs = attrs_from_json(
+        value.get("attrs").unwrap_or(&Value::Object(serde_json::Map::new())),
+        &what,
+    )?;
+    Ok(Span { kind, label, parent, start_secs, end_secs, attrs })
+}
+
+fn event_from_json(idx: usize, value: &Value) -> Result<Event, TraceError> {
+    let what = format!("event {idx}");
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .and_then(EventKind::from_name)
+        .ok_or_else(|| parse_error(format!("{what}: missing or unknown kind")))?;
+    let span = match value.get("span") {
+        None | Some(Value::Null) => None,
+        Some(s) => Some(
+            s.as_u64()
+                .and_then(|s| u32::try_from(s).ok())
+                .ok_or_else(|| parse_error(format!("{what}: span must be a u32")))?,
+        ),
+    };
+    let at_secs = value
+        .get("at_secs")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| parse_error(format!("{what}: missing at_secs")))?;
+    let attrs = attrs_from_json(
+        value.get("attrs").unwrap_or(&Value::Object(serde_json::Map::new())),
+        &what,
+    )?;
+    Ok(Event { kind, span, at_secs, attrs })
+}
+
 /// Microsecond timestamp for a simulated-seconds instant (clamped at 0).
 fn timestamp_us(secs: f64) -> u64 {
     if secs.is_finite() && secs > 0.0 {
@@ -84,6 +208,76 @@ impl TelemetrySnapshot {
     pub fn to_json_string(&self) -> String {
         serde_json::to_string_pretty(&self.to_json())
             .expect("telemetry snapshot serialises infallibly")
+    }
+
+    /// Parses a JSON trace dump (the [`TelemetrySnapshot::to_json_string`]
+    /// format) back into a snapshot — the importer `pipetune-trace` and the
+    /// insight analyses are built on.
+    ///
+    /// Exact inverse up to bytes: `export → parse → export` is
+    /// byte-identical. Two normalisations happen on the way in (neither
+    /// changes the re-exported bytes): non-negative integer attributes
+    /// become [`AttrValue::U64`], and `null` floats become NaN.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Parse`] on malformed JSON, an unknown span/event kind,
+    /// an unsupported version, or a shape mismatch. Structural problems
+    /// (orphan parents, inverted intervals) are *not* checked here — run
+    /// [`TelemetrySnapshot::validate`] on the result.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pipetune_telemetry::{SpanId, SpanKind, TelemetryHandle, TelemetrySnapshot};
+    ///
+    /// let telemetry = TelemetryHandle::enabled();
+    /// let run = telemetry.open_span(SpanId::NONE, SpanKind::TuningRun, "job", 0.0, vec![]);
+    /// telemetry.close_span(run, 3.5);
+    /// let text = telemetry.snapshot().unwrap().to_json_string();
+    ///
+    /// let parsed = TelemetrySnapshot::from_json_str(&text).unwrap();
+    /// assert_eq!(parsed.to_json_string(), text);
+    /// ```
+    pub fn from_json_str(text: &str) -> Result<Self, TraceError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| parse_error(e.to_string()))?;
+        Self::from_json(&value)
+    }
+
+    /// Structured-value variant of [`TelemetrySnapshot::from_json_str`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Parse`] on shape mismatches (see
+    /// [`TelemetrySnapshot::from_json_str`]).
+    pub fn from_json(value: &Value) -> Result<Self, TraceError> {
+        match value.get("version").and_then(Value::as_u64) {
+            Some(1) => {}
+            Some(v) => return Err(parse_error(format!("unsupported trace version {v}"))),
+            None => return Err(parse_error("missing trace version")),
+        }
+        let spans = value
+            .get("spans")
+            .and_then(Value::as_array)
+            .ok_or_else(|| parse_error("missing spans array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| span_from_json(i, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let events = value
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or_else(|| parse_error("missing events array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, e)| event_from_json(i, e))
+            .collect::<Result<Vec<_>, _>>()?;
+        let metrics = MetricsRegistry::from_json(
+            value.get("metrics").ok_or_else(|| parse_error("missing metrics object"))?,
+        )
+        .map_err(parse_error)?;
+        Ok(TelemetrySnapshot { spans, events, metrics })
     }
 
     /// The metrics registry alone as a compact JSON string.
@@ -315,6 +509,160 @@ mod tests {
         let db = pipetune_tsdb::Database::new();
         for p in points {
             db.write(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json_str() {
+        let snap = snapshot();
+        let text = snap.to_json_string();
+        let parsed = TelemetrySnapshot::from_json_str(&text).unwrap();
+        assert_eq!(parsed.to_json_string(), text, "export → parse → export must be identity");
+        // Semantics survive too: same kinds, timestamps and metrics.
+        assert_eq!(parsed.spans.len(), snap.spans.len());
+        assert_eq!(parsed.spans[0].kind, SpanKind::TuningRun);
+        assert!(parsed.spans[1].end_secs.is_nan(), "null end re-imports as the open sentinel");
+        assert_eq!(parsed.events[0].kind, EventKind::GtLookup);
+        assert_eq!(parsed.metrics.counter("epochs.total"), 12);
+        assert_eq!(parsed.metrics.histogram("executor.batch_trials").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn from_json_str_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            r#"{"version": 2, "spans": [], "events": [], "metrics": {}}"#,
+            r#"{"version": 1, "spans": [{"kind": "galaxy", "label": "x", "start_secs": 0.0}], "events": [], "metrics": {}}"#,
+            r#"{"version": 1, "spans": [], "events": [], "metrics": {"counters": {"c": -1}}}"#,
+        ] {
+            let err = TelemetrySnapshot::from_json_str(bad).unwrap_err();
+            assert!(matches!(err, crate::TraceError::Parse { .. }), "{bad} -> {err}");
+        }
+    }
+
+    /// Proptest-style round-trip: randomised snapshots (span trees, weird
+    /// floats, open spans, every attribute type, metrics of all three
+    /// families) must re-export byte-identically after a parse.
+    mod roundtrip_property {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        fn arbitrary_f64(rng: &mut StdRng) -> f64 {
+            match rng.gen_range(0..6u32) {
+                0 => 0.0,
+                1 => rng.gen_range(-1.0e3..1.0e3),
+                2 => rng.gen_range(0.0..1.0) / 3.0,
+                // Random full-precision mantissa in [1, 2), recentred: keeps
+                // the exponent fixed so the value is always finite.
+                3 => {
+                    f64::from_bits(
+                        (rng.gen::<u64>() & 0x000F_FFFF_FFFF_FFFF) | 0x3ff0_0000_0000_0000,
+                    ) - 1.5
+                }
+                4 => -rng.gen_range(1.0e-12..1.0e-6f64),
+                _ => rng.gen_range(1.0e6..1.0e12),
+            }
+        }
+
+        fn arbitrary_attrs(rng: &mut StdRng) -> Attrs {
+            let keys = ["epoch", "phase", "cores", "cost", "hit", "note"];
+            let n = rng.gen_range(0..4usize);
+            (0..n)
+                .map(|i| {
+                    let value = match rng.gen_range(0..5u32) {
+                        0 => AttrValue::U64(rng.gen::<u32>().into()),
+                        1 => AttrValue::I64(-(i64::from(rng.gen::<u32>()))),
+                        2 => AttrValue::F64(arbitrary_f64(rng)),
+                        3 => AttrValue::Bool(rng.gen()),
+                        _ => AttrValue::Str(format!("v{}", rng.gen_range(0..65536u32))),
+                    };
+                    (keys[i], value)
+                })
+                .collect()
+        }
+
+        fn arbitrary_snapshot(seed: u64) -> TelemetrySnapshot {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let kinds = [
+                SpanKind::TuningRun,
+                SpanKind::Rung,
+                SpanKind::Batch,
+                SpanKind::Trial,
+                SpanKind::Epoch,
+            ];
+            let event_kinds = [
+                EventKind::Probe,
+                EventKind::GtLookup,
+                EventKind::Checkpoint,
+                EventKind::Fault,
+                EventKind::Retry,
+                EventKind::Profile,
+            ];
+            let n_spans = rng.gen_range(0..12usize);
+            let spans: Vec<Span> = (0..n_spans)
+                .map(|i| {
+                    let start = arbitrary_f64(&mut rng);
+                    Span {
+                        kind: kinds[rng.gen_range(0..kinds.len())],
+                        label: format!("span {}", rng.gen_range(0..65536u32)),
+                        parent: (i > 0 && rng.gen::<bool>())
+                            .then(|| rng.gen_range(0..i as u32)),
+                        start_secs: start,
+                        // A fifth of spans stay open.
+                        end_secs: if rng.gen_range(0..5u32) == 0 {
+                            f64::NAN
+                        } else {
+                            start + arbitrary_f64(&mut rng).abs()
+                        },
+                        attrs: arbitrary_attrs(&mut rng),
+                    }
+                })
+                .collect();
+            let events = (0..rng.gen_range(0..8usize))
+                .map(|_| Event {
+                    kind: event_kinds[rng.gen_range(0..event_kinds.len())],
+                    span: (!spans.is_empty() && rng.gen::<bool>())
+                        .then(|| rng.gen_range(0..spans.len() as u32)),
+                    at_secs: arbitrary_f64(&mut rng),
+                    attrs: arbitrary_attrs(&mut rng),
+                })
+                .collect();
+            let mut metrics = MetricsRegistry::new();
+            for _ in 0..rng.gen_range(0..4u32) {
+                metrics.counter_add(&format!("c{}", rng.gen_range(0..256u32)), rng.gen::<u32>().into());
+            }
+            for _ in 0..rng.gen_range(0..4u32) {
+                metrics.gauge_set(&format!("g{}", rng.gen_range(0..256u32)), arbitrary_f64(&mut rng));
+            }
+            for h in 0..rng.gen_range(0..3u32) {
+                let name = format!("h{h}");
+                for _ in 0..rng.gen_range(0..6u32) {
+                    metrics.observe(&name, COUNT_BUCKETS, arbitrary_f64(&mut rng).abs());
+                }
+            }
+            TelemetrySnapshot { spans, events, metrics }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn export_parse_export_is_byte_identical(seed in 0u64..1_000_000) {
+                let snap = arbitrary_snapshot(seed);
+                let text = snap.to_json_string();
+                let parsed = TelemetrySnapshot::from_json_str(&text)
+                    .expect("own exports always re-import");
+                prop_assert_eq!(parsed.to_json_string(), text);
+                // And the importer is idempotent: a second round trip stays
+                // fixed. (Compare via the canonical export — open spans hold
+                // `NaN` end timestamps, which `PartialEq` would reject.)
+                let again = TelemetrySnapshot::from_json_str(&parsed.to_json_string()).unwrap();
+                prop_assert_eq!(again.to_json_string(), text);
+            }
         }
     }
 

@@ -39,7 +39,7 @@ struct Sink {
 
 /// A consistent copy of everything a run has recorded so far: the span
 /// tree, the event log and the metrics registry, all taken under one lock.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetrySnapshot {
     /// All spans, in record order; `parent` indexes into this vector.
     pub spans: Vec<Span>,

@@ -14,7 +14,10 @@
 //!   retries, epoch durations, energy, queue occupancy.
 //! * **Exporters** turn a [`TelemetrySnapshot`] into a deterministic JSON
 //!   trace, InfluxDB line protocol (via [`pipetune_tsdb`]) or a
-//!   human-readable summary table.
+//!   human-readable summary table. The JSON trace round-trips:
+//!   [`TelemetrySnapshot::from_json_str`] parses a dump back for offline
+//!   analysis, and [`TelemetrySnapshot::validate`] rejects malformed span
+//!   trees with typed [`TraceError`]s.
 //!
 //! # Determinism
 //!
@@ -48,9 +51,12 @@ mod export;
 mod handle;
 mod metrics;
 mod span;
+mod validate;
 
 pub use collector::{Collector, TelemetryBuffer};
+pub use export::TraceExport;
 pub use handle::{SpanId, TelemetryHandle, TelemetrySnapshot};
+pub use validate::TraceError;
 pub use metrics::{
     Histogram, MetricsRegistry, COUNT_BUCKETS, DURATION_BUCKETS_SECS, ENERGY_BUCKETS_J,
     RATIO_BUCKETS,

@@ -135,6 +135,22 @@ impl Histogram {
         self.max
     }
 
+    /// Reassembles a histogram from its exported parts (inverse of the JSON
+    /// export). `None` when the counts vector does not match the bounds.
+    pub(crate) fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+        min: f64,
+        max: f64,
+    ) -> Option<Self> {
+        if counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        Some(Histogram { bounds, counts, sum, count, min, max })
+    }
+
     fn to_json(&self) -> Value {
         let mut obj = serde_json::Map::new();
         obj.insert(
@@ -244,6 +260,62 @@ impl MetricsRegistry {
     /// All histograms, sorted by name.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Parses a registry back out of its [`MetricsRegistry::to_json`] form.
+    /// Errors carry a plain-text reason (wrapped into a typed
+    /// [`crate::TraceError::Parse`] by the snapshot importer).
+    pub(crate) fn from_json(value: &Value) -> Result<Self, String> {
+        let mut registry = MetricsRegistry::new();
+        let obj = value.as_object().ok_or("metrics must be an object")?;
+        if let Some(counters) = obj.get("counters") {
+            for (name, v) in counters.as_object().ok_or("counters must be an object")? {
+                let v = v.as_u64().ok_or_else(|| format!("counter {name} must be a u64"))?;
+                registry.counters.insert(name.clone(), v);
+            }
+        }
+        if let Some(gauges) = obj.get("gauges") {
+            for (name, v) in gauges.as_object().ok_or("gauges must be an object")? {
+                // A NaN gauge exports as null; re-import it as NaN.
+                let v = if v.is_null() {
+                    f64::NAN
+                } else {
+                    v.as_f64().ok_or_else(|| format!("gauge {name} must be a number"))?
+                };
+                registry.gauges.insert(name.clone(), v);
+            }
+        }
+        if let Some(hists) = obj.get("histograms") {
+            for (name, h) in hists.as_object().ok_or("histograms must be an object")? {
+                let err = |what: &str| format!("histogram {name}: {what}");
+                let bounds = h
+                    .get("bounds")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("missing bounds"))?
+                    .iter()
+                    .map(|b| b.as_f64().ok_or_else(|| err("non-numeric bound")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let counts = h
+                    .get("counts")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("missing counts"))?
+                    .iter()
+                    .map(|c| c.as_u64().ok_or_else(|| err("non-integer count")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let sum =
+                    h.get("sum").and_then(Value::as_f64).ok_or_else(|| err("missing sum"))?;
+                let count =
+                    h.get("count").and_then(Value::as_u64).ok_or_else(|| err("missing count"))?;
+                // min/max are omitted for empty histograms; restore the
+                // empty-state sentinels so re-export is byte-identical.
+                let min = h.get("min").and_then(Value::as_f64).unwrap_or(f64::INFINITY);
+                let max = h.get("max").and_then(Value::as_f64).unwrap_or(f64::NEG_INFINITY);
+                let hist = Histogram::from_parts(bounds, counts, sum, count, min, max)
+                    .ok_or_else(|| err("counts do not match bounds"))?;
+                registry.histograms.insert(name.clone(), hist);
+            }
+        }
+        Ok(registry)
     }
 
     /// The registry as a deterministic JSON value (sorted keys throughout).

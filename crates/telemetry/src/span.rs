@@ -42,6 +42,18 @@ impl SpanKind {
             SpanKind::Epoch => "epoch",
         }
     }
+
+    /// Inverse of [`SpanKind::name`] (trace re-import).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "tuning_run" => Some(SpanKind::TuningRun),
+            "rung" => Some(SpanKind::Rung),
+            "batch" => Some(SpanKind::Batch),
+            "trial" => Some(SpanKind::Trial),
+            "epoch" => Some(SpanKind::Epoch),
+            _ => None,
+        }
+    }
 }
 
 /// Point events recorded against a span.
@@ -72,6 +84,19 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Retry => "retry",
             EventKind::Profile => "profile",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`] (trace re-import).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "probe" => Some(EventKind::Probe),
+            "gt_lookup" => Some(EventKind::GtLookup),
+            "checkpoint" => Some(EventKind::Checkpoint),
+            "fault" => Some(EventKind::Fault),
+            "retry" => Some(EventKind::Retry),
+            "profile" => Some(EventKind::Profile),
+            _ => None,
         }
     }
 }

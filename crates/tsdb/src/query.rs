@@ -15,6 +15,12 @@ pub enum Aggregate {
     Max,
     /// Number of matching points carrying the field.
     Count,
+    /// Median (50th percentile, nearest-rank).
+    P50,
+    /// 95th percentile (nearest-rank).
+    P95,
+    /// 99th percentile (nearest-rank).
+    P99,
 }
 
 impl Aggregate {
@@ -29,8 +35,21 @@ impl Aggregate {
             Aggregate::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
             Aggregate::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             Aggregate::Count => values.len() as f64,
+            Aggregate::P50 => percentile(values, 0.50),
+            Aggregate::P95 => percentile(values, 0.95),
+            Aggregate::P99 => percentile(values, 0.99),
         })
     }
+}
+
+/// Nearest-rank percentile: the smallest value such that at least `q` of the
+/// sample is ≤ it. Exact for small samples (the Influx convention), so a P99
+/// over 10 points is the maximum rather than an extrapolation.
+fn percentile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
 }
 
 /// A query: measurement, optional tag equality filters, optional time range.
@@ -111,5 +130,31 @@ mod tests {
         assert_eq!(Aggregate::Max.apply(&v), Some(4.0));
         assert_eq!(Aggregate::Count.apply(&v), Some(4.0));
         assert_eq!(Aggregate::Mean.apply(&[]), None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_known_distributions() {
+        // 1..=100 shuffled: nearest-rank percentiles are exact members.
+        let mut v: Vec<f64> = (1..=100).map(f64::from).collect();
+        v.reverse();
+        assert_eq!(Aggregate::P50.apply(&v), Some(50.0));
+        assert_eq!(Aggregate::P95.apply(&v), Some(95.0));
+        assert_eq!(Aggregate::P99.apply(&v), Some(99.0));
+
+        // Small samples: ranks clamp into the sample rather than interpolate.
+        let small = [10.0, 30.0, 20.0];
+        assert_eq!(Aggregate::P50.apply(&small), Some(20.0));
+        assert_eq!(Aggregate::P95.apply(&small), Some(30.0));
+        assert_eq!(Aggregate::P99.apply(&small), Some(30.0));
+
+        // Singleton and empty edge cases.
+        assert_eq!(Aggregate::P50.apply(&[7.0]), Some(7.0));
+        assert_eq!(Aggregate::P99.apply(&[7.0]), Some(7.0));
+        assert_eq!(Aggregate::P95.apply(&[]), None);
+
+        // Skewed distribution: tail percentiles pick out the outlier.
+        let skew = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1000.0];
+        assert_eq!(Aggregate::P50.apply(&skew), Some(1.0));
+        assert_eq!(Aggregate::P95.apply(&skew), Some(1000.0));
     }
 }

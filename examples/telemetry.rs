@@ -4,16 +4,20 @@
 //! cargo run --release --example telemetry
 //! ```
 //!
-//! Pass `--json` to dump the full span/event/metrics trace instead, or
+//! Pass `--json` to dump the full span/event/metrics trace instead,
 //! `--tsdb` for influx-style line protocol (both stream to stdout, ready to
-//! redirect into a file):
+//! redirect into a file), or `--report` for the critical-path analysis
+//! (per-phase attribution, rung utilization, stragglers — see
+//! `docs/insight.md`):
 //!
 //! ```sh
 //! cargo run --release --example telemetry -- --json > trace.json
 //! cargo run --release --example telemetry -- --tsdb > trace.lp
+//! cargo run --release --example telemetry -- --report
 //! ```
 
 use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+use pipetune_insight::TraceReport;
 use pipetune_telemetry::TelemetryHandle;
 
 fn main() -> Result<(), pipetune::PipeTuneError> {
@@ -35,6 +39,10 @@ fn main() -> Result<(), pipetune::PipeTuneError> {
     match mode.as_str() {
         "--json" => println!("{}", snapshot.to_json_string()),
         "--tsdb" => print!("{}", snapshot.to_line_protocol()),
+        "--report" => {
+            let report = TraceReport::from_snapshot(&snapshot).expect("own traces validate");
+            print!("{}", report.render());
+        }
         _ => println!("{}", snapshot.summary_table()),
     }
     Ok(())

@@ -136,6 +136,23 @@ fn trace_structure_matches_the_span_taxonomy() {
 }
 
 #[test]
+fn real_traces_validate_and_round_trip_byte_identically() {
+    for plan in [FaultPlan::none(), FaultPlan::mixed(7)] {
+        let (_, snap) = run_traced(2, plan);
+
+        // The recorded span tree satisfies the validation contract…
+        snap.validate().expect("real traces are well-formed");
+
+        // …and the JSON export is a true serialisation: parsing it back
+        // and re-exporting reproduces the original bytes exactly.
+        let text = snap.to_json_string();
+        let parsed = TelemetrySnapshot::from_json_str(&text).expect("own exports re-import");
+        assert_eq!(parsed.to_json_string(), text, "export → parse → export must be identity");
+        parsed.validate().expect("re-imported traces stay well-formed");
+    }
+}
+
+#[test]
 fn faulty_runs_trace_faults_without_tracing_doomed_attempts() {
     let (_, snap) = run_traced(4, FaultPlan::mixed(7));
 
