@@ -4,7 +4,10 @@
 //! PipeTune with the §7.2 warm-started ground truth) under live
 //! telemetry, extracts the paper's claims from the traces — tuning-time
 //! reduction vs V1, speedup, energy reduction, final accuracy — and
-//! writes them as stable sorted-key JSON.
+//! writes them as stable sorted-key JSON. A multi-tenant section then
+//! runs the same Poisson job stream through the `pipetune-service`
+//! scheduler under every policy, adding gated
+//! `multitenant.{policy}.{mean,p95,...}_response_secs` metrics.
 //!
 //! ```text
 //! bench_headline [--out PATH] [--check BASELINE]
@@ -25,10 +28,16 @@ use std::process::ExitCode;
 use pipetune::{
     warm_start_ground_truth, ExperimentEnv, PipeTune, TuneV1, TuneV2, TunerOptions, WorkloadSpec,
 };
-use pipetune_insight::{check, headline_metrics, BenchReport, GateConfig};
+use pipetune_cluster::PoissonArrivals;
+use pipetune_insight::{check, headline_metrics, multitenant_metrics, BenchReport, GateConfig};
+use pipetune_service::{JobSubmission, SchedulingPolicy, ServiceConfig, TuningService};
 use pipetune_telemetry::{TelemetryHandle, TelemetrySnapshot};
 
 const SEED: u64 = 41;
+/// Multi-tenant section: jobs per stream and the Poisson arrival rate
+/// (mean inter-arrival 1500 simulated seconds keeps the queue busy).
+const SERVICE_JOBS: usize = 6;
+const SERVICE_RATE: f64 = 1.0 / 1500.0;
 
 /// Runs one approach over `spec` under a fresh telemetry handle and
 /// returns its trace.
@@ -77,6 +86,29 @@ fn main() -> ExitCode {
             PipeTune::with_ground_truth(options, gt).run(env, spec).expect("PipeTune runs");
         });
         report.metrics.extend(headline_metrics(&key, &v1, &v2, &pt));
+    }
+
+    // Multi-tenant headline: the same arrival stream under every
+    // scheduling policy, summarised as response-time percentiles.
+    let specs = [WorkloadSpec::lenet_mnist(), WorkloadSpec::lstm_news20()];
+    let submissions: Vec<JobSubmission> = {
+        let mut arrivals = PoissonArrivals::new(SERVICE_RATE, SEED);
+        (0..SERVICE_JOBS)
+            .map(|i| JobSubmission::new(arrivals.next_arrival().as_secs_f64(), specs[i % specs.len()]))
+            .collect()
+    };
+    for policy in SchedulingPolicy::ALL {
+        eprintln!("bench_headline: running {SERVICE_JOBS}-job service stream ({})...", policy.name());
+        let env = ExperimentEnv::distributed(SEED);
+        let service = TuningService::new(ServiceConfig::default().with_policy(policy));
+        let outcome = service.run(&env, &submissions, &options).expect("service runs");
+        let responses: Vec<f64> = outcome.jobs.iter().map(|r| r.response_secs).collect();
+        report
+            .metrics
+            .extend(multitenant_metrics(&format!("multitenant.{}", policy.name()), &responses));
+        report
+            .metrics
+            .insert(format!("multitenant.{}.makespan_secs", policy.name()), outcome.makespan_secs);
     }
 
     let text = report.to_json_string();

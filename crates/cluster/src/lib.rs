@@ -16,6 +16,9 @@
 //!   accounting with oversubscription-driven contention (Fig. 5, §7.4).
 //! * [`PoissonArrivals`] — exponential interarrival job traces for the
 //!   multi-tenancy experiments (§7.4).
+//! * [`SlotPool`] — leased-slot accounting a multi-job tuning service
+//!   partitions the cluster's parallel trial slots with (never
+//!   oversubscribing; see `docs/multitenancy.md`).
 //! * [`FaultPlan`] / [`FaultReport`] / [`RetryPolicy`] — seeded,
 //!   deterministic fault schedules (node crashes, stragglers, counter-read
 //!   failures, preemptions) and the recovery accounting vocabulary.
@@ -30,6 +33,7 @@ mod cost;
 mod faults;
 pub mod observe;
 mod sim;
+mod slots;
 mod system;
 mod topology;
 
@@ -37,5 +41,6 @@ pub use arrivals::PoissonArrivals;
 pub use cost::{CostModel, WorkUnits};
 pub use faults::{FaultKind, FaultPlan, FaultReport, RetryPolicy};
 pub use sim::{EventQueue, SimTime};
+pub use slots::{SlotPool, SlotPoolError};
 pub use system::{SystemConfig, SystemSpace};
 pub use topology::{Allocation, Allocator, ClusterError, ClusterSpec, Node, NodeId};

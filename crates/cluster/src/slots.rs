@@ -1,0 +1,205 @@
+//! Slot-pool accounting for multi-job tuning services.
+//!
+//! A tuning service partitions the cluster's parallel trial slots across
+//! concurrently admitted jobs. [`SlotPool`] is the bookkeeping side of that
+//! partitioning: leases are granted against a fixed capacity and can never
+//! oversubscribe it, so a scheduler bug that hands out more slots than the
+//! cluster has surfaces as a typed error instead of silently corrupted
+//! wall-clock accounting. The property suite (`tests/service_props.rs`)
+//! asserts the no-oversubscription invariant at every event time of a
+//! service run.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`SlotPool`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotPoolError {
+    /// A lease asked for more slots than are currently free.
+    Exhausted {
+        /// Slots requested.
+        requested: usize,
+        /// Slots still free.
+        available: usize,
+    },
+    /// A lease asked for zero slots (a job always occupies at least one).
+    EmptyLease,
+    /// A release named a lease id that is not outstanding.
+    UnknownLease {
+        /// The dangling lease id.
+        lease: u64,
+    },
+}
+
+impl fmt::Display for SlotPoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotPoolError::Exhausted { requested, available } => {
+                write!(f, "requested {requested} slot(s) but only {available} free")
+            }
+            SlotPoolError::EmptyLease => write!(f, "a lease must cover at least one slot"),
+            SlotPoolError::UnknownLease { lease } => {
+                write!(f, "lease {lease} is not outstanding")
+            }
+        }
+    }
+}
+
+impl Error for SlotPoolError {}
+
+/// A fixed pool of parallel trial slots with leased-out accounting.
+///
+/// # Example
+///
+/// ```
+/// use pipetune_cluster::SlotPool;
+///
+/// let mut pool = SlotPool::new(4);
+/// let a = pool.lease(3).unwrap();
+/// assert_eq!(pool.available(), 1);
+/// assert!(pool.lease(2).is_err(), "no oversubscription");
+/// assert_eq!(pool.release(a), Ok(3));
+/// assert_eq!(pool.available(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SlotPool {
+    capacity: usize,
+    leases: BTreeMap<u64, usize>,
+    next_lease: u64,
+    in_use: usize,
+}
+
+impl SlotPool {
+    /// A pool with `capacity` slots, all free.
+    pub fn new(capacity: usize) -> Self {
+        SlotPool { capacity, leases: BTreeMap::new(), next_lease: 0, in_use: 0 }
+    }
+
+    /// Total slots, leased or not.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots currently leased out.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Slots currently free.
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    /// Outstanding lease count.
+    pub fn leases(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Leases `slots` slots, returning the lease id to release later.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotPoolError::EmptyLease`] for zero slots,
+    /// [`SlotPoolError::Exhausted`] when fewer than `slots` are free —
+    /// a pool never oversubscribes.
+    pub fn lease(&mut self, slots: usize) -> Result<u64, SlotPoolError> {
+        if slots == 0 {
+            return Err(SlotPoolError::EmptyLease);
+        }
+        let available = self.available();
+        if slots > available {
+            return Err(SlotPoolError::Exhausted { requested: slots, available });
+        }
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        self.leases.insert(lease, slots);
+        self.in_use += slots;
+        Ok(lease)
+    }
+
+    /// Releases a lease, returning how many slots it covered.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotPoolError::UnknownLease`] when `lease` is not outstanding.
+    pub fn release(&mut self, lease: u64) -> Result<usize, SlotPoolError> {
+        match self.leases.remove(&lease) {
+            Some(slots) => {
+                self.in_use -= slots;
+                Ok(slots)
+            }
+            None => Err(SlotPoolError::UnknownLease { lease }),
+        }
+    }
+
+    /// Splits `capacity` slots into `parts` near-equal partitions (the
+    /// first `capacity % parts` partitions get one extra slot). Every
+    /// partition gets at least one slot even when `parts > capacity`, so
+    /// a job can always run — the pool accounting is what then caps how
+    /// many partitions are simultaneously leased.
+    ///
+    /// Returns an empty vector for zero parts.
+    pub fn partition(capacity: usize, parts: usize) -> Vec<usize> {
+        if parts == 0 {
+            return Vec::new();
+        }
+        let base = capacity / parts;
+        let extra = capacity % parts;
+        (0..parts).map(|i| (base + usize::from(i < extra)).max(1)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_account_and_release() {
+        let mut pool = SlotPool::new(4);
+        let a = pool.lease(1).unwrap();
+        let b = pool.lease(3).unwrap();
+        assert_eq!(pool.in_use(), 4);
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.leases(), 2);
+        assert_eq!(pool.release(a), Ok(1));
+        assert_eq!(pool.release(b), Ok(3));
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn oversubscription_and_bad_releases_are_typed_errors() {
+        let mut pool = SlotPool::new(2);
+        assert_eq!(pool.lease(0), Err(SlotPoolError::EmptyLease));
+        let a = pool.lease(2).unwrap();
+        assert_eq!(pool.lease(1), Err(SlotPoolError::Exhausted { requested: 1, available: 0 }));
+        assert_eq!(pool.release(a + 1), Err(SlotPoolError::UnknownLease { lease: a + 1 }));
+        assert_eq!(pool.release(a), Ok(2));
+        assert_eq!(pool.release(a), Err(SlotPoolError::UnknownLease { lease: a }));
+    }
+
+    #[test]
+    fn lease_ids_are_never_reused() {
+        let mut pool = SlotPool::new(1);
+        let a = pool.lease(1).unwrap();
+        pool.release(a).unwrap();
+        let b = pool.lease(1).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partition_splits_near_equally_with_a_floor_of_one() {
+        assert_eq!(SlotPool::partition(4, 2), vec![2, 2]);
+        assert_eq!(SlotPool::partition(5, 2), vec![3, 2]);
+        assert_eq!(SlotPool::partition(4, 3), vec![2, 1, 1]);
+        assert_eq!(SlotPool::partition(2, 4), vec![1, 1, 1, 1]);
+        assert_eq!(SlotPool::partition(4, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let text = SlotPoolError::Exhausted { requested: 3, available: 1 }.to_string();
+        assert!(text.contains('3') && text.contains('1'), "{text}");
+        assert!(SlotPoolError::UnknownLease { lease: 9 }.to_string().contains('9'));
+    }
+}

@@ -145,6 +145,24 @@ impl ExperimentEnv {
         self
     }
 
+    /// Replaces the master seed (every stochastic component re-derives
+    /// from it). A multi-job service uses this to give each admitted job
+    /// its own decorrelated environment via [`ExperimentEnv::subseed`].
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the simulated concurrent-trial slot count (clamped to at
+    /// least 1). A multi-job service partitions the cluster's slot pool
+    /// and hands each job a slice through this builder.
+    #[must_use]
+    pub fn with_parallel_slots(mut self, slots: usize) -> Self {
+        self.parallel_slots = slots.max(1);
+        self
+    }
+
     /// Installs a telemetry handle. Pass
     /// [`TelemetryHandle::enabled`] to record spans, events and metrics
     /// for every run executed against this environment; keep the handle

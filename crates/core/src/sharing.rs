@@ -38,6 +38,24 @@ enum Event {
     Arrival(usize),
 }
 
+/// Shared input validation: arrivals must be finite and non-negative,
+/// services finite and non-negative. Zero-service jobs are legal — they
+/// complete the instant they arrive (a rejected or trivially warm-started
+/// job) — and an empty job list yields an empty completion list.
+fn validate_jobs(jobs: &[SharedJob]) -> Result<(), PipeTuneError> {
+    for (i, j) in jobs.iter().enumerate() {
+        if !(j.arrival_secs.is_finite() && j.service_secs.is_finite())
+            || j.arrival_secs < 0.0
+            || j.service_secs < 0.0
+        {
+            return Err(PipeTuneError::InvalidConfig {
+                reason: format!("job {i} has invalid arrival/service"),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Simulates a FIFO queue served by `servers` identical executors: jobs
 /// start in arrival order as servers free up, each running dedicated (no
 /// slowdown). `servers = 1` is the paper's §5.1 FIFO; more servers model a
@@ -56,17 +74,9 @@ pub fn simulate_fifo(
     if servers == 0 {
         return Err(PipeTuneError::InvalidConfig { reason: "servers must be positive".into() });
     }
-    for (i, j) in jobs.iter().enumerate() {
-        if !(j.arrival_secs.is_finite() && j.service_secs.is_finite())
-            || j.arrival_secs < 0.0
-            || j.service_secs <= 0.0
-        {
-            return Err(PipeTuneError::InvalidConfig {
-                reason: format!("job {i} has invalid arrival/service"),
-            });
-        }
-    }
-    // FIFO by arrival time (stable on ties by index).
+    validate_jobs(jobs)?;
+    // FIFO by arrival time (stable on ties by index, so simultaneous
+    // arrivals are served in submission order).
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| {
         jobs[a]
@@ -75,16 +85,24 @@ pub fn simulate_fifo(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
-    // Min-heap of server free times via Reverse on integer micros.
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-    let mut free: BinaryHeap<Reverse<u64>> = (0..servers).map(|_| Reverse(0u64)).collect();
+    // Server free times in exact f64 seconds. An earlier revision rounded
+    // these to integer microseconds, which drifted completion times by up
+    // to ~5e-7 s per hop — enough to break the 1e-9 cross-check against
+    // the event-driven service scheduler. A linear min-scan keeps the
+    // lowest-index free server on ties, which is deterministic and matches
+    // the service's server tie-break.
+    let mut free = vec![0.0f64; servers];
     let mut completions = Vec::with_capacity(jobs.len());
     for id in order {
-        let Reverse(free_us) = free.pop().expect("servers > 0");
-        let start = (free_us as f64 / 1e6).max(jobs[id].arrival_secs);
+        let server = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .expect("servers > 0");
+        let start = free[server].max(jobs[id].arrival_secs);
         let completion = start + jobs[id].service_secs;
-        free.push(Reverse((completion * 1e6).round() as u64));
+        free[server] = completion;
         completions.push(SharedCompletion {
             job: id,
             completion_secs: completion,
@@ -111,16 +129,7 @@ pub fn simulate_fifo(
 pub fn simulate_processor_sharing(
     jobs: &[SharedJob],
 ) -> Result<Vec<SharedCompletion>, PipeTuneError> {
-    for (i, j) in jobs.iter().enumerate() {
-        if !(j.arrival_secs.is_finite() && j.service_secs.is_finite())
-            || j.arrival_secs < 0.0
-            || j.service_secs <= 0.0
-        {
-            return Err(PipeTuneError::InvalidConfig {
-                reason: format!("job {i} has invalid arrival/service"),
-            });
-        }
-    }
+    validate_jobs(jobs)?;
     let mut queue = EventQueue::new();
     for (i, j) in jobs.iter().enumerate() {
         queue.push(SimTime::from_secs_f64(j.arrival_secs), Event::Arrival(i));
@@ -293,8 +302,102 @@ mod tests {
         .is_err());
         assert!(simulate_processor_sharing(&[SharedJob {
             arrival_secs: 0.0,
-            service_secs: 0.0
+            service_secs: -0.5
         }])
         .is_err());
+        assert!(simulate_fifo(
+            &[SharedJob { arrival_secs: 0.0, service_secs: f64::NAN }],
+            1
+        )
+        .is_err());
+    }
+
+    // ---- edge-case regressions (simultaneous arrivals, zero-service
+    // ---- jobs, empty job lists, sub-microsecond precision) ----
+
+    #[test]
+    fn empty_job_lists_yield_empty_completions() {
+        assert!(simulate_fifo(&[], 3).unwrap().is_empty());
+        assert!(simulate_processor_sharing(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fifo_simultaneous_arrivals_are_served_in_submission_order() {
+        let jobs = [
+            SharedJob { arrival_secs: 1.0, service_secs: 2.0 },
+            SharedJob { arrival_secs: 1.0, service_secs: 3.0 },
+            SharedJob { arrival_secs: 1.0, service_secs: 1.0 },
+        ];
+        let done = simulate_fifo(&jobs, 1).unwrap();
+        let by_job = |i: usize| done.iter().find(|c| c.job == i).unwrap();
+        assert_eq!(by_job(0).completion_secs, 3.0);
+        assert_eq!(by_job(1).completion_secs, 6.0);
+        assert_eq!(by_job(2).completion_secs, 7.0);
+    }
+
+    #[test]
+    fn ps_simultaneous_arrivals_all_share_from_the_first_instant() {
+        // Three jobs arriving together: with services 3/6/9 and egalitarian
+        // sharing the completions are 9 (3 jobs × 3), 9 + 2×3 = 15, and
+        // 15 + 1×3 = 18.
+        let jobs = [
+            SharedJob { arrival_secs: 2.0, service_secs: 3.0 },
+            SharedJob { arrival_secs: 2.0, service_secs: 6.0 },
+            SharedJob { arrival_secs: 2.0, service_secs: 9.0 },
+        ];
+        let done = simulate_processor_sharing(&jobs).unwrap();
+        let by_job = |i: usize| done.iter().find(|c| c.job == i).unwrap();
+        assert!((by_job(0).completion_secs - 11.0).abs() < 1e-9);
+        assert!((by_job(1).completion_secs - 17.0).abs() < 1e-9);
+        assert!((by_job(2).completion_secs - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_service_jobs_complete_on_arrival_without_delaying_others() {
+        let jobs = [
+            SharedJob { arrival_secs: 0.0, service_secs: 10.0 },
+            SharedJob { arrival_secs: 4.0, service_secs: 0.0 },
+        ];
+        let fifo = simulate_fifo(&jobs, 2).unwrap();
+        let by_job = |d: &[SharedCompletion], i: usize| {
+            d.iter().find(|c| c.job == i).copied().unwrap()
+        };
+        assert_eq!(by_job(&fifo, 1).completion_secs, 4.0);
+        assert_eq!(by_job(&fifo, 1).response_secs, 0.0);
+        let ps = simulate_processor_sharing(&jobs).unwrap();
+        assert_eq!(by_job(&ps, 1).completion_secs, 4.0);
+        // The zero-service visitor leaves no trace on the long job.
+        assert!((by_job(&ps, 0).completion_secs - 10.0).abs() < 1e-9, "{ps:?}");
+        // An all-zero trace completes everything at its arrival instant.
+        let zeros = [
+            SharedJob { arrival_secs: 1.0, service_secs: 0.0 },
+            SharedJob { arrival_secs: 1.0, service_secs: 0.0 },
+        ];
+        for sim in [simulate_fifo(&zeros, 1).unwrap(), simulate_processor_sharing(&zeros).unwrap()]
+        {
+            assert_eq!(sim.len(), 2);
+            assert!(sim.iter().all(|c| c.completion_secs == 1.0 && c.response_secs == 0.0));
+        }
+    }
+
+    #[test]
+    fn fifo_keeps_sub_microsecond_services_exact() {
+        // A chain of back-to-back sub-microsecond jobs: the old
+        // integer-micros free-time heap rounded every hop, drifting the
+        // chain; exact f64 arithmetic reproduces the analytic sum.
+        let service = 3e-7;
+        let jobs: Vec<SharedJob> = (0..100)
+            .map(|_| SharedJob { arrival_secs: 0.0, service_secs: service })
+            .collect();
+        let done = simulate_fifo(&jobs, 1).unwrap();
+        let mut expected = 0.0f64;
+        for (i, c) in done.iter().enumerate() {
+            expected += service;
+            assert!(
+                (c.completion_secs - expected).abs() < 1e-12,
+                "job {i}: {} vs {expected}",
+                c.completion_secs
+            );
+        }
     }
 }

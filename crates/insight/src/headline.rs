@@ -11,12 +11,14 @@ use std::collections::BTreeMap;
 use pipetune_telemetry::{AttrValue, SpanKind, TelemetrySnapshot};
 
 /// Total simulated tuning time: the summed extent of every `tuning_run`
-/// root span in the trace.
+/// span in the trace. Runs count whether they are top-level or nested
+/// under a service's `job` span — the taxonomy never nests one
+/// `tuning_run` inside another, so there is no double counting.
 pub fn tuning_secs(snapshot: &TelemetrySnapshot) -> f64 {
     snapshot
         .spans
         .iter()
-        .filter(|s| s.kind == SpanKind::TuningRun && s.parent.is_none())
+        .filter(|s| s.kind == SpanKind::TuningRun)
         .filter(|s| s.start_secs.is_finite() && s.end_secs.is_finite())
         .map(|s| s.end_secs - s.start_secs)
         .sum()
@@ -181,6 +183,20 @@ mod tests {
         assert!(!m.contains_key("w.speedup_vs_v1"));
         assert!(!m.contains_key("w.final_accuracy"));
         assert_eq!(m["w.tuning_secs.pipetune"], 0.0);
+    }
+
+    #[test]
+    fn tuning_secs_counts_runs_nested_under_service_jobs() {
+        let t = TelemetryHandle::enabled();
+        let svc = t.open_span(SpanId::NONE, SpanKind::Service, "service fifo", 0.0, vec![]);
+        let job = t.open_span(svc, SpanKind::Job, "job 0", 0.0, vec![]);
+        let nested = t.open_span(job, SpanKind::TuningRun, "pipetune", 0.0, vec![]);
+        t.close_span(nested, 40.0);
+        let top = t.open_span(SpanId::NONE, SpanKind::TuningRun, "pipetune", 0.0, vec![]);
+        t.close_span(top, 2.0);
+        t.close_span(job, 40.0);
+        t.close_span(svc, 40.0);
+        assert_eq!(tuning_secs(&t.snapshot().unwrap()), 42.0);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   sequential baseline, speedup, energy reduction, final accuracy) from
 //!   traces, persist them in a stable sorted-key JSON schema and fail a
 //!   build when a metric degrades beyond tolerance.
+//! * **Multi-tenant summaries** ([`response_stats`],
+//!   [`multitenant_metrics`]) — per-job response-time percentiles for a
+//!   `pipetune-service` run, feeding the report's `multitenant.{policy}.*`
+//!   gated section.
 //!
 //! Everything here is a **pure function of the trace**: no wall clock, no
 //! I/O, no randomness. Because the input traces are byte-identical for
@@ -49,6 +53,7 @@
 mod diff;
 mod gate;
 mod headline;
+mod multitenant;
 mod report;
 
 pub use diff::TraceDiff;
@@ -56,4 +61,5 @@ pub use gate::{
     check, BenchReport, Direction, GateConfig, GateOutcome, MetricCheck, Tolerance, Verdict,
 };
 pub use headline::{best_accuracy, headline_metrics, total_energy_j, tuning_secs};
+pub use multitenant::{multitenant_metrics, response_stats, ResponseStats};
 pub use report::{DurationStats, PhaseBreakdown, RunReport, RungReport, Straggler, TraceReport};

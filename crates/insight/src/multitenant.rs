@@ -1,0 +1,138 @@
+//! Multi-tenant response-time analytics.
+//!
+//! A `pipetune-service` run yields one response time (completion −
+//! arrival) per admitted job. These helpers turn that population into the
+//! per-policy summary the benchmark harness persists in a
+//! [`crate::BenchReport`]: mean, nearest-rank percentiles (computed by the
+//! embedded [`pipetune_tsdb`] selectors, the same path the critical-path
+//! report uses) and the maximum. Rejected jobs carry `NaN` response times
+//! and are excluded, so the caller can pass a service outcome's records
+//! straight through.
+
+use std::collections::BTreeMap;
+
+use pipetune_tsdb::{Aggregate, Database, Point, Query};
+
+/// Response-time summary over one service run's admitted jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseStats {
+    /// Jobs with a finite response time (admitted and completed).
+    pub jobs: usize,
+    /// Mean response time, seconds.
+    pub mean_secs: f64,
+    /// Median response time, seconds (nearest rank).
+    pub p50_secs: f64,
+    /// 95th-percentile response time, seconds (nearest rank).
+    pub p95_secs: f64,
+    /// 99th-percentile response time, seconds (nearest rank).
+    pub p99_secs: f64,
+    /// Worst response time, seconds.
+    pub max_secs: f64,
+}
+
+/// Summarises a population of per-job response times. Non-finite entries
+/// (rejected jobs) are dropped; `None` when nothing finite remains.
+///
+/// # Example
+///
+/// ```
+/// use pipetune_insight::response_stats;
+///
+/// let stats = response_stats(&[10.0, 30.0, f64::NAN, 20.0]).unwrap();
+/// assert_eq!(stats.jobs, 3);
+/// assert_eq!(stats.mean_secs, 20.0);
+/// assert_eq!(stats.p50_secs, 20.0);
+/// assert_eq!(stats.max_secs, 30.0);
+/// assert!(response_stats(&[f64::NAN]).is_none());
+/// ```
+pub fn response_stats(responses_secs: &[f64]) -> Option<ResponseStats> {
+    let finite: Vec<f64> = responses_secs.iter().copied().filter(|r| r.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    let db = Database::new();
+    for (i, r) in finite.iter().enumerate() {
+        let _ = db.write(Point::new("response_secs", i as u64).field("secs", *r));
+    }
+    let query = Query::measurement("response_secs");
+    let get = |agg| db.aggregate(&query, "secs", agg).ok().flatten();
+    Some(ResponseStats {
+        jobs: finite.len(),
+        mean_secs: get(Aggregate::Mean)?,
+        p50_secs: get(Aggregate::P50)?,
+        p95_secs: get(Aggregate::P95)?,
+        p99_secs: get(Aggregate::P99)?,
+        max_secs: get(Aggregate::Max)?,
+    })
+}
+
+/// Builds the `BenchReport` metric entries for one service run, keyed
+/// `"{prefix}.{stat}"` (the harness uses `multitenant.{policy}` prefixes,
+/// so the gate's `mean_response_secs` / `p95_response_secs` suffix
+/// tolerances cover every policy). Empty when no job completed.
+///
+/// # Example
+///
+/// ```
+/// use pipetune_insight::multitenant_metrics;
+///
+/// let m = multitenant_metrics("multitenant.fifo", &[10.0, 20.0]);
+/// assert_eq!(m["multitenant.fifo.jobs"], 2.0);
+/// assert_eq!(m["multitenant.fifo.mean_response_secs"], 15.0);
+/// assert!(multitenant_metrics("multitenant.fifo", &[]).is_empty());
+/// ```
+pub fn multitenant_metrics(prefix: &str, responses_secs: &[f64]) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    if let Some(stats) = response_stats(responses_secs) {
+        let mut put = |name: &str, value: f64| {
+            metrics.insert(format!("{prefix}.{name}"), value);
+        };
+        put("jobs", stats.jobs as f64);
+        put("mean_response_secs", stats.mean_secs);
+        put("p50_response_secs", stats.p50_secs);
+        put("p95_response_secs", stats.p95_secs);
+        put("p99_response_secs", stats.p99_secs);
+        put("max_response_secs", stats.max_secs);
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_hand_computed_values() {
+        let responses: Vec<f64> = (1..=100).map(f64::from).collect();
+        let stats = response_stats(&responses).unwrap();
+        assert_eq!(stats.jobs, 100);
+        assert_eq!(stats.mean_secs, 50.5);
+        assert_eq!(stats.p50_secs, 50.0);
+        assert_eq!(stats.p95_secs, 95.0);
+        assert_eq!(stats.p99_secs, 99.0);
+        assert_eq!(stats.max_secs, 100.0);
+    }
+
+    #[test]
+    fn rejected_jobs_nan_responses_are_excluded() {
+        let stats = response_stats(&[f64::NAN, 4.0, f64::NAN, 8.0]).unwrap();
+        assert_eq!(stats.jobs, 2);
+        assert_eq!(stats.mean_secs, 6.0);
+        assert!(response_stats(&[]).is_none());
+        assert!(response_stats(&[f64::NAN, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn metric_keys_carry_the_policy_prefix() {
+        let m = multitenant_metrics("multitenant.processor_sharing", &[5.0, 15.0, 40.0]);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m["multitenant.processor_sharing.jobs"], 3.0);
+        assert_eq!(m["multitenant.processor_sharing.mean_response_secs"], 20.0);
+        assert_eq!(m["multitenant.processor_sharing.max_response_secs"], 40.0);
+        // The gate's suffix tolerances cover these names.
+        let config = crate::GateConfig::headline_defaults();
+        assert!(config.tolerance_for("multitenant.processor_sharing.mean_response_secs").is_some());
+        assert!(config.tolerance_for("multitenant.processor_sharing.p95_response_secs").is_some());
+        assert!(config.tolerance_for("multitenant.processor_sharing.jobs").is_none());
+    }
+}

@@ -174,16 +174,24 @@ impl TraceReport {
 
         // Parents always precede children (validated), so single passes
         // resolve each span's tuning-run root and nearest rung ancestor.
+        // A `tuning_run` is always its own root — including when a
+        // multi-job service nested it under a `job` span — so per-run
+        // attribution is identical whether the run executed standalone or
+        // as one tenant of a service.
         let mut root_of: Vec<Option<usize>> = Vec::with_capacity(spans.len());
         let mut rung_of: Vec<Option<usize>> = Vec::with_capacity(spans.len());
         for (i, span) in spans.iter().enumerate() {
-            let (root, rung) = match span.parent {
-                None => ((span.kind == SpanKind::TuningRun).then_some(i), None),
-                Some(p) => {
-                    let p = p as usize;
-                    let rung =
-                        if spans[p].kind == SpanKind::Rung { Some(p) } else { rung_of[p] };
-                    (root_of[p], rung)
+            let (root, rung) = if span.kind == SpanKind::TuningRun {
+                (Some(i), None)
+            } else {
+                match span.parent {
+                    None => (None, None),
+                    Some(p) => {
+                        let p = p as usize;
+                        let rung =
+                            if spans[p].kind == SpanKind::Rung { Some(p) } else { rung_of[p] };
+                        (root_of[p], rung)
+                    }
                 }
             };
             root_of.push(root);
@@ -543,6 +551,41 @@ mod tests {
         let stats = run.trial_stats.as_ref().unwrap();
         assert_eq!(stats.p50_secs, 3.0);
         assert_eq!(stats.p99_secs, 4.0);
+    }
+
+    #[test]
+    fn service_nested_runs_are_still_their_own_roots() {
+        // service > job > tuning_run: the run must get its own RunReport,
+        // identical in shape to a standalone run's.
+        let t = TelemetryHandle::enabled();
+        let svc = t.open_span(SpanId::NONE, SpanKind::Service, "service fifo", 0.0, vec![]);
+        for job in 0..2u64 {
+            let j = t.open_span(svc, SpanKind::Job, "job", job as f64, vec![]);
+            let run = t.open_span(
+                j,
+                SpanKind::TuningRun,
+                "pipetune",
+                0.0,
+                vec![("workload", "lenet/mnist".into()), ("parallel_slots", 2u64.into())],
+            );
+            let rung = t.open_span(run, SpanKind::Rung, "round 0", 0.0, vec![("round", 0u64.into())]);
+            let batch = t.open_span(rung, SpanKind::Batch, "batch of 1", 0.0, vec![]);
+            let trial = t.open_span(batch, SpanKind::Trial, "trial 0", 0.0, vec![]);
+            t.close_span(trial, 3.0);
+            t.close_span(batch, 3.0);
+            t.close_span(rung, 3.0);
+            t.close_span(run, 3.0);
+            t.close_span(j, job as f64 + 3.0);
+        }
+        t.close_span(svc, 4.0);
+        let report = TraceReport::from_snapshot(&t.snapshot().unwrap()).unwrap();
+        assert_eq!(report.runs.len(), 2, "one report per nested run");
+        for run in &report.runs {
+            assert_eq!(run.workload, "lenet/mnist");
+            assert_eq!(run.trials, 1);
+            assert_eq!(run.wall_secs, 3.0);
+            assert_eq!(run.critical_path_secs, 3.0);
+        }
     }
 
     #[test]

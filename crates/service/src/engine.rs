@@ -1,0 +1,364 @@
+//! Exact fluid-model scheduling engine shared by every policy.
+//!
+//! The engine tracks the remaining service of each unfinished job and
+//! advances simulated time event by event. Its one structural invariant
+//! makes it both simple and exact: under every [`SchedulingPolicy`] all
+//! jobs *in service* at a given instant run at the same rate (FIFO and
+//! shortest-remaining serve a subset at rate 1; processor sharing serves
+//! everyone at `servers/active`, capped at 1). The next event is therefore
+//! always "the in-service job with the least remaining service finishes",
+//! and the drain arithmetic can mirror the analytic models in
+//! `pipetune::sharing` operation for operation — which is what lets the
+//! cross-check tests demand agreement within 1e-9 seconds rather than some
+//! loose simulation tolerance.
+
+use std::collections::BTreeMap;
+
+use crate::policy::SchedulingPolicy;
+
+/// One job finishing, as observed by [`PolicyEngine::advance_to`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Job id (the service uses submission indices).
+    pub job: usize,
+    /// Completion instant, engine clock seconds.
+    pub at_secs: f64,
+    /// First instant the job was in service (equals its insertion time for
+    /// policies that start work immediately, later for queued FIFO jobs).
+    pub start_secs: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EngineJob {
+    remaining: f64,
+    /// Insertion order — the FIFO queue position. Ids alone cannot serve:
+    /// callers may submit jobs whose indices are not arrival-ordered.
+    seq: u64,
+    started: Option<f64>,
+}
+
+/// Event-driven scheduler state for one policy over a shared pool of
+/// `servers` capacity units.
+///
+/// Drive it with [`PolicyEngine::insert`] at each arrival instant (after
+/// [`PolicyEngine::advance_to`] that instant) and finish with
+/// [`PolicyEngine::drain`].
+#[derive(Debug, Clone)]
+pub struct PolicyEngine {
+    policy: SchedulingPolicy,
+    servers: usize,
+    now: f64,
+    next_seq: u64,
+    jobs: BTreeMap<usize, EngineJob>,
+}
+
+impl PolicyEngine {
+    /// A fresh engine at time zero. `servers` is clamped to at least 1.
+    pub fn new(policy: SchedulingPolicy, servers: usize) -> Self {
+        PolicyEngine {
+            policy,
+            servers: servers.max(1),
+            now: 0.0,
+            next_seq: 0,
+            jobs: BTreeMap::new(),
+        }
+    }
+
+    /// Current engine time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Unfinished jobs currently in the system (queued or in service).
+    pub fn active(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Admits a job needing `service_secs` of dedicated service, arriving
+    /// at the engine's current time. Ids must be unique; insertion order
+    /// is the FIFO queue order, so callers must insert in (arrival,
+    /// submission index) order — which the service driver does.
+    pub fn insert(&mut self, job: usize, service_secs: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let prev = self
+            .jobs
+            .insert(job, EngineJob { remaining: service_secs.max(0.0), seq, started: None });
+        debug_assert!(prev.is_none(), "job {job} inserted twice");
+    }
+
+    /// Jobs currently holding capacity, in the policy's serving order,
+    /// with the common service rate. Empty set ⇒ rate 0.
+    pub fn in_service(&self) -> (Vec<usize>, f64) {
+        let k = self.jobs.len();
+        if k == 0 {
+            return (Vec::new(), 0.0);
+        }
+        match self.policy {
+            SchedulingPolicy::Fifo => {
+                // Queue order is insertion order: the head min(servers, k)
+                // jobs run dedicated.
+                let mut ids: Vec<usize> = self.jobs.keys().copied().collect();
+                ids.sort_by_key(|id| self.jobs[id].seq);
+                ids.truncate(self.servers.min(k));
+                (ids, 1.0)
+            }
+            SchedulingPolicy::ProcessorSharing => {
+                let rate = (self.servers as f64 / k as f64).min(1.0);
+                (self.jobs.keys().copied().collect(), rate)
+            }
+            SchedulingPolicy::ShortestRemainingService => {
+                let mut ids: Vec<usize> = self.jobs.keys().copied().collect();
+                // Preemptive: least remaining first, id breaking ties.
+                ids.sort_by(|&a, &b| {
+                    self.jobs[&a]
+                        .remaining
+                        .partial_cmp(&self.jobs[&b].remaining)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                ids.truncate(self.servers.min(k));
+                ids.sort_unstable();
+                (ids, 1.0)
+            }
+        }
+    }
+
+    /// Advances the engine clock to `target`, returning every completion
+    /// on the way in completion order. The clock lands exactly on `target`
+    /// (even if the system empties earlier) unless `target` is infinite,
+    /// in which case it stops at the last completion.
+    pub fn advance_to(&mut self, target: f64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        while !self.jobs.is_empty() && self.now < target {
+            let (set, rate) = self.in_service();
+            for &id in &set {
+                let j = self.jobs.get_mut(&id).expect("in-service job exists");
+                if j.started.is_none() {
+                    j.started = Some(self.now);
+                }
+            }
+            // Earliest finisher: least remaining in service, first in
+            // serving order on ties (matches the analytic models'
+            // first-minimal scan; for FIFO it keeps simultaneous
+            // completions emitting in arrival order).
+            let (next_id, next_rem) = set
+                .iter()
+                .map(|&id| (id, self.jobs[&id].remaining))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("service set non-empty while jobs remain");
+            let finish_at = self.now + next_rem / rate;
+            if finish_at > target {
+                // No completion by the target: progress the served set.
+                let progress = (target - self.now) * rate;
+                for &id in &set {
+                    self.jobs.get_mut(&id).expect("served job exists").remaining -= progress;
+                }
+                self.now = target;
+                break;
+            }
+            // Subtract the finisher's remaining service *exactly* from its
+            // peers — every in-service job runs at the same rate, so this
+            // is the same arithmetic the analytic drain performs, keeping
+            // the two bit-for-bit comparable.
+            for &id in &set {
+                if id != next_id {
+                    self.jobs.get_mut(&id).expect("served job exists").remaining -= next_rem;
+                }
+            }
+            let finished = self.jobs.remove(&next_id).expect("finisher exists");
+            self.now = finish_at;
+            done.push(Completion {
+                job: next_id,
+                at_secs: finish_at,
+                start_secs: finished.started.unwrap_or(finish_at),
+            });
+        }
+        if target.is_finite() && self.now < target {
+            self.now = target;
+        }
+        done
+    }
+
+    /// Runs the system empty, returning the remaining completions.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        self.advance_to(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipetune::{simulate_fifo, simulate_processor_sharing, SharedJob};
+
+    /// Feeds an arrival stream through the engine the way the service
+    /// driver does: advance to each arrival, insert, drain at the end.
+    fn run(policy: SchedulingPolicy, servers: usize, jobs: &[SharedJob]) -> Vec<Completion> {
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            jobs[a]
+                .arrival_secs
+                .partial_cmp(&jobs[b].arrival_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut engine = PolicyEngine::new(policy, servers);
+        let mut done = Vec::new();
+        for id in order {
+            done.extend(engine.advance_to(jobs[id].arrival_secs));
+            engine.insert(id, jobs[id].service_secs);
+        }
+        done.extend(engine.drain());
+        done
+    }
+
+    fn stream() -> Vec<SharedJob> {
+        // Micro-aligned arrivals (like PoissonArrivals emits) so the
+        // analytic PS model's SimTime arrival quantisation is a no-op.
+        [(0.0, 13.25), (2.5, 4.0), (2.5, 0.75), (7.125, 9.5), (31.0, 0.0), (40.5, 6.25)]
+            .into_iter()
+            .map(|(arrival_secs, service_secs)| SharedJob { arrival_secs, service_secs })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_engine_matches_the_analytic_queue() {
+        for servers in [1usize, 2, 3] {
+            let jobs = stream();
+            let engine = run(SchedulingPolicy::Fifo, servers, &jobs);
+            let analytic = simulate_fifo(&jobs, servers).unwrap();
+            assert_eq!(engine.len(), analytic.len());
+            for c in &engine {
+                let a = analytic.iter().find(|a| a.job == c.job).unwrap();
+                assert!(
+                    (c.at_secs - a.completion_secs).abs() < 1e-9,
+                    "servers={servers} job={} engine={} analytic={}",
+                    c.job,
+                    c.at_secs,
+                    a.completion_secs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ps_engine_matches_the_analytic_fluid_model() {
+        let jobs = stream();
+        let engine = run(SchedulingPolicy::ProcessorSharing, 1, &jobs);
+        let analytic = simulate_processor_sharing(&jobs).unwrap();
+        assert_eq!(engine.len(), analytic.len());
+        for c in &engine {
+            let a = analytic.iter().find(|a| a.job == c.job).unwrap();
+            assert!(
+                (c.at_secs - a.completion_secs).abs() < 1e-9,
+                "job={} engine={} analytic={}",
+                c.job,
+                c.at_secs,
+                a.completion_secs
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_queues_by_insertion_order_not_job_id() {
+        // Job 1 arrives first; its larger id must not let job 0 jump the
+        // queue (ids are submission indices, not arrival ranks).
+        let jobs = [
+            SharedJob { arrival_secs: 10.0, service_secs: 5.0 },
+            SharedJob { arrival_secs: 0.0, service_secs: 20.0 },
+        ];
+        let done = run(SchedulingPolicy::Fifo, 1, &jobs);
+        assert_eq!(done[0].job, 1);
+        assert!((done[0].at_secs - 20.0).abs() < 1e-12, "{done:?}");
+        assert_eq!(done[1].job, 0);
+        assert!((done[1].start_secs - 20.0).abs() < 1e-12, "{done:?}");
+        assert!((done[1].at_secs - 25.0).abs() < 1e-12, "{done:?}");
+    }
+
+    #[test]
+    fn ps_with_extra_servers_caps_the_rate_at_one() {
+        // 2 servers, 2 jobs: everyone runs dedicated, no slowdown.
+        let jobs = [
+            SharedJob { arrival_secs: 0.0, service_secs: 5.0 },
+            SharedJob { arrival_secs: 0.0, service_secs: 8.0 },
+        ];
+        let done = run(SchedulingPolicy::ProcessorSharing, 2, &jobs);
+        let by_job = |i: usize| done.iter().find(|c| c.job == i).unwrap();
+        assert!((by_job(0).at_secs - 5.0).abs() < 1e-12);
+        assert!((by_job(1).at_secs - 8.0).abs() < 1e-12);
+        // 2 servers, 3 simultaneous equal jobs: rate 2/3, all finish at
+        // 6 / (2/3) = 9.
+        let three = [SharedJob { arrival_secs: 0.0, service_secs: 6.0 }; 3];
+        let done = run(SchedulingPolicy::ProcessorSharing, 2, &three);
+        assert!(done.iter().all(|c| (c.at_secs - 9.0).abs() < 1e-12), "{done:?}");
+    }
+
+    #[test]
+    fn shortest_remaining_preempts_and_beats_fifo_on_mean_response() {
+        let jobs = [
+            SharedJob { arrival_secs: 0.0, service_secs: 10.0 },
+            SharedJob { arrival_secs: 4.0, service_secs: 3.0 },
+        ];
+        let done = run(SchedulingPolicy::ShortestRemainingService, 1, &jobs);
+        let by_job = |i: usize| done.iter().find(|c| c.job == i).unwrap();
+        // Job 1 preempts at t=4 (3 < 6 remaining), finishes at 7; job 0
+        // resumes with 6 left, finishing at 13.
+        assert!((by_job(1).at_secs - 7.0).abs() < 1e-12, "{done:?}");
+        assert!((by_job(0).at_secs - 13.0).abs() < 1e-12, "{done:?}");
+
+        let mean = |cs: &[Completion], js: &[SharedJob]| {
+            cs.iter().map(|c| c.at_secs - js[c.job].arrival_secs).sum::<f64>() / cs.len() as f64
+        };
+        let fifo = run(SchedulingPolicy::Fifo, 1, &jobs);
+        assert!(mean(&done, &jobs) < mean(&fifo, &jobs));
+    }
+
+    #[test]
+    fn makespan_is_policy_invariant_for_work_conserving_schedules() {
+        let jobs = stream();
+        let mut spans = Vec::new();
+        for policy in SchedulingPolicy::ALL {
+            let done = run(policy, 1, &jobs);
+            assert_eq!(done.len(), jobs.len());
+            spans.push(done.iter().map(|c| c.at_secs).fold(0.0, f64::max));
+        }
+        for s in &spans[1..] {
+            assert!((s - spans[0]).abs() < 1e-9, "{spans:?}");
+        }
+    }
+
+    #[test]
+    fn starts_record_queueing_and_zero_service_jobs_finish_instantly() {
+        let jobs = [
+            SharedJob { arrival_secs: 0.0, service_secs: 10.0 },
+            SharedJob { arrival_secs: 4.0, service_secs: 3.0 },
+            SharedJob { arrival_secs: 5.0, service_secs: 0.0 },
+        ];
+        let done = run(SchedulingPolicy::Fifo, 1, &jobs);
+        let by_job = |i: usize| done.iter().find(|c| c.job == i).unwrap();
+        assert_eq!(by_job(0).start_secs, 0.0);
+        assert!((by_job(1).start_secs - 10.0).abs() < 1e-12, "queued behind job 0");
+        // The zero-service job waits for the head of line, then completes
+        // the instant it starts.
+        assert!((by_job(2).start_secs - 13.0).abs() < 1e-12, "{done:?}");
+        assert_eq!(by_job(2).start_secs, by_job(2).at_secs);
+        // Under PS it never waits at all.
+        let ps = run(SchedulingPolicy::ProcessorSharing, 1, &jobs);
+        let z = ps.iter().find(|c| c.job == 2).unwrap();
+        assert_eq!(z.start_secs, 5.0);
+        assert_eq!(z.at_secs, 5.0);
+    }
+
+    #[test]
+    fn advance_lands_exactly_on_finite_targets() {
+        let mut engine = PolicyEngine::new(SchedulingPolicy::Fifo, 1);
+        assert!(engine.advance_to(3.5).is_empty());
+        assert_eq!(engine.now(), 3.5);
+        engine.insert(0, 1.0);
+        let done = engine.advance_to(10.0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at_secs, 4.5);
+        assert_eq!(engine.now(), 10.0, "clock reaches the target after the system empties");
+        assert_eq!(engine.active(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Job submissions and the per-job records a service run produces.
+
+use pipetune::{TuningOutcome, WorkloadSpec};
+
+/// One tuning-job submission: when it arrives and what it tunes.
+///
+/// Arrival times are simulated seconds on the service's arrival clock
+/// (the stream typically comes from
+/// [`pipetune_cluster::PoissonArrivals`]).
+#[derive(Debug, Clone, Copy)]
+pub struct JobSubmission {
+    /// Arrival time, simulated seconds (finite, non-negative).
+    pub arrival_secs: f64,
+    /// The workload this job tunes.
+    pub spec: WorkloadSpec,
+}
+
+impl JobSubmission {
+    /// A submission of `spec` arriving at `arrival_secs`.
+    pub fn new(arrival_secs: f64, spec: WorkloadSpec) -> Self {
+        JobSubmission { arrival_secs, spec }
+    }
+}
+
+/// What happened to one submitted job, in submission order.
+///
+/// Rejected jobs (`admitted = false`) never ran: their `service_secs`,
+/// `start_secs`, `completion_secs`, `response_secs` and `queue_secs` are
+/// `NaN`, `slots` is 0 and `outcome` is `None`.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Index of the job in the submission stream.
+    pub job: usize,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Arrival time on the service clock, seconds.
+    pub arrival_secs: f64,
+    /// Whether admission control let the job in.
+    pub admitted: bool,
+    /// Parallel trial slots the job's tuning run was scheduled onto.
+    pub slots: usize,
+    /// Dedicated service demand: the job's full tuning run duration,
+    /// seconds.
+    pub service_secs: f64,
+    /// First instant the job held capacity, service clock.
+    pub start_secs: f64,
+    /// Completion instant, service clock.
+    pub completion_secs: f64,
+    /// `completion − arrival`: what a tenant experiences.
+    pub response_secs: f64,
+    /// `start − arrival`: time spent waiting for capacity.
+    pub queue_secs: f64,
+    /// The full tuning outcome of the job's PipeTune run.
+    pub outcome: Option<TuningOutcome>,
+}
+
+impl JobRecord {
+    /// A record for a job that admission control turned away.
+    pub(crate) fn rejected(job: usize, workload: &'static str, arrival_secs: f64) -> Self {
+        JobRecord {
+            job,
+            workload,
+            arrival_secs,
+            admitted: false,
+            slots: 0,
+            service_secs: f64::NAN,
+            start_secs: f64::NAN,
+            completion_secs: f64::NAN,
+            response_secs: f64::NAN,
+            queue_secs: f64::NAN,
+            outcome: None,
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Multi-job tuning service: a shared-cluster scheduler running
+//! concurrent PipeTune jobs.
+//!
+//! The paper evaluates PipeTune under multi-tenancy (§7.4) with analytic
+//! queueing models over measured tuning times. This crate closes the loop:
+//! a deterministic, event-driven service that accepts a stream of
+//! tuning-job submissions (e.g. from
+//! [`pipetune_cluster::PoissonArrivals`]), applies [`AdmissionControl`],
+//! schedules the shared cluster under a pluggable [`SchedulingPolicy`]
+//! (FIFO, processor sharing, shortest-remaining-service), partitions the
+//! cluster's parallel-slot pool across admitted jobs via
+//! [`pipetune_cluster::SlotPool`], and runs every admitted job as a full
+//! PipeTune tuning run on the real multi-threaded trial executor.
+//!
+//! Two cross-checks pin the scheduler's arithmetic:
+//!
+//! - the FIFO and processor-sharing policies reproduce the analytic
+//!   `pipetune::simulate_fifo` / `pipetune::simulate_processor_sharing`
+//!   completion times within 1e-9 seconds for identical job streams, and
+//! - all outputs (job outcomes, fault reports, telemetry traces, the
+//!   [`ServiceOutcome`] itself) are byte-identical across
+//!   `ExperimentEnv::workers` counts, clean or under fault injection —
+//!   the repo-wide determinism contract (`tests/service_determinism.rs`).
+//!
+//! See `docs/multitenancy.md` for the design narrative.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod job;
+pub mod observe;
+mod policy;
+mod service;
+
+pub use engine::{Completion, PolicyEngine};
+pub use job::{JobRecord, JobSubmission};
+pub use policy::{AdmissionControl, SchedulingPolicy};
+pub use service::{job_seed, ServiceConfig, ServiceOutcome, SlotSample, TuningService};

@@ -1,0 +1,35 @@
+//! Canonical metric names the tuning service records (see
+//! `docs/multitenancy.md`).
+//!
+//! Mirrors the per-crate vocabulary convention of
+//! [`pipetune::observe`]: every name lives here so exporters, gates and
+//! tests agree on spelling. The service records through the same
+//! [`pipetune_telemetry::TelemetryHandle`] its jobs' runs do, so one
+//! snapshot holds both the queueing picture and the per-run detail.
+
+/// Counter: jobs submitted to the service (admitted or not).
+pub const JOBS_SUBMITTED: &str = "service.jobs_submitted";
+
+/// Counter: jobs admission control let into the system.
+pub const JOBS_ADMITTED: &str = "service.jobs_admitted";
+
+/// Counter: jobs admission control turned away.
+pub const JOBS_REJECTED: &str = "service.jobs_rejected";
+
+/// Counter: admitted jobs that ran to completion.
+pub const JOBS_COMPLETED: &str = "service.jobs_completed";
+
+/// Histogram of per-job queueing delay (start − arrival), seconds
+/// ([`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
+pub const QUEUE_SECS: &str = "service.queue_secs";
+
+/// Histogram of per-job response time (completion − arrival), seconds
+/// ([`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
+pub const RESPONSE_SECS: &str = "service.response_secs";
+
+/// Histogram of slot-pool occupancy sampled at every scheduling event
+/// ([`pipetune_telemetry::COUNT_BUCKETS`]).
+pub const SLOTS_IN_USE: &str = "service.slots_in_use";
+
+/// Gauge: time the last job completed, seconds on the service clock.
+pub const MAKESPAN_SECS: &str = "service.makespan_secs";

@@ -1,0 +1,394 @@
+//! The tuning service driver: arrivals in, scheduled PipeTune runs out.
+//!
+//! [`TuningService::run`] processes a submission stream in arrival order.
+//! Each admitted job is executed as a *real* tuning run (the full
+//! multi-threaded trial executor) against a derived environment — its own
+//! sub-seed, its slice of the cluster's parallel-slot pool, and a
+//! telemetry handle scoped under its `job` span — and the run's wall-clock
+//! duration becomes the job's service demand in the exact fluid-model
+//! [`PolicyEngine`]. The engine then decides *when* on the shared cluster
+//! that demand is served, per the configured [`SchedulingPolicy`].
+//!
+//! Determinism: the driver is single-threaded and processes submissions in
+//! `(arrival, index)` order; per-job seeds derive only from the master
+//! seed and the submission index. Every job outcome, the fault report, the
+//! telemetry trace and the final [`ServiceOutcome`] are therefore
+//! byte-identical for any `ExperimentEnv::workers` count — the workers
+//! only parallelise *inside* a job's run, which already honours the
+//! repo-wide determinism contract.
+
+use std::collections::BTreeMap;
+
+use pipetune::{ExperimentEnv, PipeTune, PipeTuneError, TunerOptions};
+use pipetune_cluster::{FaultReport, SlotPool, SlotPoolError};
+use pipetune_telemetry::{
+    SpanId, SpanKind, TelemetryHandle, COUNT_BUCKETS, DURATION_BUCKETS_SECS,
+};
+
+use crate::engine::{Completion, PolicyEngine};
+use crate::job::{JobRecord, JobSubmission};
+use crate::observe;
+use crate::policy::{AdmissionControl, SchedulingPolicy};
+
+/// Key under which processor sharing's single ensemble lease is tracked
+/// (PS co-locates every active job on the whole pool, so slot accounting
+/// carries one capacity-wide lease rather than per-job slices).
+const ENSEMBLE: usize = usize::MAX;
+
+/// How the service schedules and admits jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Cluster-sharing discipline.
+    pub policy: SchedulingPolicy,
+    /// Admission control applied to each arrival.
+    pub admission: AdmissionControl,
+    /// Concurrent dedicated partitions (FIFO / shortest-remaining) or the
+    /// processor-sharing capacity multiplier. Clamped to
+    /// `[1, env.parallel_slots]` at run time; each partition gets
+    /// `env.parallel_slots / servers` trial slots.
+    pub servers: usize,
+    /// Reuse one PipeTune ground truth across the whole stream (the §7.4
+    /// amortisation: later tenants skip probing for families seen
+    /// earlier). When false every job tunes cold.
+    pub share_ground_truth: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            policy: SchedulingPolicy::Fifo,
+            admission: AdmissionControl::unbounded(),
+            servers: 1,
+            share_ground_truth: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Replaces the scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the admission controller.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionControl) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Replaces the server count (clamped at run time).
+    #[must_use]
+    pub fn with_servers(mut self, servers: usize) -> Self {
+        self.servers = servers;
+        self
+    }
+}
+
+/// Slot-pool occupancy at one scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotSample {
+    /// Event instant, service clock seconds.
+    pub at_secs: f64,
+    /// Unfinished admitted jobs (queued + in service).
+    pub active_jobs: usize,
+    /// Jobs holding capacity at this instant.
+    pub in_service_jobs: usize,
+    /// Slots leased from the pool — never exceeds the pool capacity
+    /// (asserted at every sample by the property suite).
+    pub slots_in_use: usize,
+}
+
+/// Everything one service run produces.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Scheduling discipline the run used.
+    pub policy: SchedulingPolicy,
+    /// Effective server count after clamping to the slot capacity.
+    pub servers: usize,
+    /// The shared pool's total parallel trial slots
+    /// (`env.parallel_slots`).
+    pub slot_capacity: usize,
+    /// Slots each admitted job's tuning run was given.
+    pub slots_per_job: usize,
+    /// Per-job records, in submission order (one per submission, rejected
+    /// jobs included).
+    pub jobs: Vec<JobRecord>,
+    /// When the last job completed, service clock seconds (work
+    /// conservation makes this policy-invariant for a fixed stream).
+    pub makespan_secs: f64,
+    /// Mean response time over admitted jobs (0 when none were admitted).
+    pub mean_response_secs: f64,
+    /// Slot-pool occupancy after every arrival and completion.
+    pub timeline: Vec<SlotSample>,
+    /// All jobs' fault reports merged in submission order.
+    pub fault_report: FaultReport,
+}
+
+/// The multi-job tuning service. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct TuningService {
+    config: ServiceConfig,
+}
+
+/// The master seed an admitted job's environment is re-seeded with:
+/// derived from the service environment's seed and the submission index
+/// only, so a job's tuning outcome is independent of scheduling policy,
+/// arrival times and its neighbours. Public so tests can reconstruct a
+/// job's dedicated-cluster run and compare byte for byte.
+pub fn job_seed(env: &ExperimentEnv, job: usize) -> u64 {
+    env.subseed(0x0B10_0000 + job as u64)
+}
+
+impl TuningService {
+    /// A service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        TuningService { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Runs the submission stream to completion. Jobs are processed in
+    /// `(arrival, index)` order; the returned records are in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`PipeTuneError::InvalidConfig`] for non-finite or negative
+    /// arrival times; substrate errors propagate from the jobs' tuning
+    /// runs.
+    pub fn run(
+        &self,
+        env: &ExperimentEnv,
+        submissions: &[JobSubmission],
+        options: &TunerOptions,
+    ) -> Result<ServiceOutcome, PipeTuneError> {
+        for (i, s) in submissions.iter().enumerate() {
+            if !s.arrival_secs.is_finite() || s.arrival_secs < 0.0 {
+                return Err(PipeTuneError::InvalidConfig {
+                    reason: format!("submission {i} has an invalid arrival time"),
+                });
+            }
+        }
+        let capacity = env.parallel_slots.max(1);
+        let servers = self.config.servers.clamp(1, capacity);
+        let slots_per_job = (capacity / servers).max(1);
+        let policy = self.config.policy;
+
+        let telemetry = env.telemetry.clone();
+        let service_span = telemetry.open_span(
+            SpanId::NONE,
+            SpanKind::Service,
+            format!("service {}", policy.name()),
+            0.0,
+            vec![
+                ("policy", policy.name().into()),
+                ("servers", servers.into()),
+                ("slot_capacity", capacity.into()),
+                ("slots_per_job", slots_per_job.into()),
+            ],
+        );
+
+        let mut order: Vec<usize> = (0..submissions.len()).collect();
+        order.sort_by(|&a, &b| {
+            submissions[a]
+                .arrival_secs
+                .partial_cmp(&submissions[b].arrival_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+
+        let mut engine = PolicyEngine::new(policy, servers);
+        let mut pool = SlotPool::new(capacity);
+        let mut leases: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut records: Vec<Option<JobRecord>> =
+            (0..submissions.len()).map(|_| None).collect();
+        let mut spans: Vec<SpanId> = vec![SpanId::NONE; submissions.len()];
+        let mut timeline = Vec::new();
+        let mut fault_report = FaultReport::default();
+        // The shared tuner carries its ground truth from job to job (cold
+        // start: the stream itself builds it, as in §7.4).
+        let mut shared_tuner = PipeTune::new(*options);
+
+        for &job in &order {
+            let sub = &submissions[job];
+            for c in engine.advance_to(sub.arrival_secs) {
+                settle(&c, &mut records, &spans, &telemetry);
+                self.sync_slots(
+                    slots_per_job,
+                    &mut pool,
+                    &mut leases,
+                    &engine,
+                    c.at_secs,
+                    &mut timeline,
+                    &telemetry,
+                )?;
+            }
+            telemetry.counter_add(observe::JOBS_SUBMITTED, 1);
+            let admitted = self.config.admission.admits(engine.active());
+            let span = telemetry.open_span(
+                service_span,
+                SpanKind::Job,
+                format!("job {job}: {}", sub.spec.name()),
+                sub.arrival_secs,
+                vec![
+                    ("job", job.into()),
+                    ("workload", sub.spec.name().into()),
+                    ("admitted", admitted.into()),
+                ],
+            );
+            spans[job] = span;
+            if !admitted {
+                telemetry.counter_add(observe::JOBS_REJECTED, 1);
+                telemetry.close_span(span, sub.arrival_secs);
+                records[job] = Some(JobRecord::rejected(job, sub.spec.name(), sub.arrival_secs));
+                continue;
+            }
+            telemetry.counter_add(observe::JOBS_ADMITTED, 1);
+            let job_env = env
+                .clone()
+                .with_seed(job_seed(env, job))
+                .with_parallel_slots(slots_per_job)
+                .with_telemetry(telemetry.scoped(span));
+            let outcome = if self.config.share_ground_truth {
+                shared_tuner.run(&job_env, &sub.spec)?
+            } else {
+                PipeTune::new(*options).run(&job_env, &sub.spec)?
+            };
+            fault_report.merge(&outcome.fault_report);
+            let service_secs = outcome.tuning_secs;
+            records[job] = Some(JobRecord {
+                job,
+                workload: sub.spec.name(),
+                arrival_secs: sub.arrival_secs,
+                admitted: true,
+                slots: slots_per_job,
+                service_secs,
+                start_secs: f64::NAN,
+                completion_secs: f64::NAN,
+                response_secs: f64::NAN,
+                queue_secs: f64::NAN,
+                outcome: Some(outcome),
+            });
+            engine.insert(job, service_secs);
+            self.sync_slots(
+                slots_per_job,
+                &mut pool,
+                &mut leases,
+                &engine,
+                sub.arrival_secs,
+                &mut timeline,
+                &telemetry,
+            )?;
+        }
+        for c in engine.drain() {
+            settle(&c, &mut records, &spans, &telemetry);
+            self.sync_slots(
+                slots_per_job,
+                &mut pool,
+                &mut leases,
+                &engine,
+                c.at_secs,
+                &mut timeline,
+                &telemetry,
+            )?;
+        }
+
+        let makespan_secs = engine.now();
+        telemetry.gauge_set(observe::MAKESPAN_SECS, makespan_secs);
+        telemetry.close_span(service_span, makespan_secs);
+
+        let jobs: Vec<JobRecord> =
+            records.into_iter().map(|r| r.expect("every submission got a record")).collect();
+        let admitted: Vec<&JobRecord> = jobs.iter().filter(|r| r.admitted).collect();
+        let mean_response_secs = if admitted.is_empty() {
+            0.0
+        } else {
+            admitted.iter().map(|r| r.response_secs).sum::<f64>() / admitted.len() as f64
+        };
+        Ok(ServiceOutcome {
+            policy,
+            servers,
+            slot_capacity: capacity,
+            slots_per_job,
+            jobs,
+            makespan_secs,
+            mean_response_secs,
+            timeline,
+            fault_report,
+        })
+    }
+
+    /// Reconciles the slot pool with the engine's in-service set after a
+    /// scheduling event at `at_secs`, then samples occupancy. Stale
+    /// leases release before new ones are granted, so the pool can never
+    /// oversubscribe even transiently.
+    #[allow(clippy::too_many_arguments)]
+    fn sync_slots(
+        &self,
+        slots_per_job: usize,
+        pool: &mut SlotPool,
+        leases: &mut BTreeMap<usize, u64>,
+        engine: &PolicyEngine,
+        at_secs: f64,
+        timeline: &mut Vec<SlotSample>,
+        telemetry: &TelemetryHandle,
+    ) -> Result<(), PipeTuneError> {
+        let (served, _) = engine.in_service();
+        let desired: BTreeMap<usize, usize> = match self.config.policy {
+            SchedulingPolicy::ProcessorSharing if !served.is_empty() => {
+                [(ENSEMBLE, pool.capacity())].into()
+            }
+            SchedulingPolicy::ProcessorSharing => BTreeMap::new(),
+            _ => served.iter().map(|&j| (j, slots_per_job)).collect(),
+        };
+        let stale: Vec<usize> =
+            leases.keys().filter(|k| !desired.contains_key(k)).copied().collect();
+        for key in stale {
+            let lease = leases.remove(&key).expect("stale key is outstanding");
+            pool.release(lease).map_err(slot_bug)?;
+        }
+        for (&key, &slots) in &desired {
+            if let std::collections::btree_map::Entry::Vacant(e) = leases.entry(key) {
+                e.insert(pool.lease(slots).map_err(slot_bug)?);
+            }
+        }
+        timeline.push(SlotSample {
+            at_secs,
+            active_jobs: engine.active(),
+            in_service_jobs: served.len(),
+            slots_in_use: pool.in_use(),
+        });
+        telemetry.observe(observe::SLOTS_IN_USE, COUNT_BUCKETS, pool.in_use() as f64);
+        Ok(())
+    }
+}
+
+/// Fills in a completed job's record and closes its span.
+fn settle(
+    c: &Completion,
+    records: &mut [Option<JobRecord>],
+    spans: &[SpanId],
+    telemetry: &TelemetryHandle,
+) {
+    let rec = records[c.job].as_mut().expect("completed job has a record");
+    rec.start_secs = c.start_secs;
+    rec.completion_secs = c.at_secs;
+    rec.response_secs = c.at_secs - rec.arrival_secs;
+    rec.queue_secs = c.start_secs - rec.arrival_secs;
+    telemetry.counter_add(observe::JOBS_COMPLETED, 1);
+    telemetry.observe(observe::RESPONSE_SECS, DURATION_BUCKETS_SECS, rec.response_secs);
+    telemetry.observe(observe::QUEUE_SECS, DURATION_BUCKETS_SECS, rec.queue_secs);
+    telemetry.close_span(spans[c.job], c.at_secs);
+}
+
+/// Slot-pool violations are scheduler bugs; surface them as typed errors
+/// rather than corrupting the accounting.
+fn slot_bug(e: SlotPoolError) -> PipeTuneError {
+    PipeTuneError::InvalidConfig { reason: format!("service slot accounting violated: {e}") }
+}

@@ -377,6 +377,8 @@ impl TelemetrySnapshot {
             "spans", "count", ""
         ));
         for kind in [
+            crate::SpanKind::Service,
+            crate::SpanKind::Job,
             crate::SpanKind::TuningRun,
             crate::SpanKind::Rung,
             crate::SpanKind::Batch,
@@ -588,6 +590,8 @@ mod tests {
         fn arbitrary_snapshot(seed: u64) -> TelemetrySnapshot {
             let mut rng = StdRng::seed_from_u64(seed);
             let kinds = [
+                SpanKind::Service,
+                SpanKind::Job,
                 SpanKind::TuningRun,
                 SpanKind::Rung,
                 SpanKind::Batch,

@@ -69,20 +69,66 @@ pub struct TelemetrySnapshot {
 /// let off = TelemetryHandle::disabled();
 /// assert!(off.snapshot().is_none());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TelemetryHandle {
     sink: Option<Arc<Mutex<Sink>>>,
+    /// Default parent substituted for [`SpanId::NONE`] at the record
+    /// sites: [`SpanId::NONE`] for an ordinary handle, a real span id for
+    /// a [`TelemetryHandle::scoped`] one.
+    root: SpanId,
+}
+
+impl Default for TelemetryHandle {
+    fn default() -> Self {
+        TelemetryHandle::disabled()
+    }
 }
 
 impl TelemetryHandle {
     /// A disabled handle: every operation is a no-op (the default).
     pub fn disabled() -> Self {
-        TelemetryHandle { sink: None }
+        TelemetryHandle { sink: None, root: SpanId::NONE }
     }
 
     /// A live handle with a fresh, empty sink.
     pub fn enabled() -> Self {
-        TelemetryHandle { sink: Some(Arc::new(Mutex::new(Sink::default()))) }
+        TelemetryHandle { sink: Some(Arc::new(Mutex::new(Sink::default()))), root: SpanId::NONE }
+    }
+
+    /// A handle recording into the same sink but with `root` as the
+    /// default parent: spans opened (and events recorded) against
+    /// [`SpanId::NONE`] through the scoped handle land under `root`
+    /// instead of at top level.
+    ///
+    /// This is how a multi-job service nests each job's `tuning_run` span
+    /// under that job's `job` span without the runner knowing it is being
+    /// driven by a service: the runner keeps opening its root span with
+    /// [`SpanId::NONE`], and the scoped handle re-roots it.
+    ///
+    /// ```
+    /// use pipetune_telemetry::{SpanId, SpanKind, TelemetryHandle};
+    ///
+    /// let telemetry = TelemetryHandle::enabled();
+    /// let service = telemetry.open_span(SpanId::NONE, SpanKind::Service, "svc", 0.0, vec![]);
+    /// let job = telemetry.open_span(service, SpanKind::Job, "job 0", 0.0, vec![]);
+    /// let scoped = telemetry.scoped(job);
+    /// let run = scoped.open_span(SpanId::NONE, SpanKind::TuningRun, "run", 0.0, vec![]);
+    /// scoped.close_span(run, 1.0);
+    /// let snap = telemetry.snapshot().unwrap();
+    /// assert_eq!(snap.spans[2].parent, Some(1)); // run nests under the job
+    /// ```
+    #[must_use]
+    pub fn scoped(&self, root: SpanId) -> Self {
+        TelemetryHandle { sink: self.sink.clone(), root }
+    }
+
+    /// Substitutes the scoped root for the [`SpanId::NONE`] sentinel.
+    fn resolve(&self, id: SpanId) -> SpanId {
+        if id == SpanId::NONE {
+            self.root
+        } else {
+            id
+        }
     }
 
     /// Whether this handle records anything.
@@ -111,7 +157,7 @@ impl TelemetryHandle {
                 sink.spans.push(Span {
                     kind,
                     label: label.into(),
-                    parent: parent.to_parent(),
+                    parent: self.resolve(parent).to_parent(),
                     start_secs,
                     end_secs: f64::NAN,
                     attrs,
@@ -137,7 +183,8 @@ impl TelemetryHandle {
     /// [`SpanId::NONE`]).
     pub fn event(&self, span: SpanId, kind: EventKind, at_secs: f64, attrs: Attrs) {
         if let Some(mut sink) = self.lock() {
-            sink.events.push(Event { kind, span: span.to_parent(), at_secs, attrs });
+            let span = self.resolve(span).to_parent();
+            sink.events.push(Event { kind, span, at_secs, attrs });
         }
     }
 
@@ -177,6 +224,7 @@ impl TelemetryHandle {
     /// scheduler request order — that ordering is what makes the final
     /// trace independent of worker count.
     pub fn merge_buffer(&self, parent: SpanId, buf: &mut TelemetryBuffer) {
+        let parent = self.resolve(parent);
         let Some(mut sink) = self.lock() else { return };
         let (spans, events, metrics) = buf.drain();
         let offset = sink.spans.len() as u32;
@@ -246,6 +294,33 @@ mod tests {
         assert_eq!(snap.spans[0].end_secs, 9.0);
         assert_eq!(snap.spans[1].parent, Some(0));
         assert_eq!(snap.spans[1].end_secs, 5.0);
+    }
+
+    #[test]
+    fn scoped_handle_reroots_top_level_records() {
+        let h = TelemetryHandle::enabled();
+        let service = h.open_span(SpanId::NONE, SpanKind::Service, "svc", 0.0, vec![]);
+        let job = h.open_span(service, SpanKind::Job, "job 0", 0.0, vec![]);
+        let scoped = h.scoped(job);
+        // The runner's idiom — NONE parent — lands under the job.
+        let run = scoped.open_span(SpanId::NONE, SpanKind::TuningRun, "run", 0.0, vec![]);
+        scoped.event(SpanId::NONE, EventKind::Checkpoint, 0.5, vec![]);
+        // Explicit parents are untouched.
+        let rung = scoped.open_span(run, SpanKind::Rung, "rung 0", 0.0, vec![]);
+        // Buffers merged at top level through the scoped handle re-root too.
+        let mut buf = TelemetryBuffer::enabled();
+        buf.push_span(SpanKind::Rung, "buffered", None, 0.0, 1.0, vec![]);
+        scoped.merge_buffer(SpanId::NONE, &mut buf);
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.spans[2].parent, Some(1), "run nests under job");
+        assert_eq!(snap.events[0].span, Some(1), "event attaches to job");
+        assert_eq!(snap.spans[3].parent, Some(2), "explicit parent wins");
+        assert_eq!(snap.spans[4].parent, Some(1), "buffer re-roots to job");
+        let _ = rung;
+        // A scoped clone of a disabled handle stays inert.
+        let off = TelemetryHandle::disabled().scoped(job);
+        assert!(!off.is_enabled());
+        assert_eq!(off.open_span(SpanId::NONE, SpanKind::TuningRun, "r", 0.0, vec![]), SpanId::NONE);
     }
 
     #[test]

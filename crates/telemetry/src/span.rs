@@ -1,24 +1,36 @@
 //! The trace vocabulary: spans, events and their attributes.
 //!
-//! Spans form the hierarchy `tuning_run > rung > batch > trial > epoch`;
-//! events (`probe`, `gt_lookup`, `checkpoint`, `fault`, `retry`, `profile`)
-//! hang off a span. All timestamps are **simulated** seconds — never wall
-//! clock — so a trace is a pure function of the run's seed and
-//! configuration, byte-identical for every executor worker count.
+//! Spans form the hierarchy `tuning_run > rung > batch > trial > epoch`,
+//! optionally rooted under a multi-job `service > job` prefix when a
+//! `pipetune-service` driver runs many tuning jobs on one shared cluster;
+//! events (`probe`, `gt_lookup`, `checkpoint`, `fault`,
+//! `retry`, `profile`) hang off a span. All timestamps are **simulated**
+//! seconds — never wall clock — so a trace is a pure function of the run's
+//! seed and configuration, byte-identical for every executor worker count.
 
 use serde_json::Value;
 
-/// The five levels of the span hierarchy.
+/// The levels of the span hierarchy.
 ///
-/// Spans at [`SpanKind::TuningRun`], [`SpanKind::Rung`] and
-/// [`SpanKind::Batch`] level carry timestamps on the shared simulated wall
-/// clock (the one `TuningOutcome::tuning_secs` is measured on); spans at
-/// [`SpanKind::Trial`] and [`SpanKind::Epoch`] level carry timestamps on
-/// the *trial-cumulative* clock (the trial's own simulated seconds,
+/// Spans at [`SpanKind::Service`] and [`SpanKind::Job`] level carry
+/// timestamps on the service's arrival clock (the shared simulated
+/// timeline jobs arrive and complete on); spans at
+/// [`SpanKind::TuningRun`], [`SpanKind::Rung`] and
+/// [`SpanKind::Batch`] level carry timestamps on the run's shared
+/// simulated wall clock (the one `TuningOutcome::tuning_secs` is measured
+/// on, restarting at zero for each run); spans at [`SpanKind::Trial`] and
+/// [`SpanKind::Epoch`] level carry timestamps on the *trial-cumulative*
+/// clock (the trial's own simulated seconds,
 /// `TrialExecution::duration_secs`). The `clock` attribute on every span
 /// names which timeline applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpanKind {
+    /// A multi-job tuning service run: the root of a shared-cluster trace
+    /// (see `docs/multitenancy.md`).
+    Service,
+    /// One submitted job inside a service run, from arrival to completion
+    /// on the service's arrival clock.
+    Job,
     /// One whole HPT job (PipeTune or a baseline).
     TuningRun,
     /// One scheduler round (a HyperBand rung issues one or more of these).
@@ -35,6 +47,8 @@ impl SpanKind {
     /// Stable lower-snake name used in exports.
     pub fn name(self) -> &'static str {
         match self {
+            SpanKind::Service => "service",
+            SpanKind::Job => "job",
             SpanKind::TuningRun => "tuning_run",
             SpanKind::Rung => "rung",
             SpanKind::Batch => "batch",
@@ -46,6 +60,8 @@ impl SpanKind {
     /// Inverse of [`SpanKind::name`] (trace re-import).
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
+            "service" => Some(SpanKind::Service),
+            "job" => Some(SpanKind::Job),
             "tuning_run" => Some(SpanKind::TuningRun),
             "rung" => Some(SpanKind::Rung),
             "batch" => Some(SpanKind::Batch),
@@ -232,8 +248,12 @@ mod tests {
 
     #[test]
     fn kind_names_are_stable() {
+        assert_eq!(SpanKind::Service.name(), "service");
+        assert_eq!(SpanKind::Job.name(), "job");
         assert_eq!(SpanKind::TuningRun.name(), "tuning_run");
         assert_eq!(SpanKind::Epoch.name(), "epoch");
+        assert_eq!(SpanKind::from_name("job"), Some(SpanKind::Job));
+        assert_eq!(SpanKind::from_name("service"), Some(SpanKind::Service));
         assert_eq!(EventKind::GtLookup.name(), "gt_lookup");
         assert_eq!(EventKind::Retry.name(), "retry");
     }

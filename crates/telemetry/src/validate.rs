@@ -50,7 +50,8 @@ pub enum TraceError {
         parent: u32,
     },
     /// A span's parent has the wrong kind for the
-    /// `tuning_run > rung > batch > trial > epoch` taxonomy.
+    /// `service > job > tuning_run > rung > batch > trial > epoch`
+    /// taxonomy.
     MisparentedKind {
         /// Index of the offending span.
         span: usize,
@@ -93,26 +94,33 @@ impl Error for TraceError {}
 
 /// Interval containment is only meaningful between spans on the same
 /// simulated clock (see [`SpanKind`]): `trial` spans are timestamped on the
-/// trial-cumulative clock while `batch` parents use the shared wall clock.
+/// trial-cumulative clock while `batch` parents use the shared wall clock,
+/// and `tuning_run` spans restart their wall clock at zero while `job`
+/// parents stay on the service's arrival clock.
 fn same_clock(child: SpanKind, parent: SpanKind) -> bool {
     matches!(
         (child, parent),
-        (SpanKind::Rung, SpanKind::TuningRun)
+        (SpanKind::Job, SpanKind::Service)
+            | (SpanKind::Rung, SpanKind::TuningRun)
             | (SpanKind::Batch, SpanKind::Rung)
             | (SpanKind::Epoch, SpanKind::Trial)
     )
 }
 
-/// The kind a span of `kind` must be parented under, if it has a parent at
-/// all. `tuning_run` spans are roots and must not have one.
-fn expected_parent_kind(kind: SpanKind) -> Option<SpanKind> {
-    match kind {
-        SpanKind::TuningRun => None,
-        SpanKind::Rung => Some(SpanKind::TuningRun),
-        SpanKind::Batch => Some(SpanKind::Rung),
-        SpanKind::Trial => Some(SpanKind::Batch),
-        SpanKind::Epoch => Some(SpanKind::Trial),
-    }
+/// Whether a span of kind `child` may be parented under a span of kind
+/// `parent`. `service` spans are roots and must not have a parent;
+/// `tuning_run` spans are roots on a dedicated cluster but sit under a
+/// `job` span when a multi-job service drives them.
+fn parent_kind_ok(child: SpanKind, parent: SpanKind) -> bool {
+    matches!(
+        (child, parent),
+        (SpanKind::Job, SpanKind::Service)
+            | (SpanKind::TuningRun, SpanKind::Job)
+            | (SpanKind::Rung, SpanKind::TuningRun)
+            | (SpanKind::Batch, SpanKind::Rung)
+            | (SpanKind::Trial, SpanKind::Batch)
+            | (SpanKind::Epoch, SpanKind::Trial)
+    )
 }
 
 impl TelemetrySnapshot {
@@ -122,9 +130,10 @@ impl TelemetrySnapshot {
     /// Invariants: parents are earlier spans; closed spans end no earlier
     /// than they start; same-clock children stay inside their parent's
     /// interval (with a tiny relative tolerance for float re-association);
-    /// the `tuning_run > rung > batch > trial > epoch` taxonomy is
-    /// respected; events point at existing spans. Open spans (`NaN` end)
-    /// skip the interval checks — a snapshot may be taken mid-run.
+    /// the `service > job > tuning_run > rung > batch > trial > epoch`
+    /// taxonomy is respected; events point at existing spans. Open spans
+    /// (`NaN` end) skip the interval checks — a snapshot may be taken
+    /// mid-run.
     ///
     /// # Errors
     ///
@@ -157,9 +166,8 @@ impl TelemetrySnapshot {
                 return Err(TraceError::OrphanParent { span: i, parent: p });
             }
             let parent = &self.spans[p as usize];
-            match expected_parent_kind(span.kind) {
-                Some(kind) if parent.kind == kind => {}
-                _ => return Err(TraceError::MisparentedKind { span: i, parent: p }),
+            if !parent_kind_ok(span.kind, parent.kind) {
+                return Err(TraceError::MisparentedKind { span: i, parent: p });
             }
             if same_clock(span.kind, parent.kind)
                 && span.end_secs.is_finite()
@@ -267,6 +275,54 @@ mod tests {
             vec![
                 span(SpanKind::TuningRun, None, 0.0, 10.0),
                 span(SpanKind::Epoch, Some(0), 0.0, 1.0),
+            ],
+            vec![],
+        );
+        assert_eq!(snap.validate(), Err(TraceError::MisparentedKind { span: 1, parent: 0 }));
+    }
+
+    #[test]
+    fn service_job_tuning_run_prefix_is_accepted() {
+        let snap = snapshot(
+            vec![
+                span(SpanKind::Service, None, 0.0, 500.0),
+                span(SpanKind::Job, Some(0), 10.0, 400.0),
+                // Runs restart their wall clock at zero, so the interval may
+                // exceed the job's — the pair is cross-clock and exempt.
+                span(SpanKind::TuningRun, Some(1), 0.0, 390.0),
+                span(SpanKind::Rung, Some(2), 0.0, 100.0),
+            ],
+            vec![],
+        );
+        assert_eq!(snap.validate(), Ok(()));
+    }
+
+    #[test]
+    fn job_outside_its_service_interval_is_rejected() {
+        let snap = snapshot(
+            vec![
+                span(SpanKind::Service, None, 0.0, 100.0),
+                span(SpanKind::Job, Some(0), 10.0, 101.0),
+            ],
+            vec![],
+        );
+        assert_eq!(snap.validate(), Err(TraceError::ChildOutsideParent { span: 1, parent: 0 }));
+    }
+
+    #[test]
+    fn service_must_be_a_root_and_job_must_sit_under_a_service() {
+        let snap = snapshot(
+            vec![
+                span(SpanKind::Service, None, 0.0, 10.0),
+                span(SpanKind::Service, Some(0), 0.0, 5.0),
+            ],
+            vec![],
+        );
+        assert_eq!(snap.validate(), Err(TraceError::MisparentedKind { span: 1, parent: 0 }));
+        let snap = snapshot(
+            vec![
+                span(SpanKind::TuningRun, None, 0.0, 10.0),
+                span(SpanKind::Job, Some(0), 0.0, 5.0),
             ],
             vec![],
         );

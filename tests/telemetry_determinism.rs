@@ -98,6 +98,9 @@ fn trace_structure_matches_the_span_taxonomy() {
             assert!((p as usize) < i, "parent must be recorded before child");
             let parent = &snap.spans[p as usize];
             let expected_parent = match span.kind {
+                SpanKind::Service | SpanKind::Job => {
+                    unreachable!("standalone tuner runs emit no service-layer spans")
+                }
                 SpanKind::TuningRun => unreachable!("roots have no parent"),
                 SpanKind::Rung => SpanKind::TuningRun,
                 SpanKind::Batch => SpanKind::Rung,
