@@ -10,7 +10,7 @@
 //! `multitenant.{policy}.{mean,p95,...}_response_secs` metrics.
 //!
 //! ```text
-//! bench_headline [--out PATH] [--check BASELINE]
+//! bench_headline [--chaos] [--out PATH] [--check BASELINE]
 //! ```
 //!
 //! With `--check`, the fresh metrics are compared against the committed
@@ -19,8 +19,18 @@
 //! non-zero when any gated metric regressed beyond tolerance, which is
 //! what fails the CI job.
 //!
+//! With `--chaos`, the single-tenancy section is skipped and the
+//! multi-tenant streams run under the pinned
+//! [`pipetune_cluster::ServiceFaultPlan::mixed`] fault schedule with a
+//! deadline SLO — node churn, job crashes with checkpointed resubmission
+//! and shedding all active. The report (default out
+//! `BENCH_pipetune.chaos.json`) adds `multitenant.{policy}.{shed_rate,
+//! abandoned_rate,completed_jobs,recovery_overhead_secs,...}` metrics and
+//! `--check` gates under
+//! [`pipetune_insight::GateConfig::chaos_defaults`].
+//!
 //! Everything is simulated-deterministic: re-running produces the same
-//! file byte for byte, so the committed baseline only changes when the
+//! file byte for byte, so the committed baselines only change when the
 //! pipeline's behaviour does.
 
 use std::process::ExitCode;
@@ -28,9 +38,11 @@ use std::process::ExitCode;
 use pipetune::{
     warm_start_ground_truth, ExperimentEnv, PipeTune, TuneV1, TuneV2, TunerOptions, WorkloadSpec,
 };
-use pipetune_cluster::PoissonArrivals;
-use pipetune_insight::{check, headline_metrics, multitenant_metrics, BenchReport, GateConfig};
-use pipetune_service::{JobSubmission, SchedulingPolicy, ServiceConfig, TuningService};
+use pipetune_cluster::{PoissonArrivals, ServiceFaultPlan};
+use pipetune_insight::{
+    check, headline_metrics, multitenant_metrics, service_fault_metrics, BenchReport, GateConfig,
+};
+use pipetune_service::{JobOutcome, JobSubmission, SchedulingPolicy, ServiceConfig, TuningService};
 use pipetune_telemetry::{TelemetryHandle, TelemetrySnapshot};
 
 const SEED: u64 = 41;
@@ -38,6 +50,10 @@ const SEED: u64 = 41;
 /// (mean inter-arrival 1500 simulated seconds keeps the queue busy).
 const SERVICE_JOBS: usize = 6;
 const SERVICE_RATE: f64 = 1.0 / 1500.0;
+/// Chaos section: the deadline SLO sits near the clean streams' p95
+/// response (most jobs finish; the tail is shed), and churn/crash draws
+/// come from the pinned mixed plan.
+const CHAOS_DEADLINE_SECS: f64 = 20_000.0;
 
 /// Runs one approach over `spec` under a fresh telemetry handle and
 /// returns its trace.
@@ -52,13 +68,15 @@ where
 }
 
 fn main() -> ExitCode {
-    let mut out_path = "BENCH_pipetune.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--chaos" => chaos = true,
             "--out" => match args.next() {
-                Some(path) => out_path = path,
+                Some(path) => out_path = Some(path),
                 None => return usage(),
             },
             "--check" => match args.next() {
@@ -68,28 +86,35 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    let out_path = out_path.unwrap_or_else(|| {
+        if chaos { "BENCH_pipetune.chaos.json".into() } else { "BENCH_pipetune.json".into() }
+    });
+    let label = if chaos { "bench_chaos" } else { "bench_headline" };
 
     let options = TunerOptions::fast();
-    let mut report = BenchReport { label: "bench_headline".into(), ..Default::default() };
-    for spec in [WorkloadSpec::lenet_mnist(), WorkloadSpec::lstm_news20()] {
-        let key = spec.name().replace('/', "_");
-        eprintln!("bench_headline: running {} (TuneV1, TuneV2, PipeTune)...", spec.name());
-        let v1 = traced(&spec, |env, spec| {
-            TuneV1::new(options).run(env, spec).expect("TuneV1 runs");
-        });
-        let v2 = traced(&spec, |env, spec| {
-            TuneV2::new(options).run(env, spec).expect("TuneV2 runs");
-        });
-        let pt = traced(&spec, |env, spec| {
-            let gt = warm_start_ground_truth(env, &WorkloadSpec::all_type12(), &options)
-                .expect("warm start");
-            PipeTune::with_ground_truth(options, gt).run(env, spec).expect("PipeTune runs");
-        });
-        report.metrics.extend(headline_metrics(&key, &v1, &v2, &pt));
+    let mut report = BenchReport { label: label.into(), ..Default::default() };
+    if !chaos {
+        for spec in [WorkloadSpec::lenet_mnist(), WorkloadSpec::lstm_news20()] {
+            let key = spec.name().replace('/', "_");
+            eprintln!("{label}: running {} (TuneV1, TuneV2, PipeTune)...", spec.name());
+            let v1 = traced(&spec, |env, spec| {
+                TuneV1::new(options).run(env, spec).expect("TuneV1 runs");
+            });
+            let v2 = traced(&spec, |env, spec| {
+                TuneV2::new(options).run(env, spec).expect("TuneV2 runs");
+            });
+            let pt = traced(&spec, |env, spec| {
+                let gt = warm_start_ground_truth(env, &WorkloadSpec::all_type12(), &options)
+                    .expect("warm start");
+                PipeTune::with_ground_truth(options, gt).run(env, spec).expect("PipeTune runs");
+            });
+            report.metrics.extend(headline_metrics(&key, &v1, &v2, &pt));
+        }
     }
 
     // Multi-tenant headline: the same arrival stream under every
-    // scheduling policy, summarised as response-time percentiles.
+    // scheduling policy, summarised as response-time percentiles (plus
+    // fault-tolerance rates in chaos mode).
     let specs = [WorkloadSpec::lenet_mnist(), WorkloadSpec::lstm_news20()];
     let submissions: Vec<JobSubmission> = {
         let mut arrivals = PoissonArrivals::new(SERVICE_RATE, SEED);
@@ -98,25 +123,41 @@ fn main() -> ExitCode {
             .collect()
     };
     for policy in SchedulingPolicy::ALL {
-        eprintln!("bench_headline: running {SERVICE_JOBS}-job service stream ({})...", policy.name());
+        eprintln!("{label}: running {SERVICE_JOBS}-job service stream ({})...", policy.name());
         let env = ExperimentEnv::distributed(SEED);
-        let service = TuningService::new(ServiceConfig::default().with_policy(policy));
+        let mut config = ServiceConfig::default().with_policy(policy);
+        if chaos {
+            config = config
+                .with_service_faults(ServiceFaultPlan::mixed(SEED))
+                .with_deadline(CHAOS_DEADLINE_SECS);
+        }
+        let service = TuningService::new(config);
         let outcome = service.run(&env, &submissions, &options).expect("service runs");
+        let prefix = format!("multitenant.{}", policy.name());
         let responses: Vec<f64> = outcome.jobs.iter().map(|r| r.response_secs).collect();
-        report
-            .metrics
-            .extend(multitenant_metrics(&format!("multitenant.{}", policy.name()), &responses));
-        report
-            .metrics
-            .insert(format!("multitenant.{}.makespan_secs", policy.name()), outcome.makespan_secs);
+        report.metrics.extend(multitenant_metrics(&prefix, &responses));
+        report.metrics.insert(format!("{prefix}.makespan_secs"), outcome.makespan_secs);
+        if chaos {
+            let completed = outcome
+                .jobs
+                .iter()
+                .filter(|r| r.status == JobOutcome::Completed)
+                .count();
+            report.metrics.extend(service_fault_metrics(
+                &prefix,
+                &outcome.service_fault_report,
+                outcome.jobs.len(),
+                completed,
+            ));
+        }
     }
 
     let text = report.to_json_string();
     if let Err(e) = std::fs::write(&out_path, format!("{text}\n")) {
-        eprintln!("bench_headline: cannot write {out_path}: {e}");
+        eprintln!("{label}: cannot write {out_path}: {e}");
         return ExitCode::from(1);
     }
-    eprintln!("bench_headline: wrote {} metrics to {out_path}", report.metrics.len());
+    eprintln!("{label}: wrote {} metrics to {out_path}", report.metrics.len());
 
     if let Some(baseline_path) = check_path {
         let baseline = match std::fs::read_to_string(&baseline_path)
@@ -125,14 +166,16 @@ fn main() -> ExitCode {
         {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("bench_headline: cannot load baseline {baseline_path}: {e}");
+                eprintln!("{label}: cannot load baseline {baseline_path}: {e}");
                 return ExitCode::from(1);
             }
         };
-        let outcome = check(&baseline, &report, &GateConfig::headline_defaults());
+        let config =
+            if chaos { GateConfig::chaos_defaults() } else { GateConfig::headline_defaults() };
+        let outcome = check(&baseline, &report, &config);
         print!("{}", outcome.render());
         if !outcome.passed() {
-            eprintln!("bench_headline: regression vs {baseline_path}");
+            eprintln!("{label}: regression vs {baseline_path}");
             return ExitCode::from(2);
         }
     }
@@ -140,6 +183,6 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_headline [--out PATH] [--check BASELINE]");
+    eprintln!("usage: bench_headline [--chaos] [--out PATH] [--check BASELINE]");
     ExitCode::from(1)
 }

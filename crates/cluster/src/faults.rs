@@ -200,12 +200,19 @@ impl FaultPlan {
 
     /// Uniform draw in `[0, 1)` from hashed coordinates (no RNG state).
     fn unit(&self, tag: u64, a: u64, b: u64, c: u64) -> f64 {
-        let mut x = self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        x = splitmix64(x.wrapping_add(a));
-        x = splitmix64(x.wrapping_add(b));
-        x = splitmix64(x.wrapping_add(c));
-        (x >> 11) as f64 / (1u64 << 53) as f64
+        hash_unit(self.seed, tag, a, b, c)
     }
+}
+
+/// Uniform draw in `[0, 1)` from hashed coordinates (no RNG state) —
+/// the shared primitive behind [`FaultPlan`] and [`ServiceFaultPlan`]
+/// draws.
+fn hash_unit(seed: u64, tag: u64, a: u64, b: u64, c: u64) -> f64 {
+    let mut x = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = splitmix64(x.wrapping_add(a));
+    x = splitmix64(x.wrapping_add(b));
+    x = splitmix64(x.wrapping_add(c));
+    (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// SplitMix64 finaliser: a high-quality 64-bit mix.
@@ -252,6 +259,226 @@ impl RetryPolicy {
     /// (0-based).
     pub fn backoff_secs(&self, attempt: u32) -> f64 {
         self.base_backoff_secs.max(0.0) * self.backoff_factor.max(1.0).powi(attempt as i32)
+    }
+}
+
+/// Node churn decided at one churn tick of a [`ServiceFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnKind {
+    /// A node leaves the shared pool, taking its slots with it.
+    Leave,
+    /// A previously departed node rejoins the pool.
+    Join,
+}
+
+impl ChurnKind {
+    /// Stable lower-snake name used in telemetry attributes.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChurnKind::Leave => "leave",
+            ChurnKind::Join => "join",
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of *service-level* faults: node churn
+/// against the shared slot pool and whole-job crashes with checkpointed
+/// resubmission. The trial-level sibling is [`FaultPlan`]; this plan is
+/// consumed by the multi-job tuning service (`pipetune-service`), which
+/// also enforces deadlines — the third leg of the service fault story —
+/// from its own configuration.
+///
+/// Determinism mirrors [`FaultPlan`]: every decision is a pure function
+/// of hashed coordinates `(seed, event kind, job, epoch)` — churn draws
+/// key on the tick index, crash draws on `(job, attempt)` — so schedules
+/// replay identically for any worker count and any scheduling policy.
+///
+/// ```
+/// use pipetune_cluster::ServiceFaultPlan;
+///
+/// let plan = ServiceFaultPlan::mixed(7);
+/// assert!(!plan.is_empty());
+/// // Pure functions of their coordinates: same query, same answer.
+/// assert_eq!(plan.churn_at(3), plan.churn_at(3));
+/// assert_eq!(plan.crash_at(1, 0), plan.crash_at(1, 0));
+/// // The empty plan never injects anything.
+/// assert_eq!(ServiceFaultPlan::none().churn_at(3), None);
+/// assert_eq!(ServiceFaultPlan::none().crash_at(1, 0), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceFaultPlan {
+    /// Seed decorrelating this plan from every other stochastic component.
+    pub seed: u64,
+    /// Spacing of churn *ticks* on the service clock, simulated seconds:
+    /// tick `k` happens at `k × churn_interval_secs` (`k ≥ 1`) and draws
+    /// at most one churn event.
+    pub churn_interval_secs: f64,
+    /// Per-tick probability that a node leaves the pool.
+    pub node_leave_prob: f64,
+    /// Per-tick probability that a departed node rejoins (checked only
+    /// when no leave fired at the same tick).
+    pub node_join_prob: f64,
+    /// Parallel trial slots one churned node carries.
+    pub node_slots: usize,
+    /// Pool floor: leaves never shrink capacity below this many slots.
+    pub min_slots: usize,
+    /// Per-attempt probability that an admitted job's run crashes
+    /// mid-service and must be resubmitted.
+    pub crash_prob: f64,
+    /// Where within an attempt's remaining service the crash strikes,
+    /// as a fraction range `(min, max) ⊂ [0, 1]`.
+    pub crash_fraction: (f64, f64),
+    /// Resubmission budget and backoff (simulated time) for crashed jobs.
+    pub resubmit: RetryPolicy,
+}
+
+impl Default for ServiceFaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl ServiceFaultPlan {
+    /// The empty plan: no churn, no job crashes, ever. Service runs under
+    /// it are bit-identical to runs without service-level fault injection
+    /// at all.
+    pub fn none() -> Self {
+        ServiceFaultPlan {
+            seed: 0,
+            churn_interval_secs: 4000.0,
+            node_leave_prob: 0.0,
+            node_join_prob: 0.0,
+            node_slots: 1,
+            min_slots: 1,
+            crash_prob: 0.0,
+            crash_fraction: (0.15, 0.85),
+            resubmit: RetryPolicy { max_attempts: 3, base_backoff_secs: 600.0, backoff_factor: 2.0 },
+        }
+    }
+
+    /// A mixed plan with churn and job crashes at moderate rates — the
+    /// default schedule for service-level chaos experiments. Timescales
+    /// suit tuning-job service times in the thousands of simulated
+    /// seconds.
+    pub fn mixed(seed: u64) -> Self {
+        ServiceFaultPlan {
+            seed,
+            node_leave_prob: 0.30,
+            node_join_prob: 0.45,
+            crash_prob: 0.20,
+            ..Self::none()
+        }
+    }
+
+    /// Node churn only: jobs never crash, but the pool breathes.
+    pub fn churn(seed: u64, leave_prob: f64) -> Self {
+        ServiceFaultPlan {
+            seed,
+            node_leave_prob: leave_prob.clamp(0.0, 1.0),
+            node_join_prob: (leave_prob * 1.5).clamp(0.0, 1.0),
+            ..Self::none()
+        }
+    }
+
+    /// Job crashes only: the pool stays static.
+    pub fn job_crashes(seed: u64, prob: f64) -> Self {
+        ServiceFaultPlan { seed, crash_prob: prob.clamp(0.0, 1.0), ..Self::none() }
+    }
+
+    /// `true` when the plan can never inject anything (the guard the
+    /// service driver uses to keep fault-free runs byte-identical to
+    /// pre-fault builds).
+    pub fn is_empty(&self) -> bool {
+        !self.has_churn() && self.crash_prob <= 0.0
+    }
+
+    /// `true` when churn ticks can ever fire.
+    pub fn has_churn(&self) -> bool {
+        self.node_leave_prob > 0.0 || self.node_join_prob > 0.0
+    }
+
+    /// The churn event (if any) drawn at tick `tick`. Pure function of
+    /// `(self, tick)`; leave is checked before join, so at most one node
+    /// moves per tick. The caller applies state constraints (a leave
+    /// that would breach [`ServiceFaultPlan::min_slots`], or a join with
+    /// no node away, is simply skipped).
+    pub fn churn_at(&self, tick: u64) -> Option<ChurnKind> {
+        if hash_unit(self.seed, 0x1EA7, 0, tick, 0) < self.node_leave_prob {
+            return Some(ChurnKind::Leave);
+        }
+        if hash_unit(self.seed, 0x901A, 0, tick, 0) < self.node_join_prob {
+            return Some(ChurnKind::Join);
+        }
+        None
+    }
+
+    /// Whether service attempt `attempt` (0-based) of job `job` crashes,
+    /// and if so at which fraction of the attempt's remaining service.
+    /// Pure function of `(self, job, attempt)` — notably *not* of the
+    /// scheduling policy or of time — so a job's crash/resume chain is
+    /// policy-invariant.
+    pub fn crash_at(&self, job: u64, attempt: u32) -> Option<f64> {
+        if self.crash_prob <= 0.0 {
+            return None;
+        }
+        if hash_unit(self.seed, 0x5C8A, job, u64::from(attempt), 0) < self.crash_prob {
+            let (lo, hi) = self.crash_fraction;
+            let u = hash_unit(self.seed, 0x5C8B, job, u64::from(attempt), 0);
+            Some(lerp(lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0), u))
+        } else {
+            None
+        }
+    }
+}
+
+/// Service-level fault accounting: what a [`ServiceFaultPlan`] (plus
+/// deadline enforcement) actually did to one service run.
+///
+/// Kept separate from the per-trial [`FaultReport`] so the invariant
+/// "the service's trial-level report is exactly the merge of its jobs'
+/// reports" survives service-level injection.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceFaultReport {
+    /// Nodes that left the pool.
+    pub node_leaves: u64,
+    /// Nodes that rejoined the pool.
+    pub node_joins: u64,
+    /// Churn events that actually changed the lease layout (elastic
+    /// repartitions).
+    pub repartitions: u64,
+    /// Job-level crashes injected.
+    pub job_crashes: u64,
+    /// Crashed jobs resubmitted from their last checkpoint.
+    pub resubmissions: u64,
+    /// Jobs shed for exceeding their deadline.
+    pub jobs_shed: u64,
+    /// Jobs abandoned after exhausting the resubmission budget.
+    pub jobs_abandoned: u64,
+    /// Simulated service-seconds destroyed by crashes (work past the
+    /// last checkpoint, redone on resubmission).
+    pub lost_service_secs: f64,
+    /// Simulated seconds crashed jobs sat in resubmission backoff.
+    pub backoff_secs: f64,
+}
+
+impl ServiceFaultReport {
+    /// `true` when nothing was injected, shed or lost.
+    pub fn is_clean(&self) -> bool {
+        *self == ServiceFaultReport::default()
+    }
+
+    /// Adds `other`'s counters into `self` (callers merge in a
+    /// deterministic order, as with [`FaultReport::merge`]).
+    pub fn merge(&mut self, other: &ServiceFaultReport) {
+        self.node_leaves += other.node_leaves;
+        self.node_joins += other.node_joins;
+        self.repartitions += other.repartitions;
+        self.job_crashes += other.job_crashes;
+        self.resubmissions += other.resubmissions;
+        self.jobs_shed += other.jobs_shed;
+        self.jobs_abandoned += other.jobs_abandoned;
+        self.lost_service_secs += other.lost_service_secs;
+        self.backoff_secs += other.backoff_secs;
     }
 }
 
@@ -419,6 +646,93 @@ mod tests {
         assert_eq!(r.backoff_secs(2), 20.0);
         let degenerate = RetryPolicy { max_attempts: 0, base_backoff_secs: -1.0, backoff_factor: 0.5 };
         assert_eq!(degenerate.backoff_secs(3), 0.0);
+    }
+
+    #[test]
+    fn service_plan_empty_never_injects() {
+        let p = ServiceFaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.has_churn());
+        for tick in 0..100 {
+            assert_eq!(p.churn_at(tick), None);
+        }
+        for job in 0..20 {
+            for attempt in 0..5 {
+                assert_eq!(p.crash_at(job, attempt), None);
+            }
+        }
+    }
+
+    #[test]
+    fn service_plan_draws_are_pure_functions_of_coordinates() {
+        let p = ServiceFaultPlan::mixed(42);
+        for tick in 0..50 {
+            assert_eq!(p.churn_at(tick), p.churn_at(tick));
+        }
+        for job in 0..10 {
+            for attempt in 0..4 {
+                assert_eq!(p.crash_at(job, attempt), p.crash_at(job, attempt));
+            }
+        }
+        // Different seeds give different schedules.
+        let other = ServiceFaultPlan::mixed(43);
+        let schedule = |p: &ServiceFaultPlan| -> Vec<Option<ChurnKind>> {
+            (0..64).map(|t| p.churn_at(t)).collect()
+        };
+        assert_ne!(schedule(&p), schedule(&other));
+    }
+
+    #[test]
+    fn service_plan_rates_track_probabilities() {
+        let p = ServiceFaultPlan::mixed(9);
+        let n = 4000u64;
+        let leaves =
+            (0..n).filter(|&t| p.churn_at(t) == Some(ChurnKind::Leave)).count() as f64 / n as f64;
+        assert!((leaves - p.node_leave_prob).abs() < 0.03, "leave rate {leaves}");
+        let crashes = (0..n).filter(|&j| p.crash_at(j, 0).is_some()).count() as f64 / n as f64;
+        assert!((crashes - p.crash_prob).abs() < 0.03, "crash rate {crashes}");
+        for j in 0..200 {
+            if let Some(frac) = p.crash_at(j, 0) {
+                assert!((0.0..=1.0).contains(&frac), "crash fraction {frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn certain_job_crash_probability_always_crashes() {
+        let p = ServiceFaultPlan::job_crashes(5, 1.0);
+        assert!(!p.is_empty());
+        assert!(!p.has_churn());
+        for attempt in 0..6 {
+            assert!(p.crash_at(2, attempt).is_some());
+        }
+        assert!(ServiceFaultPlan::churn(5, 0.5).has_churn());
+    }
+
+    #[test]
+    fn service_report_merges_and_detects_dirt() {
+        let mut a = ServiceFaultReport {
+            node_leaves: 2,
+            job_crashes: 1,
+            lost_service_secs: 12.5,
+            ..ServiceFaultReport::default()
+        };
+        let b = ServiceFaultReport {
+            node_joins: 1,
+            resubmissions: 1,
+            jobs_shed: 3,
+            backoff_secs: 600.0,
+            ..ServiceFaultReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.node_leaves, 2);
+        assert_eq!(a.node_joins, 1);
+        assert_eq!(a.jobs_shed, 3);
+        assert_eq!(a.backoff_secs, 600.0);
+        assert!(!a.is_clean());
+        assert!(ServiceFaultReport::default().is_clean());
+        assert_eq!(ChurnKind::Leave.name(), "leave");
+        assert_eq!(ChurnKind::Join.name(), "join");
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`FaultPlan`] / [`FaultReport`] / [`RetryPolicy`] — seeded,
 //!   deterministic fault schedules (node crashes, stragglers, counter-read
 //!   failures, preemptions) and the recovery accounting vocabulary.
+//! * [`ServiceFaultPlan`] / [`ServiceFaultReport`] — the service-level
+//!   siblings: node churn against the shared [`SlotPool`] and whole-job
+//!   crashes with checkpointed resubmission (see `docs/faults.md`
+//!   §"Service-level faults").
 //!
 //! Everything is deterministic under a seed; times are simulated, never wall
 //! clock.
@@ -39,7 +43,10 @@ mod topology;
 
 pub use arrivals::PoissonArrivals;
 pub use cost::{CostModel, WorkUnits};
-pub use faults::{FaultKind, FaultPlan, FaultReport, RetryPolicy};
+pub use faults::{
+    ChurnKind, FaultKind, FaultPlan, FaultReport, RetryPolicy, ServiceFaultPlan,
+    ServiceFaultReport,
+};
 pub use sim::{EventQueue, SimTime};
 pub use slots::{SlotPool, SlotPoolError};
 pub use system::{SystemConfig, SystemSpace};

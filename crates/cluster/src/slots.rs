@@ -30,6 +30,14 @@ pub enum SlotPoolError {
         /// The dangling lease id.
         lease: u64,
     },
+    /// A resize asked for less capacity than is currently leased out;
+    /// callers must shrink or release leases first.
+    ShrinkBelowInUse {
+        /// Capacity requested.
+        requested: usize,
+        /// Slots currently leased out.
+        in_use: usize,
+    },
 }
 
 impl fmt::Display for SlotPoolError {
@@ -41,6 +49,9 @@ impl fmt::Display for SlotPoolError {
             SlotPoolError::EmptyLease => write!(f, "a lease must cover at least one slot"),
             SlotPoolError::UnknownLease { lease } => {
                 write!(f, "lease {lease} is not outstanding")
+            }
+            SlotPoolError::ShrinkBelowInUse { requested, in_use } => {
+                write!(f, "cannot shrink capacity to {requested} with {in_use} slot(s) leased")
             }
         }
     }
@@ -133,6 +144,23 @@ impl SlotPool {
         }
     }
 
+    /// Resizes the pool to `capacity` total slots — the elastic-membership
+    /// hook for node churn: a leaving node shrinks the pool, a rejoining
+    /// one grows it. Outstanding leases are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotPoolError::ShrinkBelowInUse`] when `capacity` is below the
+    /// currently leased total — a pool never oversubscribes, so callers
+    /// must release (or shrink) leases *before* taking capacity away.
+    pub fn resize(&mut self, capacity: usize) -> Result<(), SlotPoolError> {
+        if capacity < self.in_use {
+            return Err(SlotPoolError::ShrinkBelowInUse { requested: capacity, in_use: self.in_use });
+        }
+        self.capacity = capacity;
+        Ok(())
+    }
+
     /// Splits `capacity` slots into `parts` near-equal partitions (the
     /// first `capacity % parts` partitions get one extra slot). Every
     /// partition gets at least one slot even when `parts > capacity`, so
@@ -197,9 +225,33 @@ mod tests {
     }
 
     #[test]
+    fn resize_grows_freely_but_never_strands_leases() {
+        let mut pool = SlotPool::new(4);
+        let a = pool.lease(3).unwrap();
+        // Growing is always fine.
+        pool.resize(6).unwrap();
+        assert_eq!(pool.capacity(), 6);
+        assert_eq!(pool.available(), 3);
+        // Shrinking below the leased total is a typed error...
+        assert_eq!(
+            pool.resize(2),
+            Err(SlotPoolError::ShrinkBelowInUse { requested: 2, in_use: 3 })
+        );
+        assert_eq!(pool.capacity(), 6, "failed resize leaves the pool untouched");
+        // ...but shrinking to exactly the leased total works.
+        pool.resize(3).unwrap();
+        assert_eq!(pool.available(), 0);
+        pool.release(a).unwrap();
+        pool.resize(1).unwrap();
+        assert_eq!(pool.capacity(), 1);
+    }
+
+    #[test]
     fn errors_display_their_context() {
         let text = SlotPoolError::Exhausted { requested: 3, available: 1 }.to_string();
         assert!(text.contains('3') && text.contains('1'), "{text}");
         assert!(SlotPoolError::UnknownLease { lease: 9 }.to_string().contains('9'));
+        let shrink = SlotPoolError::ShrinkBelowInUse { requested: 2, in_use: 5 }.to_string();
+        assert!(shrink.contains('2') && shrink.contains('5'), "{shrink}");
     }
 }

@@ -116,6 +116,30 @@ pub struct TuningOutcome {
     pub fault_report: pipetune_cluster::FaultReport,
 }
 
+impl TuningOutcome {
+    /// The run's durable checkpoint boundaries on its own wall clock,
+    /// strictly inside `(0, tuning_secs)`, sorted ascending and deduped.
+    ///
+    /// Each [`ConvergencePoint`] marks a trial completing — the instant
+    /// the executor's epoch-boundary `TrialCheckpoint` state for that
+    /// trial is final and the run's progress is durably recoverable. A
+    /// service resubmitting a crashed job resumes from the latest mark
+    /// not past the crashed attempt's progress (falling back to a cold
+    /// restart when the crash precedes the first mark), which is what
+    /// makes resubmission a *resume* rather than a restart.
+    pub fn checkpoint_marks(&self) -> Vec<f64> {
+        let mut marks: Vec<f64> = self
+            .convergence
+            .iter()
+            .map(|p| p.wall_secs)
+            .filter(|w| w.is_finite() && *w > 0.0 && *w < self.tuning_secs)
+            .collect();
+        marks.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        marks.dedup();
+        marks
+    }
+}
+
 /// The PipeTune middleware. Holds the cross-job ground truth; run one HPT
 /// job per [`PipeTune::run`] call.
 ///
@@ -291,6 +315,20 @@ mod tests {
         );
         // Reuse accelerates the job (no probe epochs at slow configs).
         assert!(second.tuning_secs <= first.tuning_secs * 1.1);
+    }
+
+    #[test]
+    fn checkpoint_marks_are_sorted_interior_and_deduped() {
+        let env = ExperimentEnv::distributed(11);
+        let out = PipeTune::new(TunerOptions::fast()).run(&env, &WorkloadSpec::lenet_mnist()).unwrap();
+        let marks = out.checkpoint_marks();
+        assert!(!marks.is_empty(), "a real run checkpoints at least once");
+        assert!(marks.windows(2).all(|w| w[0] < w[1]), "{marks:?}");
+        assert!(marks.iter().all(|&m| m > 0.0 && m < out.tuning_secs), "{marks:?}");
+        // Degenerate trace: nothing durable inside the run.
+        let mut degenerate = out.clone();
+        degenerate.convergence.clear();
+        assert!(degenerate.checkpoint_marks().is_empty());
     }
 
     #[test]

@@ -87,6 +87,34 @@ impl GateConfig {
         GateConfig { tolerances }
     }
 
+    /// The tolerances guarding the chaos benchmark (the headline table
+    /// plus fault-tolerance bounds): under the pinned
+    /// `ServiceFaultPlan::mixed` schedule the service must keep
+    /// completing jobs, and shedding, abandonment and recovery overhead
+    /// must not grow.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pipetune_insight::GateConfig;
+    ///
+    /// let config = GateConfig::chaos_defaults();
+    /// assert!(config.tolerance_for("multitenant.fifo.shed_rate").is_some());
+    /// assert!(config.tolerance_for("multitenant.fifo.completed_jobs").is_some());
+    /// ```
+    pub fn chaos_defaults() -> Self {
+        let mut config = Self::headline_defaults();
+        // Response times under churn and crashes wobble more than clean
+        // runs; widen the headline response tolerances accordingly.
+        config.tolerances.insert("mean_response_secs".into(), Tolerance::lower(0.15));
+        config.tolerances.insert("p95_response_secs".into(), Tolerance::lower(0.15));
+        config.tolerances.insert("shed_rate".into(), Tolerance::lower(0.10));
+        config.tolerances.insert("abandoned_rate".into(), Tolerance::lower(0.10));
+        config.tolerances.insert("recovery_overhead_secs".into(), Tolerance::lower(0.25));
+        config.tolerances.insert("completed_jobs".into(), Tolerance::higher(0.01));
+        config
+    }
+
     /// Resolves the tolerance guarding `metric`: exact name first, then
     /// the longest `.`-separated suffix match.
     pub fn tolerance_for(&self, metric: &str) -> Option<&Tolerance> {

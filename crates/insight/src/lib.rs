@@ -17,9 +17,11 @@
 //!   traces, persist them in a stable sorted-key JSON schema and fail a
 //!   build when a metric degrades beyond tolerance.
 //! * **Multi-tenant summaries** ([`response_stats`],
-//!   [`multitenant_metrics`]) — per-job response-time percentiles for a
+//!   [`multitenant_metrics`], [`service_fault_metrics`]) — per-job
+//!   response-time percentiles and fault-tolerance rates for a
 //!   `pipetune-service` run, feeding the report's `multitenant.{policy}.*`
-//!   gated section.
+//!   gated section (clean runs via `GateConfig::headline_defaults`, the
+//!   chaos benchmark via `GateConfig::chaos_defaults`).
 //!
 //! Everything here is a **pure function of the trace**: no wall clock, no
 //! I/O, no randomness. Because the input traces are byte-identical for
@@ -61,5 +63,7 @@ pub use gate::{
     check, BenchReport, Direction, GateConfig, GateOutcome, MetricCheck, Tolerance, Verdict,
 };
 pub use headline::{best_accuracy, headline_metrics, total_energy_j, tuning_secs};
-pub use multitenant::{multitenant_metrics, response_stats, ResponseStats};
+pub use multitenant::{
+    multitenant_metrics, response_stats, service_fault_metrics, ResponseStats,
+};
 pub use report::{DurationStats, PhaseBreakdown, RunReport, RungReport, Straggler, TraceReport};

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use pipetune_cluster::ServiceFaultReport;
 use pipetune_tsdb::{Aggregate, Database, Point, Query};
 
 /// Response-time summary over one service run's admitted jobs.
@@ -97,6 +98,52 @@ pub fn multitenant_metrics(prefix: &str, responses_secs: &[f64]) -> BTreeMap<Str
     metrics
 }
 
+/// Builds the `BenchReport` metric entries describing how one service run
+/// weathered its service-level fault schedule, keyed `"{prefix}.{stat}"`
+/// (same prefixes as [`multitenant_metrics`], so the chaos gate's suffix
+/// tolerances cover every policy). Rates are over `submitted_jobs`
+/// (0 when nothing was submitted); `recovery_overhead_secs` is the total
+/// crash-lost work plus resubmission backoff.
+///
+/// # Example
+///
+/// ```
+/// use pipetune_cluster::ServiceFaultReport;
+/// use pipetune_insight::service_fault_metrics;
+///
+/// let mut report = ServiceFaultReport::default();
+/// report.jobs_shed = 1;
+/// report.job_crashes = 2;
+/// report.lost_service_secs = 40.0;
+/// report.backoff_secs = 10.0;
+/// let m = service_fault_metrics("multitenant.fifo", &report, 4, 3);
+/// assert_eq!(m["multitenant.fifo.shed_rate"], 0.25);
+/// assert_eq!(m["multitenant.fifo.completed_jobs"], 3.0);
+/// assert_eq!(m["multitenant.fifo.recovery_overhead_secs"], 50.0);
+/// ```
+pub fn service_fault_metrics(
+    prefix: &str,
+    report: &ServiceFaultReport,
+    submitted_jobs: usize,
+    completed_jobs: usize,
+) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    let mut put = |name: &str, value: f64| {
+        metrics.insert(format!("{prefix}.{name}"), value);
+    };
+    let rate = |count: u64| {
+        if submitted_jobs == 0 { 0.0 } else { count as f64 / submitted_jobs as f64 }
+    };
+    put("completed_jobs", completed_jobs as f64);
+    put("shed_rate", rate(report.jobs_shed));
+    put("abandoned_rate", rate(report.jobs_abandoned));
+    put("job_crashes", report.job_crashes as f64);
+    put("node_churn_events", (report.node_leaves + report.node_joins) as f64);
+    put("lost_service_secs", report.lost_service_secs);
+    put("recovery_overhead_secs", report.lost_service_secs + report.backoff_secs);
+    metrics
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +181,41 @@ mod tests {
         assert!(config.tolerance_for("multitenant.processor_sharing.mean_response_secs").is_some());
         assert!(config.tolerance_for("multitenant.processor_sharing.p95_response_secs").is_some());
         assert!(config.tolerance_for("multitenant.processor_sharing.jobs").is_none());
+    }
+
+    #[test]
+    fn fault_metrics_cover_every_policy_prefix_under_the_chaos_gate() {
+        let report = ServiceFaultReport {
+            node_leaves: 2,
+            node_joins: 1,
+            jobs_shed: 1,
+            jobs_abandoned: 1,
+            job_crashes: 3,
+            lost_service_secs: 100.0,
+            backoff_secs: 60.0,
+            ..Default::default()
+        };
+        let m = service_fault_metrics("multitenant.shortest_remaining", &report, 8, 5);
+        assert_eq!(m.len(), 7);
+        assert_eq!(m["multitenant.shortest_remaining.shed_rate"], 0.125);
+        assert_eq!(m["multitenant.shortest_remaining.abandoned_rate"], 0.125);
+        assert_eq!(m["multitenant.shortest_remaining.node_churn_events"], 3.0);
+        assert_eq!(m["multitenant.shortest_remaining.recovery_overhead_secs"], 160.0);
+        let config = crate::GateConfig::chaos_defaults();
+        for key in m.keys() {
+            let gated = config.tolerance_for(key).is_some();
+            let informational =
+                key.ends_with(".job_crashes") || key.ends_with(".node_churn_events")
+                    || key.ends_with(".lost_service_secs");
+            assert_eq!(gated, !informational, "{key}");
+        }
+    }
+
+    #[test]
+    fn zero_submissions_yield_zero_rates() {
+        let report = ServiceFaultReport::default();
+        let m = service_fault_metrics("p", &report, 0, 0);
+        assert_eq!(m["p.shed_rate"], 0.0);
+        assert_eq!(m["p.abandoned_rate"], 0.0);
     }
 }

@@ -28,6 +28,43 @@ pub struct Completion {
     pub start_secs: f64,
 }
 
+/// A trip firing: an in-service job reached its attained-service
+/// threshold (see [`PolicyEngine::set_trip`]). The service driver uses
+/// trips to realise deterministic mid-service job crashes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trip {
+    /// Job id.
+    pub job: usize,
+    /// Instant the threshold was reached, engine clock seconds.
+    pub at_secs: f64,
+    /// Service attained within this engine residence when the trip fired
+    /// (equals the threshold).
+    pub attained_secs: f64,
+}
+
+/// One engine event, as observed by [`PolicyEngine::advance_events_to`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineEvent {
+    /// A job finished its service.
+    Completed(Completion),
+    /// A job hit its attained-service trip threshold. The clock stops at
+    /// the trip so the caller can react (remove, resume or re-arm) before
+    /// anything else progresses.
+    Tripped(Trip),
+}
+
+/// State handed back by [`PolicyEngine::remove`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Removed {
+    /// Service the job still needed, seconds.
+    pub remaining_secs: f64,
+    /// Service attained within this engine residence, seconds.
+    pub attained_secs: f64,
+    /// First instant the job held capacity in this residence, if it ever
+    /// started.
+    pub started: Option<f64>,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct EngineJob {
     remaining: f64,
@@ -35,6 +72,10 @@ struct EngineJob {
     /// callers may submit jobs whose indices are not arrival-ordered.
     seq: u64,
     started: Option<f64>,
+    /// Service attained since insertion, seconds.
+    attained: f64,
+    /// Attained-service threshold at which a [`Trip`] fires, if armed.
+    trip_at: Option<f64>,
 }
 
 /// Event-driven scheduler state for one policy over a shared pool of
@@ -81,10 +122,51 @@ impl PolicyEngine {
     pub fn insert(&mut self, job: usize, service_secs: f64) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let prev = self
-            .jobs
-            .insert(job, EngineJob { remaining: service_secs.max(0.0), seq, started: None });
+        let prev = self.jobs.insert(
+            job,
+            EngineJob {
+                remaining: service_secs.max(0.0),
+                seq,
+                started: None,
+                attained: 0.0,
+                trip_at: None,
+            },
+        );
         debug_assert!(prev.is_none(), "job {job} inserted twice");
+    }
+
+    /// Arms a trip for `job`: [`PolicyEngine::advance_events_to`] emits a
+    /// [`Trip`] (and stops the clock) the instant the job's attained
+    /// service since insertion reaches `attained_secs`. A threshold at or
+    /// past the job's remaining service never fires — the completion wins.
+    pub fn set_trip(&mut self, job: usize, attained_secs: f64) {
+        if let Some(j) = self.jobs.get_mut(&job) {
+            j.trip_at = Some(attained_secs.max(0.0));
+        }
+    }
+
+    /// Replaces the server count (clamped to at least 1) — the elastic
+    /// repartition hook for node churn. Takes effect at the next advance:
+    /// FIFO/shortest-remaining serve a differently sized head set,
+    /// processor sharing's rate cap shifts.
+    pub fn set_servers(&mut self, servers: usize) {
+        self.servers = servers.max(1);
+    }
+
+    /// Current server count.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Removes `job` from the system without completing it (crash or
+    /// shed), returning its progress state. `None` when the job is not
+    /// active.
+    pub fn remove(&mut self, job: usize) -> Option<Removed> {
+        self.jobs.remove(&job).map(|j| Removed {
+            remaining_secs: j.remaining,
+            attained_secs: j.attained,
+            started: j.started,
+        })
     }
 
     /// Jobs currently holding capacity, in the policy's serving order,
@@ -128,7 +210,32 @@ impl PolicyEngine {
     /// on the way in completion order. The clock lands exactly on `target`
     /// (even if the system empties earlier) unless `target` is infinite,
     /// in which case it stops at the last completion.
+    ///
+    /// Callers that arm trips must use
+    /// [`PolicyEngine::advance_events_to`]; this wrapper asserts none
+    /// fire, so trip-free advances stay bit-identical to the pre-trip
+    /// engine.
     pub fn advance_to(&mut self, target: f64) -> Vec<Completion> {
+        self.advance_events_to(target)
+            .into_iter()
+            .map(|ev| match ev {
+                EngineEvent::Completed(c) => c,
+                EngineEvent::Tripped(t) => {
+                    unreachable!("advance_to used with an armed trip on job {}", t.job)
+                }
+            })
+            .collect()
+    }
+
+    /// Advances the engine clock towards `target`, returning completions
+    /// and trips in event order. On a [`Trip`] the advance *stops* (the
+    /// clock sits at the trip instant, short of `target`) so the caller
+    /// can react before further progress; call again to continue.
+    /// Without a trip the clock lands exactly on `target` as with
+    /// [`PolicyEngine::advance_to`]. A completion and a trip due at the
+    /// same instant resolve to the completion — a job finishing at its
+    /// own crash point still completes.
+    pub fn advance_events_to(&mut self, target: f64) -> Vec<EngineEvent> {
         let mut done = Vec::new();
         while !self.jobs.is_empty() && self.now < target {
             let (set, rate) = self.in_service();
@@ -148,11 +255,43 @@ impl PolicyEngine {
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .expect("service set non-empty while jobs remain");
             let finish_at = self.now + next_rem / rate;
+            // Earliest armed trip among the served set: least service to
+            // go until its threshold, first in serving order on ties.
+            let trip = set
+                .iter()
+                .filter_map(|&id| {
+                    let j = &self.jobs[&id];
+                    j.trip_at.map(|th| (id, (th - j.attained).max(0.0)))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((trip_id, trip_rem)) = trip {
+                let trip_at = self.now + trip_rem / rate;
+                if trip_at < finish_at && trip_at <= target {
+                    // The whole served set progresses by the tripped
+                    // job's service-to-threshold, then the clock stops.
+                    for &id in &set {
+                        let j = self.jobs.get_mut(&id).expect("served job exists");
+                        j.remaining -= trip_rem;
+                        j.attained += trip_rem;
+                    }
+                    self.now = trip_at;
+                    let j = self.jobs.get_mut(&trip_id).expect("tripped job exists");
+                    j.trip_at = None;
+                    done.push(EngineEvent::Tripped(Trip {
+                        job: trip_id,
+                        at_secs: trip_at,
+                        attained_secs: j.attained,
+                    }));
+                    return done;
+                }
+            }
             if finish_at > target {
                 // No completion by the target: progress the served set.
                 let progress = (target - self.now) * rate;
                 for &id in &set {
-                    self.jobs.get_mut(&id).expect("served job exists").remaining -= progress;
+                    let j = self.jobs.get_mut(&id).expect("served job exists");
+                    j.remaining -= progress;
+                    j.attained += progress;
                 }
                 self.now = target;
                 break;
@@ -162,17 +301,19 @@ impl PolicyEngine {
             // is the same arithmetic the analytic drain performs, keeping
             // the two bit-for-bit comparable.
             for &id in &set {
+                let j = self.jobs.get_mut(&id).expect("served job exists");
                 if id != next_id {
-                    self.jobs.get_mut(&id).expect("served job exists").remaining -= next_rem;
+                    j.remaining -= next_rem;
                 }
+                j.attained += next_rem;
             }
             let finished = self.jobs.remove(&next_id).expect("finisher exists");
             self.now = finish_at;
-            done.push(Completion {
+            done.push(EngineEvent::Completed(Completion {
                 job: next_id,
                 at_secs: finish_at,
                 start_secs: finished.started.unwrap_or(finish_at),
-            });
+            }));
         }
         if target.is_finite() && self.now < target {
             self.now = target;
@@ -347,6 +488,117 @@ mod tests {
         let z = ps.iter().find(|c| c.job == 2).unwrap();
         assert_eq!(z.start_secs, 5.0);
         assert_eq!(z.at_secs, 5.0);
+    }
+
+    #[test]
+    fn trips_fire_at_the_attained_threshold_and_stop_the_clock() {
+        let mut engine = PolicyEngine::new(SchedulingPolicy::Fifo, 1);
+        engine.insert(0, 10.0);
+        engine.set_trip(0, 4.0);
+        let events = engine.advance_events_to(f64::INFINITY);
+        assert_eq!(
+            events,
+            vec![EngineEvent::Tripped(Trip { job: 0, at_secs: 4.0, attained_secs: 4.0 })]
+        );
+        assert_eq!(engine.now(), 4.0, "the clock stops at the trip");
+        assert_eq!(engine.active(), 1, "the tripped job is still active until removed");
+        // The caller removes it (a crash) and sees the progress state.
+        let removed = engine.remove(0).unwrap();
+        assert_eq!(removed.attained_secs, 4.0);
+        assert_eq!(removed.remaining_secs, 6.0);
+        assert_eq!(removed.started, Some(0.0));
+        assert!(engine.remove(0).is_none());
+    }
+
+    #[test]
+    fn unremoved_tripped_jobs_resume_and_complete() {
+        // A trip is an observation point, not a removal: left in place,
+        // the job runs on to completion with its threshold disarmed.
+        let mut engine = PolicyEngine::new(SchedulingPolicy::Fifo, 1);
+        engine.insert(0, 10.0);
+        engine.set_trip(0, 4.0);
+        assert_eq!(engine.advance_events_to(f64::INFINITY).len(), 1);
+        let events = engine.advance_events_to(f64::INFINITY);
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            EngineEvent::Completed(c) => assert_eq!(c.at_secs, 10.0),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completion_wins_a_tie_with_a_trip() {
+        let mut engine = PolicyEngine::new(SchedulingPolicy::Fifo, 1);
+        engine.insert(0, 5.0);
+        engine.set_trip(0, 5.0);
+        let events = engine.advance_events_to(f64::INFINITY);
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(events[0], EngineEvent::Completed(c) if c.job == 0 && c.at_secs == 5.0),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn trips_under_sharing_charge_the_whole_served_set() {
+        // PS, 2 equal jobs at rate 1/2: job 1's 3-second threshold is
+        // reached at wall time 6; job 0 has also attained 3 by then.
+        let mut engine = PolicyEngine::new(SchedulingPolicy::ProcessorSharing, 1);
+        engine.insert(0, 10.0);
+        engine.insert(1, 10.0);
+        engine.set_trip(1, 3.0);
+        let events = engine.advance_events_to(f64::INFINITY);
+        assert_eq!(
+            events,
+            vec![EngineEvent::Tripped(Trip { job: 1, at_secs: 6.0, attained_secs: 3.0 })]
+        );
+        let removed = engine.remove(1).unwrap();
+        assert_eq!(removed.remaining_secs, 7.0);
+        // Job 0 progressed the same 3 seconds and now runs dedicated.
+        let done = engine.drain();
+        assert_eq!(done.len(), 1);
+        match done[0] {
+            Completion { job: 0, at_secs, .. } => assert_eq!(at_secs, 13.0),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removing_a_job_keeps_peer_arithmetic_exact() {
+        let jobs = [
+            SharedJob { arrival_secs: 0.0, service_secs: 13.25 },
+            SharedJob { arrival_secs: 0.0, service_secs: 4.0 },
+        ];
+        // Reference: job 0 alone takes exactly its service time.
+        let mut engine = PolicyEngine::new(SchedulingPolicy::Fifo, 2);
+        engine.insert(0, jobs[0].service_secs);
+        engine.insert(1, jobs[1].service_secs);
+        engine.advance_to(2.0);
+        engine.remove(1).unwrap();
+        let done = engine.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].job, 0);
+        assert_eq!(done[0].at_secs, 13.25, "peer remaining must be untouched by the removal");
+    }
+
+    #[test]
+    fn set_servers_rescales_concurrency_mid_run() {
+        let mut engine = PolicyEngine::new(SchedulingPolicy::Fifo, 2);
+        engine.insert(0, 10.0);
+        engine.insert(1, 10.0);
+        assert_eq!(engine.in_service().0.len(), 2);
+        engine.advance_to(2.0);
+        // A node left: down to one server. Only the FIFO head serves.
+        engine.set_servers(1);
+        assert_eq!(engine.servers(), 1);
+        assert_eq!(engine.in_service().0, vec![0]);
+        let done = engine.drain();
+        // Job 0: 8 left at t=2, dedicated → finishes at 10. Job 1: starts
+        // its remaining 8 only then → finishes at 18.
+        assert_eq!(done[0].at_secs, 10.0);
+        assert_eq!(done[1].at_secs, 18.0);
+        engine.set_servers(0);
+        assert_eq!(engine.servers(), 1, "server counts clamp to at least 1");
     }
 
     #[test]

@@ -22,11 +22,41 @@ impl JobSubmission {
     }
 }
 
+/// How a submitted job left the service — every submission resolves to
+/// exactly one of these (the chaos suite's no-lost-jobs invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job ran to completion.
+    Completed,
+    /// Admission control turned the job away at arrival; it never ran.
+    Rejected,
+    /// The job exceeded its deadline and was drained from the system
+    /// (SLO-driven shedding).
+    Shed,
+    /// The job crashed and exhausted its resubmission budget.
+    Abandoned,
+}
+
+impl JobOutcome {
+    /// Stable lower-snake name used in telemetry attributes and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::Rejected => "rejected",
+            JobOutcome::Shed => "shed",
+            JobOutcome::Abandoned => "abandoned",
+        }
+    }
+}
+
 /// What happened to one submitted job, in submission order.
 ///
 /// Rejected jobs (`admitted = false`) never ran: their `service_secs`,
 /// `start_secs`, `completion_secs`, `response_secs` and `queue_secs` are
-/// `NaN`, `slots` is 0 and `outcome` is `None`.
+/// `NaN`, `slots` is 0 and `outcome` is `None`. Shed and abandoned jobs
+/// were admitted (their run's `outcome` is kept) but never completed:
+/// `completion_secs` and `response_secs` are `NaN` and `drained_secs`
+/// holds the instant they left the system.
 #[derive(Debug, Clone)]
 pub struct JobRecord {
     /// Index of the job in the submission stream.
@@ -37,6 +67,11 @@ pub struct JobRecord {
     pub arrival_secs: f64,
     /// Whether admission control let the job in.
     pub admitted: bool,
+    /// How the job left the system.
+    pub status: JobOutcome,
+    /// Service attempts started (1 for a crash-free run, more after
+    /// resubmissions, 0 when rejected).
+    pub attempts: u32,
     /// Parallel trial slots the job's tuning run was scheduled onto.
     pub slots: usize,
     /// Dedicated service demand: the job's full tuning run duration,
@@ -50,6 +85,14 @@ pub struct JobRecord {
     pub response_secs: f64,
     /// `start − arrival`: time spent waiting for capacity.
     pub queue_secs: f64,
+    /// Instant a shed or abandoned job was drained from the system,
+    /// service clock (`NaN` otherwise).
+    pub drained_secs: f64,
+    /// Service-seconds this job lost to crashes (work past its last
+    /// checkpoint, redone on resubmission).
+    pub lost_service_secs: f64,
+    /// Simulated seconds this job sat in resubmission backoff.
+    pub backoff_secs: f64,
     /// The full tuning outcome of the job's PipeTune run.
     pub outcome: Option<TuningOutcome>,
 }
@@ -62,12 +105,17 @@ impl JobRecord {
             workload,
             arrival_secs,
             admitted: false,
+            status: JobOutcome::Rejected,
+            attempts: 0,
             slots: 0,
             service_secs: f64::NAN,
             start_secs: f64::NAN,
             completion_secs: f64::NAN,
             response_secs: f64::NAN,
             queue_secs: f64::NAN,
+            drained_secs: f64::NAN,
+            lost_service_secs: 0.0,
+            backoff_secs: 0.0,
             outcome: None,
         }
     }

@@ -12,6 +12,14 @@
 //! [`pipetune_cluster::SlotPool`], and runs every admitted job as a full
 //! PipeTune tuning run on the real multi-threaded trial executor.
 //!
+//! On top of the clean scheduling path the service injects
+//! *service-level* faults from a [`pipetune_cluster::ServiceFaultPlan`]:
+//! node churn that elastically resizes and repartitions the slot pool,
+//! deterministic mid-service job crashes with checkpointed resubmission,
+//! and deadline (SLO) enforcement that sheds late jobs into typed
+//! [`JobOutcome`]s. See the `service` module docs and `docs/faults.md`
+//! §"Service-level faults".
+//!
 //! Two cross-checks pin the scheduler's arithmetic:
 //!
 //! - the FIFO and processor-sharing policies reproduce the analytic
@@ -20,7 +28,8 @@
 //! - all outputs (job outcomes, fault reports, telemetry traces, the
 //!   [`ServiceOutcome`] itself) are byte-identical across
 //!   `ExperimentEnv::workers` counts, clean or under fault injection —
-//!   the repo-wide determinism contract (`tests/service_determinism.rs`).
+//!   the repo-wide determinism contract (`tests/service_determinism.rs`
+//!   and the chaos sweep in `tests/service_chaos.rs`).
 //!
 //! See `docs/multitenancy.md` for the design narrative.
 
@@ -32,7 +41,7 @@ pub mod observe;
 mod policy;
 mod service;
 
-pub use engine::{Completion, PolicyEngine};
-pub use job::{JobRecord, JobSubmission};
+pub use engine::{Completion, EngineEvent, PolicyEngine, Removed, Trip};
+pub use job::{JobOutcome, JobRecord, JobSubmission};
 pub use policy::{AdmissionControl, SchedulingPolicy};
 pub use service::{job_seed, ServiceConfig, ServiceOutcome, SlotSample, TuningService};

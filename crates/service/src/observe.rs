@@ -13,11 +13,38 @@ pub const JOBS_SUBMITTED: &str = "service.jobs_submitted";
 /// Counter: jobs admission control let into the system.
 pub const JOBS_ADMITTED: &str = "service.jobs_admitted";
 
-/// Counter: jobs admission control turned away.
-pub const JOBS_REJECTED: &str = "service.jobs_rejected";
+/// Counter: jobs admission control turned away (each one also resolves
+/// to a typed `JobOutcome::Rejected` record).
+pub const ADMISSION_REJECTED: &str = "service.admission.rejected";
 
 /// Counter: admitted jobs that ran to completion.
 pub const JOBS_COMPLETED: &str = "service.jobs_completed";
+
+/// Counter: jobs shed for exceeding their deadline.
+pub const JOBS_SHED: &str = "service.jobs_shed";
+
+/// Counter: jobs abandoned after exhausting the resubmission budget.
+pub const JOBS_ABANDONED: &str = "service.jobs_abandoned";
+
+/// Counter: nodes that left the shared slot pool (service-level churn).
+pub const NODE_LEAVES: &str = "service.churn.node_leaves";
+
+/// Counter: nodes that rejoined the shared slot pool.
+pub const NODE_JOINS: &str = "service.churn.node_joins";
+
+/// Gauge: current pool capacity in slots, updated at every applied churn
+/// event.
+pub const CAPACITY_SLOTS: &str = "service.churn.capacity_slots";
+
+/// Counter: job-level crashes injected by the service fault plan.
+pub const JOB_CRASHES: &str = "service.faults.job_crashes";
+
+/// Counter: crashed jobs resubmitted from their last checkpoint.
+pub const RESUBMISSIONS: &str = "service.faults.resubmissions";
+
+/// Histogram of service-seconds lost per job crash (work past the last
+/// checkpoint; [`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
+pub const LOST_SERVICE_SECS: &str = "service.faults.lost_service_secs";
 
 /// Histogram of per-job queueing delay (start − arrival), seconds
 /// ([`pipetune_telemetry::DURATION_BUCKETS_SECS`]).

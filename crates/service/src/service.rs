@@ -9,24 +9,56 @@
 //! [`PolicyEngine`]. The engine then decides *when* on the shared cluster
 //! that demand is served, per the configured [`SchedulingPolicy`].
 //!
-//! Determinism: the driver is single-threaded and processes submissions in
-//! `(arrival, index)` order; per-job seeds derive only from the master
-//! seed and the submission index. Every job outcome, the fault report, the
-//! telemetry trace and the final [`ServiceOutcome`] are therefore
-//! byte-identical for any `ExperimentEnv::workers` count — the workers
-//! only parallelise *inside* a job's run, which already honours the
-//! repo-wide determinism contract.
+//! # Service-level faults
+//!
+//! On top of the per-trial fault injection inside each job's run
+//! (`ExperimentEnv::fault_plan`), the driver injects *service-level*
+//! faults from a [`ServiceFaultPlan`]:
+//!
+//! * **Node churn** — at deterministic churn ticks, nodes leave or rejoin
+//!   the shared [`SlotPool`]; the pool is resized and the lease layout
+//!   elastically repartitioned under every policy (never rounding a live
+//!   job's slice to zero slots).
+//! * **Job crashes** — a crashing job is removed mid-service at a drawn
+//!   point, rolled back to its tuning run's last checkpoint mark
+//!   (`TuningOutcome::checkpoint_marks`, i.e. the executor's
+//!   `TrialCheckpoint` cadence) and resubmitted after bounded exponential
+//!   backoff in simulated time; exhaustion yields
+//!   [`JobOutcome::Abandoned`].
+//! * **Deadlines** — a job exceeding [`ServiceConfig::deadline_secs`]
+//!   drains cleanly into [`JobOutcome::Shed`] without poisoning the rest
+//!   of the stream.
+//!
+//! The driver is a single event loop merging engine events (completions,
+//! crash trips) with external events; sources due at the same instant
+//! dispatch in the fixed order churn ≻ deadline ≻ resubmission ≻ arrival.
+//! With an empty plan and no deadline every fault branch is dead and the
+//! loop degenerates to the pre-fault per-arrival sequence, keeping clean
+//! runs byte-identical to pre-fault builds.
+//!
+//! Determinism: the driver is single-threaded; per-job seeds derive only
+//! from the master seed and the submission index, and every fault draw is
+//! a pure function of plan-seed coordinates. Every job outcome, both
+//! fault reports, the telemetry trace and the final [`ServiceOutcome`]
+//! are therefore byte-identical for any `ExperimentEnv::workers` count —
+//! the workers only parallelise *inside* a job's run, which already
+//! honours the repo-wide determinism contract. Because churn draws key on
+//! the tick index and crash draws on `(job, attempt)`, the capacity seen
+//! at any arrival and each job's crash/resume chain are additionally
+//! *policy-invariant*, so survivors tune identically under every policy.
 
 use std::collections::BTreeMap;
 
 use pipetune::{ExperimentEnv, PipeTune, PipeTuneError, TunerOptions};
-use pipetune_cluster::{FaultReport, SlotPool, SlotPoolError};
+use pipetune_cluster::{
+    ChurnKind, FaultReport, ServiceFaultPlan, ServiceFaultReport, SlotPool, SlotPoolError,
+};
 use pipetune_telemetry::{
-    SpanId, SpanKind, TelemetryHandle, COUNT_BUCKETS, DURATION_BUCKETS_SECS,
+    EventKind, SpanId, SpanKind, TelemetryHandle, COUNT_BUCKETS, DURATION_BUCKETS_SECS,
 };
 
-use crate::engine::{Completion, PolicyEngine};
-use crate::job::{JobRecord, JobSubmission};
+use crate::engine::{Completion, EngineEvent, PolicyEngine, Trip};
+use crate::job::{JobOutcome, JobRecord, JobSubmission};
 use crate::observe;
 use crate::policy::{AdmissionControl, SchedulingPolicy};
 
@@ -35,7 +67,7 @@ use crate::policy::{AdmissionControl, SchedulingPolicy};
 /// carries one capacity-wide lease rather than per-job slices).
 const ENSEMBLE: usize = usize::MAX;
 
-/// How the service schedules and admits jobs.
+/// How the service schedules, admits, bounds and fault-tests jobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Cluster-sharing discipline.
@@ -43,14 +75,22 @@ pub struct ServiceConfig {
     /// Admission control applied to each arrival.
     pub admission: AdmissionControl,
     /// Concurrent dedicated partitions (FIFO / shortest-remaining) or the
-    /// processor-sharing capacity multiplier. Clamped to
-    /// `[1, env.parallel_slots]` at run time; each partition gets
-    /// `env.parallel_slots / servers` trial slots.
+    /// processor-sharing capacity multiplier. Must be at least 1
+    /// (validated at run time); capped to the pool capacity, and under
+    /// node churn re-capped as the capacity moves. Each partition gets
+    /// `capacity / servers` trial slots, floored at one.
     pub servers: usize,
     /// Reuse one PipeTune ground truth across the whole stream (the §7.4
     /// amortisation: later tenants skip probing for families seen
     /// earlier). When false every job tunes cold.
     pub share_ground_truth: bool,
+    /// Per-job relative deadline (SLO), seconds after arrival: a job
+    /// still unfinished then is shed ([`JobOutcome::Shed`]). `None`
+    /// disables deadline enforcement.
+    pub deadline_secs: Option<f64>,
+    /// Service-level fault schedule (node churn, job crashes). The empty
+    /// plan keeps runs byte-identical to pre-fault builds.
+    pub faults: ServiceFaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +100,8 @@ impl Default for ServiceConfig {
             admission: AdmissionControl::unbounded(),
             servers: 1,
             share_ground_truth: true,
+            deadline_secs: None,
+            faults: ServiceFaultPlan::none(),
         }
     }
 }
@@ -79,11 +121,90 @@ impl ServiceConfig {
         self
     }
 
-    /// Replaces the server count (clamped at run time).
+    /// Replaces the server count (validated at run time: must be ≥ 1).
     #[must_use]
     pub fn with_servers(mut self, servers: usize) -> Self {
         self.servers = servers;
         self
+    }
+
+    /// Sets the per-job deadline (validated at run time: must be finite
+    /// and positive).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_secs: f64) -> Self {
+        self.deadline_secs = Some(deadline_secs);
+        self
+    }
+
+    /// Replaces the service-level fault schedule.
+    #[must_use]
+    pub fn with_service_faults(mut self, faults: ServiceFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Checks the configuration, returning a typed error instead of
+    /// panicking (or silently clamping) on degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// [`PipeTuneError::InvalidConfig`] for zero servers, a non-finite or
+    /// non-positive deadline, out-of-range fault probabilities, a
+    /// degenerate churn interval or node size, or an unusable
+    /// resubmission policy.
+    pub fn validate(&self) -> Result<(), PipeTuneError> {
+        let bad = |reason: String| Err(PipeTuneError::InvalidConfig { reason });
+        if self.servers == 0 {
+            return bad("service servers must be at least 1".into());
+        }
+        if let Some(d) = self.deadline_secs {
+            if !d.is_finite() || d <= 0.0 {
+                return bad(format!("service deadline must be finite and positive, got {d}"));
+            }
+        }
+        let f = &self.faults;
+        for (name, p) in [
+            ("node_leave_prob", f.node_leave_prob),
+            ("node_join_prob", f.node_join_prob),
+            ("crash_prob", f.crash_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return bad(format!("service fault {name} must lie in [0, 1], got {p}"));
+            }
+        }
+        if f.has_churn() {
+            if !f.churn_interval_secs.is_finite() || f.churn_interval_secs <= 0.0 {
+                return bad(format!(
+                    "churn interval must be finite and positive, got {}",
+                    f.churn_interval_secs
+                ));
+            }
+            if f.node_slots == 0 {
+                return bad("a churned node must carry at least one slot".into());
+            }
+            if f.min_slots == 0 {
+                return bad("the churn pool floor must be at least one slot".into());
+            }
+        }
+        if f.crash_prob > 0.0 {
+            if f.resubmit.max_attempts == 0 {
+                return bad("job crash resubmission needs at least one attempt".into());
+            }
+            if !f.resubmit.base_backoff_secs.is_finite() || f.resubmit.base_backoff_secs < 0.0 {
+                return bad(format!(
+                    "resubmission backoff must be finite and non-negative, got {}",
+                    f.resubmit.base_backoff_secs
+                ));
+            }
+            if !f.resubmit.backoff_factor.is_finite() {
+                return bad("resubmission backoff factor must be finite".into());
+            }
+            let (lo, hi) = f.crash_fraction;
+            if !lo.is_finite() || !hi.is_finite() {
+                return bad("crash fraction bounds must be finite".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -92,13 +213,17 @@ impl ServiceConfig {
 pub struct SlotSample {
     /// Event instant, service clock seconds.
     pub at_secs: f64,
-    /// Unfinished admitted jobs (queued + in service).
+    /// Unfinished admitted jobs (queued, in service or awaiting
+    /// resubmission).
     pub active_jobs: usize,
     /// Jobs holding capacity at this instant.
     pub in_service_jobs: usize,
     /// Slots leased from the pool — never exceeds the pool capacity
     /// (asserted at every sample by the property suite).
     pub slots_in_use: usize,
+    /// Pool capacity at this instant (moves under node churn; equals
+    /// `ServiceOutcome::slot_capacity` on churn-free runs).
+    pub capacity: usize,
 }
 
 /// Everything one service run produces.
@@ -106,25 +231,35 @@ pub struct SlotSample {
 pub struct ServiceOutcome {
     /// Scheduling discipline the run used.
     pub policy: SchedulingPolicy,
-    /// Effective server count after clamping to the slot capacity.
+    /// Effective server count after capping to the initial slot capacity.
     pub servers: usize,
-    /// The shared pool's total parallel trial slots
-    /// (`env.parallel_slots`).
+    /// The shared pool's initial parallel trial slots
+    /// (`env.parallel_slots`); churn moves the live capacity around this.
     pub slot_capacity: usize,
-    /// Slots each admitted job's tuning run was given.
+    /// Slots each job admitted at the initial capacity was given (jobs
+    /// admitted after churn see the capacity current at their arrival;
+    /// per-job values are in [`JobRecord::slots`]).
     pub slots_per_job: usize,
-    /// Per-job records, in submission order (one per submission, rejected
-    /// jobs included).
+    /// Per-job records, in submission order (one per submission — every
+    /// submission resolves to exactly one typed [`JobOutcome`]).
     pub jobs: Vec<JobRecord>,
-    /// When the last job completed, service clock seconds (work
-    /// conservation makes this policy-invariant for a fixed stream).
+    /// When the service went idle: the last completion, or the last
+    /// shed/abandon under faults, service clock seconds (work
+    /// conservation makes this policy-invariant for clean streams).
+    /// Under churn the final churn tick observed while work was still
+    /// live can round this up to the tick grid.
     pub makespan_secs: f64,
-    /// Mean response time over admitted jobs (0 when none were admitted).
+    /// Mean response time over *completed* jobs (0 when none completed).
     pub mean_response_secs: f64,
-    /// Slot-pool occupancy after every arrival and completion.
+    /// Slot-pool occupancy after every scheduling event.
     pub timeline: Vec<SlotSample>,
-    /// All jobs' fault reports merged in submission order.
+    /// All jobs' trial-level fault reports merged in submission order —
+    /// exactly the merge of the per-job reports, untouched by
+    /// service-level injection.
     pub fault_report: FaultReport,
+    /// Service-level fault accounting (churn, job crashes, shedding).
+    /// Clean when the plan is empty and no deadline fired.
+    pub service_fault_report: ServiceFaultReport,
 }
 
 /// The multi-job tuning service. See the module docs.
@@ -142,6 +277,310 @@ pub fn job_seed(env: &ExperimentEnv, job: usize) -> u64 {
     env.subseed(0x0B10_0000 + job as u64)
 }
 
+/// A crashed job waiting out its resubmission backoff.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// Resubmission instant, service clock seconds.
+    at_secs: f64,
+    /// Job id.
+    job: usize,
+    /// 0-based index of the attempt the resubmission will start.
+    attempt: u32,
+    /// Checkpointed progress the attempt resumes from, service-seconds.
+    resume_secs: f64,
+}
+
+/// All mutable state of one service run, so event handlers stay methods
+/// rather than 12-argument functions.
+struct Driver {
+    policy: SchedulingPolicy,
+    servers_cfg: usize,
+    faults: ServiceFaultPlan,
+    deadline_secs: Option<f64>,
+    telemetry: TelemetryHandle,
+    service_span: SpanId,
+    engine: PolicyEngine,
+    pool: SlotPool,
+    /// Outstanding leases: desired-map key → (lease id, slots covered).
+    leases: BTreeMap<usize, (u64, usize)>,
+    /// Live pool capacity (moves under churn).
+    capacity: usize,
+    /// Nodes currently away (bounds joins).
+    nodes_away: usize,
+    records: Vec<Option<JobRecord>>,
+    spans: Vec<SpanId>,
+    timeline: Vec<SlotSample>,
+    service_report: ServiceFaultReport,
+    /// Crashed jobs awaiting resubmission.
+    pending: Vec<Pending>,
+    /// Per-job absolute deadline, cleared at terminal states.
+    deadline_at: Vec<Option<f64>>,
+    /// Earliest start observed across a job's attempts.
+    first_start: Vec<Option<f64>>,
+    /// Service attempts started per job.
+    attempts: Vec<u32>,
+    /// Checkpointed progress before the current attempt, per job.
+    done_before: Vec<f64>,
+    /// Checkpoint marks of each admitted job's run (empty when crashes
+    /// are disabled).
+    marks: Vec<Vec<f64>>,
+    /// Full service demand per admitted job.
+    service_total: Vec<f64>,
+}
+
+impl Driver {
+    /// Server count effective at the live capacity.
+    fn eff_servers(&self) -> usize {
+        self.servers_cfg.min(self.capacity).max(1)
+    }
+
+    /// Slots a partition gets at the live capacity — floored at one, so a
+    /// single-slot pool still serves (the 1-slot regression case).
+    fn slice(&self) -> usize {
+        (self.capacity / self.eff_servers()).max(1)
+    }
+
+    /// Reconciles the slot pool with the engine's in-service set after a
+    /// scheduling event at `at_secs`, then samples occupancy. Stale or
+    /// resized leases release before the pool is resized and new leases
+    /// are granted, so the pool can never oversubscribe even transiently.
+    /// Returns how many lease operations were needed (0 ⇒ the layout was
+    /// already current).
+    fn sync(&mut self, at_secs: f64) -> Result<usize, PipeTuneError> {
+        let (served, _) = self.engine.in_service();
+        let slice = self.slice();
+        let desired: BTreeMap<usize, usize> = match self.policy {
+            SchedulingPolicy::ProcessorSharing if !served.is_empty() => {
+                [(ENSEMBLE, self.capacity)].into()
+            }
+            SchedulingPolicy::ProcessorSharing => BTreeMap::new(),
+            _ => served.iter().map(|&j| (j, slice)).collect(),
+        };
+        let mut ops = 0usize;
+        let stale: Vec<usize> = self
+            .leases
+            .iter()
+            .filter(|(key, (_, slots))| desired.get(key) != Some(slots))
+            .map(|(key, _)| *key)
+            .collect();
+        for key in stale {
+            let (lease, _) = self.leases.remove(&key).expect("stale key is outstanding");
+            self.pool.release(lease).map_err(slot_bug)?;
+            ops += 1;
+        }
+        if self.pool.capacity() != self.capacity {
+            self.pool.resize(self.capacity).map_err(slot_bug)?;
+        }
+        for (&key, &slots) in &desired {
+            if let std::collections::btree_map::Entry::Vacant(e) = self.leases.entry(key) {
+                e.insert((self.pool.lease(slots).map_err(slot_bug)?, slots));
+                ops += 1;
+            }
+        }
+        self.timeline.push(SlotSample {
+            at_secs,
+            active_jobs: self.engine.active() + self.pending.len(),
+            in_service_jobs: served.len(),
+            slots_in_use: self.pool.in_use(),
+            capacity: self.pool.capacity(),
+        });
+        self.telemetry.observe(observe::SLOTS_IN_USE, COUNT_BUCKETS, self.pool.in_use() as f64);
+        Ok(ops)
+    }
+
+    /// Fills in a completed job's record and closes its span.
+    fn settle(&mut self, c: &Completion) {
+        let rec = self.records[c.job].as_mut().expect("completed job has a record");
+        let start = match self.first_start[c.job] {
+            Some(s) => s.min(c.start_secs),
+            None => c.start_secs,
+        };
+        rec.start_secs = start;
+        rec.completion_secs = c.at_secs;
+        rec.response_secs = c.at_secs - rec.arrival_secs;
+        rec.queue_secs = start - rec.arrival_secs;
+        rec.status = JobOutcome::Completed;
+        rec.attempts = self.attempts[c.job];
+        self.deadline_at[c.job] = None;
+        self.telemetry.counter_add(observe::JOBS_COMPLETED, 1);
+        self.telemetry.observe(observe::RESPONSE_SECS, DURATION_BUCKETS_SECS, rec.response_secs);
+        self.telemetry.observe(observe::QUEUE_SECS, DURATION_BUCKETS_SECS, rec.queue_secs);
+        self.telemetry.close_span(self.spans[c.job], c.at_secs);
+    }
+
+    /// Handles a crash trip: rolls the job back to its last checkpoint
+    /// mark and schedules a resubmission, or abandons it when the budget
+    /// is spent.
+    fn crash(&mut self, t: &Trip) {
+        let job = t.job;
+        let removed = self.engine.remove(job).expect("tripped job is active");
+        self.note_start(job, removed.started);
+        let progress = self.done_before[job] + t.attained_secs;
+        let resume =
+            self.marks[job].iter().copied().filter(|&m| m <= progress).fold(0.0, f64::max);
+        let lost = progress - resume;
+        self.service_report.job_crashes += 1;
+        self.service_report.lost_service_secs += lost;
+        self.telemetry.counter_add(observe::JOB_CRASHES, 1);
+        self.telemetry.observe(observe::LOST_SERVICE_SECS, DURATION_BUCKETS_SECS, lost);
+        let attempts = self.attempts[job];
+        let rec = self.records[job].as_mut().expect("crashed job has a record");
+        rec.lost_service_secs += lost;
+        if attempts >= self.faults.resubmit.max_attempts.max(1) {
+            rec.status = JobOutcome::Abandoned;
+            rec.attempts = attempts;
+            rec.drained_secs = t.at_secs;
+            if let Some(s) = self.first_start[job] {
+                rec.start_secs = s;
+                rec.queue_secs = s - rec.arrival_secs;
+            }
+            self.deadline_at[job] = None;
+            self.service_report.jobs_abandoned += 1;
+            self.telemetry.counter_add(observe::JOBS_ABANDONED, 1);
+            self.telemetry.event(
+                self.spans[job],
+                EventKind::Fault,
+                t.at_secs,
+                vec![
+                    ("kind", "job_crash".into()),
+                    ("attempt", attempts.into()),
+                    ("lost_secs", lost.into()),
+                    ("abandoned", true.into()),
+                ],
+            );
+            self.telemetry.close_span(self.spans[job], t.at_secs);
+        } else {
+            let backoff = self.faults.resubmit.backoff_secs(attempts - 1);
+            rec.backoff_secs += backoff;
+            self.service_report.backoff_secs += backoff;
+            self.telemetry.event(
+                self.spans[job],
+                EventKind::Fault,
+                t.at_secs,
+                vec![
+                    ("kind", "job_crash".into()),
+                    ("attempt", attempts.into()),
+                    ("lost_secs", lost.into()),
+                    ("backoff_secs", backoff.into()),
+                ],
+            );
+            self.pending.push(Pending {
+                at_secs: t.at_secs + backoff,
+                job,
+                attempt: attempts,
+                resume_secs: resume,
+            });
+        }
+    }
+
+    /// Re-inserts a crashed job from its checkpoint.
+    fn resubmit(&mut self, p: &Pending) {
+        self.attempts[p.job] = p.attempt + 1;
+        self.done_before[p.job] = p.resume_secs;
+        let remaining = (self.service_total[p.job] - p.resume_secs).max(0.0);
+        self.engine.insert(p.job, remaining);
+        if let Some(frac) = self.faults.crash_at(p.job as u64, p.attempt) {
+            self.engine.set_trip(p.job, frac * remaining);
+        }
+        self.service_report.resubmissions += 1;
+        self.telemetry.counter_add(observe::RESUBMISSIONS, 1);
+        self.telemetry.event(
+            self.spans[p.job],
+            EventKind::Retry,
+            p.at_secs,
+            vec![
+                ("kind", "job_resubmit".into()),
+                ("attempt", (p.attempt + 1).into()),
+                ("resume_secs", p.resume_secs.into()),
+            ],
+        );
+    }
+
+    /// Sheds a job that exceeded its deadline, wherever it currently sits
+    /// (in service, queued, or waiting out a resubmission backoff).
+    fn shed(&mut self, job: usize, at_secs: f64) {
+        if let Some(removed) = self.engine.remove(job) {
+            self.note_start(job, removed.started);
+        } else {
+            self.pending.retain(|p| p.job != job);
+        }
+        let deadline = self.deadline_secs.unwrap_or(f64::NAN);
+        let rec = self.records[job].as_mut().expect("shed job has a record");
+        rec.status = JobOutcome::Shed;
+        rec.attempts = self.attempts[job];
+        rec.drained_secs = at_secs;
+        if let Some(s) = self.first_start[job] {
+            rec.start_secs = s;
+            rec.queue_secs = s - rec.arrival_secs;
+        }
+        self.deadline_at[job] = None;
+        self.service_report.jobs_shed += 1;
+        self.telemetry.counter_add(observe::JOBS_SHED, 1);
+        self.telemetry.event(
+            self.spans[job],
+            EventKind::Shed,
+            at_secs,
+            vec![("deadline_secs", deadline.into())],
+        );
+        self.telemetry.close_span(self.spans[job], at_secs);
+    }
+
+    /// Applies churn tick `tick` at `at_secs`: at most one node leaves or
+    /// rejoins, constrained by the pool floor and by how many nodes are
+    /// away. Draws that cannot apply are skipped without trace.
+    fn churn(&mut self, tick: u64, at_secs: f64) -> Result<(), PipeTuneError> {
+        let node_slots = self.faults.node_slots;
+        match self.faults.churn_at(tick) {
+            Some(ChurnKind::Leave)
+                if self.capacity >= node_slots + self.faults.min_slots.max(1) =>
+            {
+                self.capacity -= node_slots;
+                self.nodes_away += 1;
+                self.service_report.node_leaves += 1;
+                self.telemetry.counter_add(observe::NODE_LEAVES, 1);
+                self.apply_churn(ChurnKind::Leave, at_secs)
+            }
+            Some(ChurnKind::Join) if self.nodes_away > 0 => {
+                self.capacity += node_slots;
+                self.nodes_away -= 1;
+                self.service_report.node_joins += 1;
+                self.telemetry.counter_add(observe::NODE_JOINS, 1);
+                self.apply_churn(ChurnKind::Join, at_secs)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Propagates an applied churn event: rescales the engine's server
+    /// count, records the trace event, and elastically repartitions the
+    /// lease layout.
+    fn apply_churn(&mut self, kind: ChurnKind, at_secs: f64) -> Result<(), PipeTuneError> {
+        self.engine.set_servers(self.eff_servers());
+        self.telemetry.event(
+            self.service_span,
+            EventKind::Churn,
+            at_secs,
+            vec![
+                ("churn", kind.name().into()),
+                ("node_slots", self.faults.node_slots.into()),
+                ("capacity_slots", self.capacity.into()),
+            ],
+        );
+        self.telemetry.gauge_set(observe::CAPACITY_SLOTS, self.capacity as f64);
+        if self.sync(at_secs)? > 0 {
+            self.service_report.repartitions += 1;
+        }
+        Ok(())
+    }
+
+    /// Folds an attempt's start instant into the job's earliest start.
+    fn note_start(&mut self, job: usize, started: Option<f64>) {
+        if let Some(s) = started {
+            self.first_start[job] = Some(self.first_start[job].map_or(s, |f| f.min(s)));
+        }
+    }
+}
+
 impl TuningService {
     /// A service with the given configuration.
     pub fn new(config: ServiceConfig) -> Self {
@@ -155,19 +594,20 @@ impl TuningService {
 
     /// Runs the submission stream to completion. Jobs are processed in
     /// `(arrival, index)` order; the returned records are in submission
-    /// order.
+    /// order, one per submission.
     ///
     /// # Errors
     ///
-    /// [`PipeTuneError::InvalidConfig`] for non-finite or negative
-    /// arrival times; substrate errors propagate from the jobs' tuning
-    /// runs.
+    /// [`PipeTuneError::InvalidConfig`] for an invalid configuration
+    /// (see [`ServiceConfig::validate`]) or non-finite/negative arrival
+    /// times; substrate errors propagate from the jobs' tuning runs.
     pub fn run(
         &self,
         env: &ExperimentEnv,
         submissions: &[JobSubmission],
         options: &TunerOptions,
     ) -> Result<ServiceOutcome, PipeTuneError> {
+        self.config.validate()?;
         for (i, s) in submissions.iter().enumerate() {
             if !s.arrival_secs.is_finite() || s.arrival_secs < 0.0 {
                 return Err(PipeTuneError::InvalidConfig {
@@ -176,9 +616,11 @@ impl TuningService {
             }
         }
         let capacity = env.parallel_slots.max(1);
-        let servers = self.config.servers.clamp(1, capacity);
+        let servers = self.config.servers.min(capacity);
         let slots_per_job = (capacity / servers).max(1);
         let policy = self.config.policy;
+        let faults = self.config.faults;
+        let deadline = self.config.deadline_secs;
 
         let telemetry = env.telemetry.clone();
         let service_span = telemetry.open_span(
@@ -203,57 +645,151 @@ impl TuningService {
                 .then(a.cmp(&b))
         });
 
-        let mut engine = PolicyEngine::new(policy, servers);
-        let mut pool = SlotPool::new(capacity);
-        let mut leases: BTreeMap<usize, u64> = BTreeMap::new();
-        let mut records: Vec<Option<JobRecord>> =
-            (0..submissions.len()).map(|_| None).collect();
-        let mut spans: Vec<SpanId> = vec![SpanId::NONE; submissions.len()];
-        let mut timeline = Vec::new();
+        let n = submissions.len();
+        let mut d = Driver {
+            policy,
+            servers_cfg: self.config.servers,
+            faults,
+            deadline_secs: deadline,
+            telemetry: telemetry.clone(),
+            service_span,
+            engine: PolicyEngine::new(policy, servers),
+            pool: SlotPool::new(capacity),
+            leases: BTreeMap::new(),
+            capacity,
+            nodes_away: 0,
+            records: (0..n).map(|_| None).collect(),
+            spans: vec![SpanId::NONE; n],
+            timeline: Vec::new(),
+            service_report: ServiceFaultReport::default(),
+            pending: Vec::new(),
+            deadline_at: vec![None; n],
+            first_start: vec![None; n],
+            attempts: vec![0; n],
+            done_before: vec![0.0; n],
+            marks: vec![Vec::new(); n],
+            service_total: vec![f64::NAN; n],
+        };
         let mut fault_report = FaultReport::default();
         // The shared tuner carries its ground truth from job to job (cold
         // start: the stream itself builds it, as in §7.4).
         let mut shared_tuner = PipeTune::new(*options);
+        let mut arr_pos = 0usize;
+        let mut next_tick: u64 = 1;
 
-        for &job in &order {
-            let sub = &submissions[job];
-            for c in engine.advance_to(sub.arrival_secs) {
-                settle(&c, &mut records, &spans, &telemetry);
-                self.sync_slots(
-                    slots_per_job,
-                    &mut pool,
-                    &mut leases,
-                    &engine,
-                    c.at_secs,
-                    &mut timeline,
-                    &telemetry,
-                )?;
+        loop {
+            let t_arr = order
+                .get(arr_pos)
+                .map_or(f64::INFINITY, |&j| submissions[j].arrival_secs);
+            let t_resub =
+                d.pending.iter().map(|p| p.at_secs).fold(f64::INFINITY, f64::min);
+            let t_dead = d.deadline_at.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+            // Churn ticks run while there is work anywhere in the system.
+            // Crucially, ticks up to the last arrival fire under *every*
+            // policy (arrivals are still pending), so the capacity a job
+            // sees at admission — and hence its tuning outcome — is
+            // policy-invariant.
+            let work_pending =
+                arr_pos < order.len() || !d.pending.is_empty() || d.engine.active() > 0;
+            let t_churn = if faults.has_churn() && work_pending {
+                next_tick as f64 * faults.churn_interval_secs
+            } else {
+                f64::INFINITY
+            };
+            let t_ext = t_arr.min(t_resub).min(t_dead).min(t_churn);
+
+            // Engine events (completions and crash trips) strictly before
+            // the external event. Any event invalidates the timestamps
+            // computed above (a completion can clear the very deadline
+            // `t_dead` came from; a trip stops the advance short), so the
+            // loop recomputes its sources before dispatching externally.
+            let events = d.engine.advance_events_to(t_ext);
+            if !events.is_empty() {
+                for ev in events {
+                    match ev {
+                        EngineEvent::Completed(c) => {
+                            d.settle(&c);
+                            d.sync(c.at_secs)?;
+                        }
+                        EngineEvent::Tripped(t) => {
+                            d.crash(&t);
+                            d.sync(t.at_secs)?;
+                        }
+                    }
+                }
+                continue;
             }
+            if t_ext == f64::INFINITY {
+                break;
+            }
+            // Sources due at the same instant dispatch one at a time in
+            // the fixed order churn ≻ deadline ≻ resubmission ≻ arrival.
+            if t_churn == t_ext {
+                d.churn(next_tick, t_ext)?;
+                next_tick += 1;
+                continue;
+            }
+            if t_dead == t_ext {
+                let job = d
+                    .deadline_at
+                    .iter()
+                    .position(|&dl| dl == Some(t_ext))
+                    .expect("a deadline is due");
+                d.shed(job, t_ext);
+                d.sync(t_ext)?;
+                continue;
+            }
+            if t_resub == t_ext {
+                let best = (0..d.pending.len())
+                    .min_by(|&a, &b| {
+                        let (pa, pb) = (&d.pending[a], &d.pending[b]);
+                        pa.at_secs
+                            .partial_cmp(&pb.at_secs)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(pa.job.cmp(&pb.job))
+                    })
+                    .expect("a resubmission is due");
+                let p = d.pending.remove(best);
+                d.resubmit(&p);
+                d.sync(p.at_secs)?;
+                continue;
+            }
+            // An arrival.
+            let job = order[arr_pos];
+            arr_pos += 1;
+            let sub = &submissions[job];
             telemetry.counter_add(observe::JOBS_SUBMITTED, 1);
-            let admitted = self.config.admission.admits(engine.active());
+            let admitted =
+                self.config.admission.admits(d.engine.active() + d.pending.len());
+            let mut attrs = vec![
+                ("job", job.into()),
+                ("workload", sub.spec.name().into()),
+                ("admitted", admitted.into()),
+            ];
+            if let Some(dl) = deadline {
+                attrs.push(("deadline_secs", dl.into()));
+            }
             let span = telemetry.open_span(
                 service_span,
                 SpanKind::Job,
                 format!("job {job}: {}", sub.spec.name()),
                 sub.arrival_secs,
-                vec![
-                    ("job", job.into()),
-                    ("workload", sub.spec.name().into()),
-                    ("admitted", admitted.into()),
-                ],
+                attrs,
             );
-            spans[job] = span;
+            d.spans[job] = span;
             if !admitted {
-                telemetry.counter_add(observe::JOBS_REJECTED, 1);
+                telemetry.counter_add(observe::ADMISSION_REJECTED, 1);
                 telemetry.close_span(span, sub.arrival_secs);
-                records[job] = Some(JobRecord::rejected(job, sub.spec.name(), sub.arrival_secs));
+                d.records[job] =
+                    Some(JobRecord::rejected(job, sub.spec.name(), sub.arrival_secs));
                 continue;
             }
             telemetry.counter_add(observe::JOBS_ADMITTED, 1);
+            let slots = d.slice();
             let job_env = env
                 .clone()
                 .with_seed(job_seed(env, job))
-                .with_parallel_slots(slots_per_job)
+                .with_parallel_slots(slots)
                 .with_telemetry(telemetry.scoped(span));
             let outcome = if self.config.share_ground_truth {
                 shared_tuner.run(&job_env, &sub.spec)?
@@ -262,54 +798,60 @@ impl TuningService {
             };
             fault_report.merge(&outcome.fault_report);
             let service_secs = outcome.tuning_secs;
-            records[job] = Some(JobRecord {
+            d.service_total[job] = service_secs;
+            if faults.crash_prob > 0.0 {
+                d.marks[job] = outcome.checkpoint_marks();
+            }
+            d.records[job] = Some(JobRecord {
                 job,
                 workload: sub.spec.name(),
                 arrival_secs: sub.arrival_secs,
                 admitted: true,
-                slots: slots_per_job,
+                status: JobOutcome::Completed,
+                attempts: 1,
+                slots,
                 service_secs,
                 start_secs: f64::NAN,
                 completion_secs: f64::NAN,
                 response_secs: f64::NAN,
                 queue_secs: f64::NAN,
+                drained_secs: f64::NAN,
+                lost_service_secs: 0.0,
+                backoff_secs: 0.0,
                 outcome: Some(outcome),
             });
-            engine.insert(job, service_secs);
-            self.sync_slots(
-                slots_per_job,
-                &mut pool,
-                &mut leases,
-                &engine,
-                sub.arrival_secs,
-                &mut timeline,
-                &telemetry,
-            )?;
-        }
-        for c in engine.drain() {
-            settle(&c, &mut records, &spans, &telemetry);
-            self.sync_slots(
-                slots_per_job,
-                &mut pool,
-                &mut leases,
-                &engine,
-                c.at_secs,
-                &mut timeline,
-                &telemetry,
-            )?;
+            d.attempts[job] = 1;
+            d.deadline_at[job] = deadline.map(|dl| sub.arrival_secs + dl);
+            d.engine.insert(job, service_secs);
+            if let Some(frac) = faults.crash_at(job as u64, 0) {
+                d.engine.set_trip(job, frac * service_secs.max(0.0));
+            }
+            d.sync(sub.arrival_secs)?;
         }
 
-        let makespan_secs = engine.now();
+        let makespan_secs = d.engine.now();
         telemetry.gauge_set(observe::MAKESPAN_SECS, makespan_secs);
         telemetry.close_span(service_span, makespan_secs);
 
         let jobs: Vec<JobRecord> =
-            records.into_iter().map(|r| r.expect("every submission got a record")).collect();
-        let admitted: Vec<&JobRecord> = jobs.iter().filter(|r| r.admitted).collect();
-        let mean_response_secs = if admitted.is_empty() {
+            d.records.into_iter().map(|r| r.expect("every submission got a record")).collect();
+        // The no-lost-jobs invariant, enforced at the source: a record
+        // still claiming `Completed` without a completion instant means
+        // the event loop dropped a job.
+        for rec in &jobs {
+            assert!(
+                rec.status != JobOutcome::Completed || !rec.admitted
+                    || rec.completion_secs.is_finite(),
+                "job {} lost by the service event loop",
+                rec.job
+            );
+        }
+        let completed: Vec<&JobRecord> =
+            jobs.iter().filter(|r| r.admitted && r.status == JobOutcome::Completed).collect();
+        let mean_response_secs = if completed.is_empty() {
             0.0
         } else {
-            admitted.iter().map(|r| r.response_secs).sum::<f64>() / admitted.len() as f64
+            completed.iter().map(|r| r.response_secs).sum::<f64>() / completed.len() as f64
         };
         Ok(ServiceOutcome {
             policy,
@@ -319,72 +861,11 @@ impl TuningService {
             jobs,
             makespan_secs,
             mean_response_secs,
-            timeline,
+            timeline: d.timeline,
             fault_report,
+            service_fault_report: d.service_report,
         })
     }
-
-    /// Reconciles the slot pool with the engine's in-service set after a
-    /// scheduling event at `at_secs`, then samples occupancy. Stale
-    /// leases release before new ones are granted, so the pool can never
-    /// oversubscribe even transiently.
-    #[allow(clippy::too_many_arguments)]
-    fn sync_slots(
-        &self,
-        slots_per_job: usize,
-        pool: &mut SlotPool,
-        leases: &mut BTreeMap<usize, u64>,
-        engine: &PolicyEngine,
-        at_secs: f64,
-        timeline: &mut Vec<SlotSample>,
-        telemetry: &TelemetryHandle,
-    ) -> Result<(), PipeTuneError> {
-        let (served, _) = engine.in_service();
-        let desired: BTreeMap<usize, usize> = match self.config.policy {
-            SchedulingPolicy::ProcessorSharing if !served.is_empty() => {
-                [(ENSEMBLE, pool.capacity())].into()
-            }
-            SchedulingPolicy::ProcessorSharing => BTreeMap::new(),
-            _ => served.iter().map(|&j| (j, slots_per_job)).collect(),
-        };
-        let stale: Vec<usize> =
-            leases.keys().filter(|k| !desired.contains_key(k)).copied().collect();
-        for key in stale {
-            let lease = leases.remove(&key).expect("stale key is outstanding");
-            pool.release(lease).map_err(slot_bug)?;
-        }
-        for (&key, &slots) in &desired {
-            if let std::collections::btree_map::Entry::Vacant(e) = leases.entry(key) {
-                e.insert(pool.lease(slots).map_err(slot_bug)?);
-            }
-        }
-        timeline.push(SlotSample {
-            at_secs,
-            active_jobs: engine.active(),
-            in_service_jobs: served.len(),
-            slots_in_use: pool.in_use(),
-        });
-        telemetry.observe(observe::SLOTS_IN_USE, COUNT_BUCKETS, pool.in_use() as f64);
-        Ok(())
-    }
-}
-
-/// Fills in a completed job's record and closes its span.
-fn settle(
-    c: &Completion,
-    records: &mut [Option<JobRecord>],
-    spans: &[SpanId],
-    telemetry: &TelemetryHandle,
-) {
-    let rec = records[c.job].as_mut().expect("completed job has a record");
-    rec.start_secs = c.start_secs;
-    rec.completion_secs = c.at_secs;
-    rec.response_secs = c.at_secs - rec.arrival_secs;
-    rec.queue_secs = c.start_secs - rec.arrival_secs;
-    telemetry.counter_add(observe::JOBS_COMPLETED, 1);
-    telemetry.observe(observe::RESPONSE_SECS, DURATION_BUCKETS_SECS, rec.response_secs);
-    telemetry.observe(observe::QUEUE_SECS, DURATION_BUCKETS_SECS, rec.queue_secs);
-    telemetry.close_span(spans[c.job], c.at_secs);
 }
 
 /// Slot-pool violations are scheduler bugs; surface them as typed errors

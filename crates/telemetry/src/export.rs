@@ -399,6 +399,8 @@ impl TelemetrySnapshot {
                 crate::EventKind::Checkpoint,
                 crate::EventKind::Fault,
                 crate::EventKind::Retry,
+                crate::EventKind::Churn,
+                crate::EventKind::Shed,
             ] {
                 let n = self.events.iter().filter(|e| e.kind == kind).count();
                 if n > 0 {
@@ -605,6 +607,8 @@ mod tests {
                 EventKind::Fault,
                 EventKind::Retry,
                 EventKind::Profile,
+                EventKind::Churn,
+                EventKind::Shed,
             ];
             let n_spans = rng.gen_range(0..12usize);
             let spans: Vec<Span> = (0..n_spans)

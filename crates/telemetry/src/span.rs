@@ -88,6 +88,12 @@ pub enum EventKind {
     Retry,
     /// A first-epoch hardware-counter profile was collected.
     Profile,
+    /// A node left or rejoined the service's shared slot pool (attribute
+    /// `churn` names the direction; recorded on the service span).
+    Churn,
+    /// A job was shed for exceeding its deadline (recorded on the job
+    /// span).
+    Shed,
 }
 
 impl EventKind {
@@ -100,6 +106,8 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Retry => "retry",
             EventKind::Profile => "profile",
+            EventKind::Churn => "churn",
+            EventKind::Shed => "shed",
         }
     }
 
@@ -112,6 +120,8 @@ impl EventKind {
             "fault" => Some(EventKind::Fault),
             "retry" => Some(EventKind::Retry),
             "profile" => Some(EventKind::Profile),
+            "churn" => Some(EventKind::Churn),
+            "shed" => Some(EventKind::Shed),
             _ => None,
         }
     }
@@ -256,6 +266,10 @@ mod tests {
         assert_eq!(SpanKind::from_name("service"), Some(SpanKind::Service));
         assert_eq!(EventKind::GtLookup.name(), "gt_lookup");
         assert_eq!(EventKind::Retry.name(), "retry");
+        assert_eq!(EventKind::Churn.name(), "churn");
+        assert_eq!(EventKind::Shed.name(), "shed");
+        assert_eq!(EventKind::from_name("churn"), Some(EventKind::Churn));
+        assert_eq!(EventKind::from_name("shed"), Some(EventKind::Shed));
     }
 
     #[test]

@@ -86,6 +86,8 @@ fn assert_service_outcomes_identical(a: &ServiceOutcome, b: &ServiceOutcome) {
         assert_eq!(x.job, y.job);
         assert_eq!(x.workload, y.workload);
         assert_eq!(x.admitted, y.admitted);
+        assert_eq!(x.status, y.status);
+        assert_eq!(x.attempts, y.attempts);
         assert_eq!(x.slots, y.slots);
         assert_eq!(x.arrival_secs.to_bits(), y.arrival_secs.to_bits());
         assert_eq!(x.service_secs.to_bits(), y.service_secs.to_bits());
@@ -93,6 +95,9 @@ fn assert_service_outcomes_identical(a: &ServiceOutcome, b: &ServiceOutcome) {
         assert_eq!(x.completion_secs.to_bits(), y.completion_secs.to_bits());
         assert_eq!(x.response_secs.to_bits(), y.response_secs.to_bits());
         assert_eq!(x.queue_secs.to_bits(), y.queue_secs.to_bits());
+        assert_eq!(x.drained_secs.to_bits(), y.drained_secs.to_bits());
+        assert_eq!(x.lost_service_secs.to_bits(), y.lost_service_secs.to_bits());
+        assert_eq!(x.backoff_secs.to_bits(), y.backoff_secs.to_bits());
         assert_eq!(x.outcome.is_some(), y.outcome.is_some());
         if let (Some(ox), Some(oy)) = (&x.outcome, &y.outcome) {
             assert_job_outcomes_identical(ox, oy);
@@ -105,7 +110,19 @@ fn assert_service_outcomes_identical(a: &ServiceOutcome, b: &ServiceOutcome) {
         assert_eq!(x.active_jobs, y.active_jobs);
         assert_eq!(x.in_service_jobs, y.in_service_jobs);
         assert_eq!(x.slots_in_use, y.slots_in_use);
+        assert_eq!(x.capacity, y.capacity);
     }
+
+    let (sa, sb) = (&a.service_fault_report, &b.service_fault_report);
+    assert_eq!(sa.node_leaves, sb.node_leaves);
+    assert_eq!(sa.node_joins, sb.node_joins);
+    assert_eq!(sa.repartitions, sb.repartitions);
+    assert_eq!(sa.job_crashes, sb.job_crashes);
+    assert_eq!(sa.resubmissions, sb.resubmissions);
+    assert_eq!(sa.jobs_shed, sb.jobs_shed);
+    assert_eq!(sa.jobs_abandoned, sb.jobs_abandoned);
+    assert_eq!(sa.lost_service_secs.to_bits(), sb.lost_service_secs.to_bits());
+    assert_eq!(sa.backoff_secs.to_bits(), sb.backoff_secs.to_bits());
 }
 
 fn assert_identical_across_worker_counts(plan: FaultPlan) {
