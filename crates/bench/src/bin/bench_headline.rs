@@ -36,11 +36,13 @@
 use std::process::ExitCode;
 
 use pipetune::{
-    warm_start_ground_truth, ExperimentEnv, PipeTune, TuneV1, TuneV2, TunerOptions, WorkloadSpec,
+    warm_start_ground_truth, EpochCacheConfig, EpochCacheHandle, ExperimentEnv, PipeTune, TuneV1,
+    TuneV2, TunerOptions, WorkloadSpec,
 };
 use pipetune_cluster::{PoissonArrivals, ServiceFaultPlan};
 use pipetune_insight::{
-    check, headline_metrics, multitenant_metrics, service_fault_metrics, BenchReport, GateConfig,
+    cache_speedup_metrics, check, headline_metrics, multitenant_metrics, service_fault_metrics,
+    BenchReport, GateConfig,
 };
 use pipetune_service::{JobOutcome, JobSubmission, SchedulingPolicy, ServiceConfig, TuningService};
 use pipetune_telemetry::{TelemetryHandle, TelemetrySnapshot};
@@ -109,6 +111,30 @@ fn main() -> ExitCode {
                 PipeTune::with_ground_truth(options, gt).run(env, spec).expect("PipeTune runs");
             });
             report.metrics.extend(headline_metrics(&key, &v1, &v2, &pt));
+        }
+
+        // Epoch-reuse cache headline: a cold PipeTune run fills a shared
+        // cache, then an identical rerun adopts its prefixes. The warm
+        // rerun must reproduce the cold result exactly — only faster —
+        // and `cache.{workload}.warm_speedup` is the gated metric.
+        for spec in [WorkloadSpec::lenet_mnist(), WorkloadSpec::lstm_news20()] {
+            let key = spec.name().replace('/', "_");
+            eprintln!("{label}: running {} (cold/warm epoch cache)...", spec.name());
+            let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+            let env = ExperimentEnv::distributed(SEED).with_epoch_cache(cache);
+            let cold = PipeTune::new(options).run(&env, &spec).expect("cold cache run");
+            let warm = PipeTune::new(options).run(&env, &spec).expect("warm cache run");
+            assert_eq!(
+                warm.best_accuracy.to_bits(),
+                cold.best_accuracy.to_bits(),
+                "warm cache rerun must reproduce the cold result"
+            );
+            report.metrics.extend(cache_speedup_metrics(
+                &key,
+                cold.tuning_secs,
+                warm.tuning_secs,
+                warm.cache_stats.saved_secs,
+            ));
         }
     }
 

@@ -80,6 +80,7 @@ impl TuneV1 {
             model_weights: result.best_weights,
             best_trial_id: result.best_trial_id,
             fault_report: result.fault_report,
+            cache_stats: result.cache_stats,
             gt_stats: GroundTruthStats::default(),
         })
     }
@@ -170,6 +171,7 @@ impl TuneV2 {
             model_weights: result.best_weights,
             best_trial_id: result.best_trial_id,
             fault_report: result.fault_report,
+            cache_stats: result.cache_stats,
             gt_stats: GroundTruthStats::default(),
         })
     }

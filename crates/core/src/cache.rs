@@ -1,0 +1,1037 @@
+//! The epoch-reuse cache: content-addressed trial prefixes shared across
+//! trials and jobs (see `docs/reuse.md`).
+//!
+//! HyperBand restarts configurations from epoch 0 on every fresh trial,
+//! even when another trial (in this job, an earlier job, or a previous
+//! run persisted to disk) already trained the *identical* workload prefix
+//! — same dataset fingerprint, same model configuration, same
+//! hyperparameter prefix. Following the memoization argument of *Li et
+//! al., Exploiting Reuse in Pipeline-Aware Hyperparameter Tuning*, an
+//! [`EpochCache`] stores those prefixes content-addressed by
+//! [`fingerprint`] and epoch depth, and a fresh trial resumes from the
+//! deepest cached prefix not exceeding its epoch budget, charging only a
+//! small reload cost ([`EpochCacheConfig::reload_cost_factor`]) instead
+//! of the full training time.
+//!
+//! # Determinism contract
+//!
+//! The cache follows the same batch-snapshot discipline as
+//! [`crate::SharedGroundTruth`]: during a scheduler batch, worker threads
+//! only *read* the cache (through [`EpochCacheHandle::peek`], which takes
+//! a read lock and never mutates), while hits, misses and inserts are
+//! buffered per work item in a [`CacheSession`] and applied by the
+//! coordinator in scheduler request order at a deterministic simulated
+//! time ([`EpochCacheHandle::flush`]). Results with the cache enabled are
+//! therefore byte-identical for every [`crate::ExperimentEnv::workers`]
+//! count; with the cache disabled (the default) every code path is
+//! bypassed and results are bit-identical to builds without the cache.
+//!
+//! # Eviction
+//!
+//! Bounded capacity with LRU-by-simulated-time: every entry carries the
+//! simulated flush clock of its last hit or (re-)insert plus an insertion
+//! sequence number as a tie-break, and the coordinator evicts the
+//! least-recently-used entries whenever a flush leaves the cache over
+//! [`EpochCacheConfig::capacity`]. The clock is kept monotone across runs
+//! sharing one handle (each run's wall clock restarts at zero) by adding
+//! a running offset whenever the flush clock regresses.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use pipetune_tsdb::TsdbError;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::trial::{EpochPhase, EpochRecord, SystemTuner};
+use crate::workload::WorkloadInstance;
+use crate::{HyperParams, PipeTuneError, WorkloadSpec};
+
+/// Tuning knobs of the epoch-reuse cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochCacheConfig {
+    /// Maximum number of cached prefixes; least-recently-used entries are
+    /// evicted beyond it. Must be at least 1.
+    pub capacity: usize,
+    /// Fraction of the original epoch duration charged for adopting a
+    /// cached epoch (checkpoint reload instead of training). Must lie in
+    /// `(0, 1)`.
+    pub reload_cost_factor: f64,
+}
+
+impl Default for EpochCacheConfig {
+    fn default() -> Self {
+        EpochCacheConfig { capacity: 64, reload_cost_factor: 0.05 }
+    }
+}
+
+impl EpochCacheConfig {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::InvalidConfig`] on a zero capacity or a
+    /// reload cost factor outside `(0, 1)`.
+    pub fn validate(&self) -> Result<(), PipeTuneError> {
+        if self.capacity == 0 {
+            return Err(PipeTuneError::InvalidConfig {
+                reason: "epoch cache capacity must be at least 1".into(),
+            });
+        }
+        if !(self.reload_cost_factor > 0.0 && self.reload_cost_factor < 1.0) {
+            return Err(PipeTuneError::InvalidConfig {
+                reason: format!(
+                    "epoch cache reload_cost_factor must lie in (0, 1), got {}",
+                    self.reload_cost_factor
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Content address of a cached prefix: the workload/hyperparameter-prefix
+/// [`fingerprint`] plus the epoch depth the prefix was trained to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// Output of [`fingerprint`]: dataset + model configuration +
+    /// hyperparameter prefix (everything but the `epochs` budget).
+    pub fingerprint: u64,
+    /// Epochs the cached prefix was trained for.
+    pub epochs: u32,
+}
+
+/// Content-addresses a trial's reusable identity: the dataset fingerprint
+/// (workload name and scale — the dataset generator is a pure function of
+/// those plus the instantiation seed), the model configuration (also
+/// derived from the workload name and the hyperparameters) and the
+/// hyperparameter *prefix* — every tuned hyperparameter except `epochs`,
+/// which is the depth dimension the cache indexes separately.
+///
+/// Two trials with equal fingerprints perform identical epoch work; they
+/// differ only in how many epochs they are budgeted
+/// ([`HyperParams::epochs`] and the scheduler rung), which is exactly the
+/// redundancy the cache exploits.
+///
+/// ```
+/// use pipetune::{epoch_cache_fingerprint, HyperParams, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::lenet_mnist();
+/// let a = HyperParams { epochs: 3, ..HyperParams::default() };
+/// let b = HyperParams { epochs: 27, ..HyperParams::default() };
+/// // The epoch budget is the suffix, not part of the address:
+/// assert_eq!(epoch_cache_fingerprint(&spec, &a), epoch_cache_fingerprint(&spec, &b));
+/// // Any prefix hyperparameter changes the address:
+/// let c = HyperParams { batch_size: a.batch_size * 2, ..a };
+/// assert_ne!(epoch_cache_fingerprint(&spec, &a), epoch_cache_fingerprint(&spec, &c));
+/// ```
+pub fn fingerprint(spec: &WorkloadSpec, hp: &HyperParams) -> u64 {
+    // FNV-1a over the identity bytes; stable across runs and platforms
+    // (everything is hashed in little-endian bit patterns).
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    eat(spec.name().as_bytes());
+    eat(&spec.scale_bits().to_le_bytes());
+    eat(&(hp.batch_size as u64).to_le_bytes());
+    eat(&hp.dropout.to_bits().to_le_bytes());
+    eat(&(hp.embedding_dim as u64).to_le_bytes());
+    eat(&hp.learning_rate.to_bits().to_le_bytes());
+    h
+}
+
+/// Behaviour counters of an [`EpochCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheStats {
+    /// Lookups that adopted a cached prefix.
+    pub hits: u64,
+    /// Lookups that fell through to a cold start.
+    pub misses: u64,
+    /// Prefixes inserted (or refreshed in place).
+    pub inserts: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Simulated epoch-seconds adopting cached prefixes avoided (trained
+    /// cost of the adopted epochs minus the charged reload cost).
+    pub saved_secs: f64,
+}
+
+impl CacheStats {
+    /// Activity since an earlier snapshot (counters and savings are
+    /// cumulative over a shared cache's lifetime; a run reports the
+    /// difference).
+    #[must_use]
+    pub fn delta_since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            inserts: self.inserts - before.inserts,
+            evictions: self.evictions - before.evictions,
+            saved_secs: self.saved_secs - before.saved_secs,
+        }
+    }
+}
+
+/// One cached trial prefix: the live workload clone (model, optimizer,
+/// datasets, training RNG), the system-tuner state, the trial's private
+/// RNG stream and the epoch log — everything a fresh trial needs to
+/// resume as if it had trained the prefix itself.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheEntry {
+    pub(crate) workload: WorkloadInstance,
+    pub(crate) tuner: SystemTuner,
+    pub(crate) rng: StdRng,
+    pub(crate) records: Vec<EpochRecord>,
+    /// Trained-equivalent cost of the prefix (what those epochs cost, or
+    /// would have cost, to really train — the donor's charged time plus
+    /// whatever the donor itself saved through adoption).
+    pub(crate) trained_secs: f64,
+    /// Trained-equivalent energy of the prefix.
+    pub(crate) trained_energy_j: f64,
+    /// LRU timestamp: monotone simulated flush time of last touch.
+    last_access: f64,
+    /// Insertion sequence number (LRU tie-break).
+    seq: u64,
+}
+
+impl CacheEntry {
+    /// Builds an entry awaiting insertion (the LRU stamp and sequence
+    /// number are assigned by the coordinator at flush time).
+    pub(crate) fn new(
+        workload: WorkloadInstance,
+        tuner: SystemTuner,
+        rng: StdRng,
+        records: Vec<EpochRecord>,
+        trained_secs: f64,
+        trained_energy_j: f64,
+    ) -> Self {
+        CacheEntry {
+            workload,
+            tuner,
+            rng,
+            records,
+            trained_secs,
+            trained_energy_j,
+            last_access: 0.0,
+            seq: 0,
+        }
+    }
+}
+
+/// Everything a fresh trial adopts on a cache hit, precomputed under the
+/// read lock: the state clones plus the charged (reload-cost) epoch log.
+#[derive(Debug)]
+pub(crate) struct CachedPrefix {
+    pub(crate) key: CacheKey,
+    pub(crate) workload: WorkloadInstance,
+    pub(crate) tuner: SystemTuner,
+    pub(crate) rng: StdRng,
+    /// The prefix's epochs re-labelled [`EpochPhase::Cached`] with reload
+    /// costs charged in place of training costs.
+    pub(crate) records: Vec<EpochRecord>,
+    /// Trained-equivalent cost minus the charged reload cost.
+    pub(crate) saved_secs: f64,
+    /// Energy analogue of [`CachedPrefix::saved_secs`].
+    pub(crate) saved_energy_j: f64,
+}
+
+/// A deferred cache mutation, buffered per work item and applied by the
+/// coordinator in scheduler request order ([`EpochCacheHandle::flush`]).
+#[derive(Debug)]
+pub(crate) enum CacheEvent {
+    /// A fresh trial adopted the prefix under `key`.
+    Hit { key: CacheKey, saved_secs: f64 },
+    /// A fresh trial found no usable prefix.
+    Miss,
+    /// A trial finished a rung at `key.epochs` depth; remember its state.
+    Insert { key: CacheKey, entry: Box<CacheEntry> },
+}
+
+/// One work item's buffered view of the cache mutations it would make.
+///
+/// Mirrors [`crate::GtSession`]: sessions are created per scheduler work
+/// item, filled on worker threads, and flushed by the coordinator in
+/// request order so the cache contents never depend on thread timing.
+#[derive(Debug, Default)]
+pub struct CacheSession {
+    pub(crate) events: Vec<CacheEvent>,
+}
+
+/// The content-addressed epoch-reuse store. Most callers interact through
+/// an [`EpochCacheHandle`]; the store itself is exposed for persistence
+/// and inspection.
+#[derive(Debug)]
+pub struct EpochCache {
+    config: EpochCacheConfig,
+    /// `BTreeMap` so iteration (eviction scans, persistence) is ordered
+    /// by key, never by insertion hash — a determinism requirement.
+    entries: BTreeMap<CacheKey, CacheEntry>,
+    stats: CacheStats,
+    next_seq: u64,
+    /// Monotone-clock bookkeeping: offset accumulated across runs plus
+    /// the last raw flush clock seen.
+    lru_offset: f64,
+    last_clock: f64,
+}
+
+impl EpochCache {
+    /// Creates an empty cache.
+    pub fn new(config: EpochCacheConfig) -> Self {
+        EpochCache {
+            config,
+            entries: BTreeMap::new(),
+            stats: CacheStats::default(),
+            next_seq: 0,
+            lru_offset: 0.0,
+            last_clock: 0.0,
+        }
+    }
+
+    /// The knobs in force.
+    pub fn config(&self) -> EpochCacheConfig {
+        self.config
+    }
+
+    /// Number of cached prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no prefix is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The cached keys, in key order (fingerprint, then depth).
+    pub fn keys(&self) -> Vec<CacheKey> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The deepest cached prefix for `fingerprint` not exceeding
+    /// `max_epochs`, with reload costs already charged.
+    pub(crate) fn peek(&self, fingerprint: u64, max_epochs: u32) -> Option<CachedPrefix> {
+        let lo = CacheKey { fingerprint, epochs: 0 };
+        let hi = CacheKey { fingerprint, epochs: max_epochs };
+        let (key, entry) = self.entries.range(lo..=hi).next_back()?;
+        let factor = self.config.reload_cost_factor;
+        let mut charged_secs = 0.0;
+        let mut charged_energy = 0.0;
+        let records: Vec<EpochRecord> = entry
+            .records
+            .iter()
+            .map(|r| {
+                // A record that was itself adopted from the cache already
+                // carries a reload cost; charge it verbatim rather than
+                // discounting twice.
+                let (d, e) = if r.phase == EpochPhase::Cached {
+                    (r.duration_secs, r.energy_j)
+                } else {
+                    (r.duration_secs * factor, r.energy_j * factor)
+                };
+                charged_secs += d;
+                charged_energy += e;
+                EpochRecord { duration_secs: d, energy_j: e, phase: EpochPhase::Cached, ..*r }
+            })
+            .collect();
+        Some(CachedPrefix {
+            key: *key,
+            workload: entry.workload.clone(),
+            tuner: entry.tuner.clone(),
+            rng: entry.rng.clone(),
+            records,
+            saved_secs: entry.trained_secs - charged_secs,
+            saved_energy_j: entry.trained_energy_j - charged_energy,
+        })
+    }
+
+    /// Maps a raw per-run flush clock onto the cache's monotone LRU clock
+    /// (runs sharing one handle each restart their wall clock at zero).
+    fn monotone_now(&mut self, clock: f64) -> f64 {
+        if clock < self.last_clock {
+            self.lru_offset += self.last_clock;
+        }
+        self.last_clock = clock;
+        self.lru_offset + clock
+    }
+
+    /// Applies buffered sessions in the order given (callers pass
+    /// scheduler request order) at simulated flush time `clock`, then
+    /// enforces the capacity bound.
+    pub(crate) fn apply(&mut self, sessions: impl IntoIterator<Item = CacheSession>, clock: f64) {
+        let now = self.monotone_now(clock);
+        for session in sessions {
+            for event in session.events {
+                match event {
+                    CacheEvent::Hit { key, saved_secs } => {
+                        self.stats.hits += 1;
+                        self.stats.saved_secs += saved_secs;
+                        if let Some(entry) = self.entries.get_mut(&key) {
+                            entry.last_access = now;
+                        }
+                    }
+                    CacheEvent::Miss => self.stats.misses += 1,
+                    CacheEvent::Insert { key, entry } => {
+                        self.stats.inserts += 1;
+                        let mut entry = *entry;
+                        entry.last_access = now;
+                        entry.seq = self.next_seq;
+                        self.next_seq += 1;
+                        self.entries.insert(key, entry);
+                    }
+                }
+            }
+        }
+        while self.entries.len() > self.config.capacity.max(1) {
+            let victim = self
+                .entries
+                .iter()
+                .min_by(|a, b| {
+                    (a.1.last_access, a.1.seq)
+                        .partial_cmp(&(b.1.last_access, b.1.seq))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(k, _)| *k)
+                .expect("non-empty over-capacity cache");
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Serialises every persistable prefix to a JSON file, crash-safely:
+    /// the JSON goes to a unique temporary file in the destination
+    /// directory and is published with an atomic rename (the same pattern
+    /// as `pipetune_tsdb::Database::save`), so a crash mid-save leaves
+    /// either the previous file or the new one, never a truncated mix.
+    ///
+    /// Kernel (Type-III) prefixes carry internal solver state that cannot
+    /// be exported as parameters; they are skipped with no error. DNN
+    /// prefixes are stored as a reconstruction recipe — spec,
+    /// hyperparameters, instantiation seed, the full trained parameter
+    /// state (weights plus optimizer gradient/momentum buffers) and both
+    /// RNG streams — and resume bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::Tsdb`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), PipeTuneError> {
+        let entries: Vec<SavedEntry> = self
+            .entries
+            .iter()
+            .filter_map(|(key, entry)| {
+                let params = entry.workload.clone().export_params()?;
+                Some(SavedEntry {
+                    key: *key,
+                    spec: *entry.workload.spec(),
+                    hp: *entry.workload.hyperparams(),
+                    seed: entry.workload.instantiation_seed(),
+                    workload_rng: entry.workload.rng_state(),
+                    trial_rng: entry.rng.state(),
+                    params,
+                    tuner: entry.tuner.clone(),
+                    records: entry.records.clone(),
+                    trained_secs: entry.trained_secs,
+                    trained_energy_j: entry.trained_energy_j,
+                    last_access: entry.last_access,
+                    seq: entry.seq,
+                })
+            })
+            .collect();
+        let saved = SavedCache {
+            config: self.config,
+            entries,
+            next_seq: self.next_seq,
+            lru_offset: self.lru_offset,
+            last_clock: self.last_clock,
+        };
+        let json = serde_json::to_string(&saved)
+            .map_err(|e| PipeTuneError::Tsdb(TsdbError::Corrupt { reason: e.to_string() }))?;
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp_name = format!(
+            ".{}.{}.{}.tmp",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("epoch_cache"),
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        let tmp = match dir {
+            Some(d) => d.join(&tmp_name),
+            None => std::path::PathBuf::from(&tmp_name),
+        };
+        std::fs::write(&tmp, json).map_err(|e| PipeTuneError::Tsdb(TsdbError::Io(e)))?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(PipeTuneError::Tsdb(TsdbError::Io(e)));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a cache from a file written by [`EpochCache::save`]: each
+    /// entry's workload is re-instantiated from its spec, hyperparameters
+    /// and seed (deterministic), its trained parameter state imported and
+    /// both RNG streams restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::Tsdb`] on I/O or decode failures and
+    /// propagates workload reconstruction failures.
+    pub fn load(path: &Path) -> Result<Self, PipeTuneError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PipeTuneError::Tsdb(TsdbError::Io(e)))?;
+        let saved: SavedCache = serde_json::from_str(&text)
+            .map_err(|e| PipeTuneError::Tsdb(TsdbError::Corrupt { reason: e.to_string() }))?;
+        let mut cache = EpochCache::new(saved.config);
+        cache.next_seq = saved.next_seq;
+        cache.lru_offset = saved.lru_offset;
+        cache.last_clock = saved.last_clock;
+        for e in saved.entries {
+            let mut workload = e.spec.instantiate(&e.hp, e.seed)?;
+            workload.import_params(&e.params)?;
+            workload.restore_training_state(e.workload_rng, e.key.epochs);
+            cache.entries.insert(
+                e.key,
+                CacheEntry {
+                    workload,
+                    tuner: e.tuner,
+                    rng: StdRng::from_state(e.trial_rng),
+                    records: e.records,
+                    trained_secs: e.trained_secs,
+                    trained_energy_j: e.trained_energy_j,
+                    last_access: e.last_access,
+                    seq: e.seq,
+                },
+            );
+        }
+        Ok(cache)
+    }
+}
+
+/// On-disk form of one cached prefix: a deterministic reconstruction
+/// recipe rather than a deep model dump.
+#[derive(Debug, Serialize, Deserialize)]
+struct SavedEntry {
+    key: CacheKey,
+    spec: WorkloadSpec,
+    hp: HyperParams,
+    /// Workload instantiation seed (rebuilds datasets and model shape).
+    seed: u64,
+    /// The workload's internal training-RNG state after the prefix.
+    workload_rng: [u64; 4],
+    /// The trial's private RNG stream after the prefix.
+    trial_rng: [u64; 4],
+    /// Full trained parameter state: weights plus the optimizer's
+    /// gradient/momentum buffers, so resumed training is bit-identical.
+    params: Vec<pipetune_dnn::Param>,
+    tuner: SystemTuner,
+    records: Vec<EpochRecord>,
+    trained_secs: f64,
+    trained_energy_j: f64,
+    last_access: f64,
+    seq: u64,
+}
+
+/// On-disk form of a whole [`EpochCache`].
+#[derive(Debug, Serialize, Deserialize)]
+struct SavedCache {
+    config: EpochCacheConfig,
+    entries: Vec<SavedEntry>,
+    next_seq: u64,
+    lru_offset: f64,
+    last_clock: f64,
+}
+
+/// Cheap, cloneable entry point to a shared [`EpochCache`], threaded
+/// through [`crate::ExperimentEnv::with_epoch_cache`].
+///
+/// Disabled (the default) it is a `None`: every call is a branch and a
+/// return, so instrumented code paths are bypassed entirely and results
+/// stay bit-identical to builds without the cache. Enabled, all clones
+/// share one `RwLock`-guarded store; workers only ever take the read
+/// lock, and the executor's coordinator is the only writer (at batch
+/// boundaries, in request order).
+///
+/// ```
+/// use pipetune::{EpochCacheConfig, EpochCacheHandle};
+///
+/// let off = EpochCacheHandle::disabled();
+/// assert!(!off.is_enabled());
+/// let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+/// assert!(cache.is_enabled());
+/// assert_eq!(cache.stats().unwrap().hits, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpochCacheHandle {
+    inner: Option<Arc<parking_lot::RwLock<EpochCache>>>,
+}
+
+impl EpochCacheHandle {
+    /// A disabled handle: every operation is a no-op (the default).
+    pub fn disabled() -> Self {
+        EpochCacheHandle { inner: None }
+    }
+
+    /// A live handle over a fresh, empty cache.
+    pub fn new(config: EpochCacheConfig) -> Self {
+        EpochCacheHandle {
+            inner: Some(Arc::new(parking_lot::RwLock::new(EpochCache::new(config)))),
+        }
+    }
+
+    /// Wraps an existing store (e.g. one rebuilt by [`EpochCache::load`]).
+    pub fn from_cache(cache: EpochCache) -> Self {
+        EpochCacheHandle { inner: Some(Arc::new(parking_lot::RwLock::new(cache))) }
+    }
+
+    /// Whether lookups and inserts do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Behaviour counters; `None` when disabled.
+    pub fn stats(&self) -> Option<CacheStats> {
+        self.inner.as_ref().map(|c| c.read().stats())
+    }
+
+    /// Number of cached prefixes; `None` when disabled.
+    pub fn len(&self) -> Option<usize> {
+        self.inner.as_ref().map(|c| c.read().len())
+    }
+
+    /// Returns `true` when disabled or empty.
+    pub fn is_empty(&self) -> bool {
+        self.len().is_none_or(|n| n == 0)
+    }
+
+    /// Runs a closure against the read-locked store (inspection).
+    pub fn with_read<R>(&self, f: impl FnOnce(&EpochCache) -> R) -> Option<R> {
+        self.inner.as_ref().map(|c| f(&c.read()))
+    }
+
+    /// Read-only lookup safe to call concurrently from worker threads:
+    /// the deepest cached prefix for `fingerprint` not exceeding
+    /// `max_epochs`. Hit/miss accounting is deferred to the caller's
+    /// [`CacheSession`].
+    pub(crate) fn peek(&self, fingerprint: u64, max_epochs: u32) -> Option<CachedPrefix> {
+        self.inner.as_ref()?.read().peek(fingerprint, max_epochs)
+    }
+
+    /// Applies buffered sessions in the order given at simulated time
+    /// `clock` (coordinator only; no-op when disabled).
+    pub(crate) fn flush(&self, sessions: impl IntoIterator<Item = CacheSession>, clock: f64) {
+        if let Some(cache) = self.inner.as_ref() {
+            cache.write().apply(sessions, clock);
+        }
+    }
+
+    /// Persists the store ([`EpochCache::save`]); no-op when disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::Tsdb`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), PipeTuneError> {
+        match self.inner.as_ref() {
+            Some(cache) => cache.read().save(path),
+            None => Ok(()),
+        }
+    }
+
+    /// Loads a persisted store into a live handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::Tsdb`] on I/O or decode failures.
+    pub fn load(path: &Path) -> Result<Self, PipeTuneError> {
+        Ok(Self::from_cache(EpochCache::load(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::{EpochPhase, SystemTuner, TrialExecution};
+    use crate::{ExperimentEnv, ProbeGoal};
+    use pipetune_cluster::SystemConfig;
+    use rand::SeedableRng;
+
+    fn hp(batch: usize, epochs: u32) -> HyperParams {
+        HyperParams { batch_size: batch, epochs, ..HyperParams::default() }
+    }
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::lenet_mnist().with_scale(0.2)
+    }
+
+    /// Builds a real trained entry at `depth` epochs.
+    fn trained_entry(batch: usize, depth: u32, seed: u64) -> (CacheKey, CacheEntry) {
+        let env = ExperimentEnv::distributed(3);
+        let hp = hp(batch, 9);
+        let workload = spec().instantiate(&hp, seed).unwrap();
+        let mut exec = TrialExecution::new(workload, SystemTuner::Fixed(env.default_system));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
+        exec.run_epochs(&env, depth, None, 1.0, &mut rng).unwrap();
+        let key = CacheKey { fingerprint: fingerprint(&spec(), &hp), epochs: depth };
+        let entry = CacheEntry {
+            workload: exec.workload().clone(),
+            tuner: exec.tuner().clone(),
+            rng,
+            records: exec.records().to_vec(),
+            trained_secs: exec.duration_secs(),
+            trained_energy_j: exec.energy_j(),
+            last_access: 0.0,
+            seq: 0,
+        };
+        (key, entry)
+    }
+
+    fn insert_session(key: CacheKey, entry: CacheEntry) -> CacheSession {
+        CacheSession { events: vec![CacheEvent::Insert { key, entry: Box::new(entry) }] }
+    }
+
+    #[test]
+    fn fingerprint_ignores_epochs_but_separates_prefixes() {
+        let s = spec();
+        let a = fingerprint(&s, &hp(256, 3));
+        assert_eq!(a, fingerprint(&s, &hp(256, 27)));
+        assert_ne!(a, fingerprint(&s, &hp(512, 3)));
+        assert_ne!(
+            a,
+            fingerprint(&s, &HyperParams { dropout: 0.11, ..hp(256, 3) }),
+        );
+        assert_ne!(
+            a,
+            fingerprint(&s, &HyperParams { learning_rate: 0.011, ..hp(256, 3) }),
+        );
+        assert_ne!(
+            a,
+            fingerprint(&s, &HyperParams { embedding_dim: 48, ..hp(256, 3) }),
+        );
+        // Different workload / different scale → different dataset.
+        assert_ne!(a, fingerprint(&WorkloadSpec::lenet_fashion().with_scale(0.2), &hp(256, 3)));
+        assert_ne!(a, fingerprint(&WorkloadSpec::lenet_mnist(), &hp(256, 3)));
+    }
+
+    #[test]
+    fn peek_returns_deepest_prefix_within_budget() {
+        let mut cache = EpochCache::new(EpochCacheConfig::default());
+        let (k2, e2) = trained_entry(256, 2, 7);
+        let (k4, e4) = trained_entry(256, 4, 7);
+        cache.apply([insert_session(k2, e2), insert_session(k4, e4)], 10.0);
+        assert_eq!(cache.peek(k2.fingerprint, 9).unwrap().key.epochs, 4);
+        assert_eq!(cache.peek(k2.fingerprint, 3).unwrap().key.epochs, 2);
+        assert!(cache.peek(k2.fingerprint, 1).is_none());
+        assert!(cache.peek(k2.fingerprint ^ 1, 9).is_none());
+    }
+
+    #[test]
+    fn charged_records_cost_a_reload_fraction_and_track_savings() {
+        let config = EpochCacheConfig::default();
+        let mut cache = EpochCache::new(config);
+        let (k, e) = trained_entry(256, 3, 7);
+        let trained = e.trained_secs;
+        cache.apply([insert_session(k, e)], 1.0);
+        let prefix = cache.peek(k.fingerprint, 9).unwrap();
+        let charged: f64 = prefix.records.iter().map(|r| r.duration_secs).sum();
+        assert!(prefix.records.iter().all(|r| r.phase == EpochPhase::Cached));
+        assert!((charged - trained * config.reload_cost_factor).abs() < 1e-9);
+        assert!((prefix.saved_secs - (trained - charged)).abs() < 1e-9);
+        assert!(prefix.saved_secs > 0.0);
+    }
+
+    #[test]
+    fn adopting_an_adopted_prefix_never_discounts_twice() {
+        let config = EpochCacheConfig::default();
+        let mut cache = EpochCache::new(config);
+        let (k, e) = trained_entry(256, 2, 7);
+        cache.apply([insert_session(k, e)], 1.0);
+        let first = cache.peek(k.fingerprint, 9).unwrap();
+        // Re-insert the adopted (already charged) prefix as a new donor.
+        let donor = CacheEntry {
+            workload: first.workload.clone(),
+            tuner: first.tuner.clone(),
+            rng: first.rng.clone(),
+            records: first.records.clone(),
+            trained_secs: first.records.iter().map(|r| r.duration_secs).sum::<f64>()
+                + first.saved_secs,
+            trained_energy_j: 0.0,
+            last_access: 0.0,
+            seq: 0,
+        };
+        let k3 = CacheKey { epochs: 2, ..k };
+        cache.apply([insert_session(k3, donor)], 2.0);
+        let second = cache.peek(k.fingerprint, 9).unwrap();
+        // Cached-phase records are charged verbatim, not re-discounted.
+        for (a, b) in first.records.iter().zip(&second.records) {
+            assert_eq!(a.duration_secs.to_bits(), b.duration_secs.to_bits());
+        }
+        assert!((second.saved_secs - first.saved_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries_with_seq_tiebreak() {
+        let mut cache = EpochCache::new(EpochCacheConfig {
+            capacity: 2,
+            ..EpochCacheConfig::default()
+        });
+        let (k1, e1) = trained_entry(128, 1, 1);
+        let (k2, e2) = trained_entry(256, 1, 2);
+        cache.apply([insert_session(k1, e1)], 1.0);
+        cache.apply([insert_session(k2, e2)], 2.0);
+        // Touch k1 at t=3 so k2 becomes the LRU entry.
+        cache.apply(
+            [CacheSession { events: vec![CacheEvent::Hit { key: k1, saved_secs: 0.0 }] }],
+            3.0,
+        );
+        let (k3, e3) = trained_entry(512, 1, 3);
+        cache.apply([insert_session(k3, e3)], 4.0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let keys = cache.keys();
+        assert!(keys.contains(&k1), "recently hit entry survives");
+        assert!(keys.contains(&k3), "new entry survives");
+        assert!(!keys.contains(&k2), "stale entry evicted");
+
+        // Same-timestamp tie: the earlier seq goes first.
+        let mut cache = EpochCache::new(EpochCacheConfig {
+            capacity: 2,
+            ..EpochCacheConfig::default()
+        });
+        let (k1, e1) = trained_entry(128, 1, 1);
+        let (k2, e2) = trained_entry(256, 1, 2);
+        let (k3, e3) = trained_entry(512, 1, 3);
+        cache.apply([insert_session(k1, e1), insert_session(k2, e2)], 1.0);
+        cache.apply([insert_session(k3, e3)], 2.0);
+        assert!(!cache.keys().contains(&k1), "first-inserted entry evicted on tie");
+    }
+
+    #[test]
+    fn lru_clock_stays_monotone_across_runs() {
+        let mut cache = EpochCache::new(EpochCacheConfig {
+            capacity: 2,
+            ..EpochCacheConfig::default()
+        });
+        let (k1, e1) = trained_entry(128, 1, 1);
+        cache.apply([insert_session(k1, e1)], 100.0);
+        // A new run restarts its wall clock near zero; without the offset
+        // its entries would look *older* than the previous run's.
+        let (k2, e2) = trained_entry(256, 1, 2);
+        cache.apply([insert_session(k2, e2)], 5.0);
+        let (k3, e3) = trained_entry(512, 1, 3);
+        cache.apply([insert_session(k3, e3)], 6.0);
+        // k1 (monotone time 100) is LRU vs k2 (105) and k3 (106).
+        assert!(!cache.keys().contains(&k1));
+        assert!(cache.keys().contains(&k2) && cache.keys().contains(&k3));
+    }
+
+    #[test]
+    fn stats_account_hits_misses_inserts_and_savings() {
+        let mut cache = EpochCache::new(EpochCacheConfig::default());
+        let (k, e) = trained_entry(256, 2, 7);
+        cache.apply(
+            [
+                CacheSession { events: vec![CacheEvent::Miss] },
+                insert_session(k, e),
+                CacheSession {
+                    events: vec![CacheEvent::Hit { key: k, saved_secs: 12.5 }],
+                },
+            ],
+            1.0,
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts, stats.evictions), (1, 1, 1, 0));
+        assert!((stats.saved_secs - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_load_round_trip_resumes_deterministically() {
+        let mut cache = EpochCache::new(EpochCacheConfig::default());
+        let (k, e) = trained_entry(256, 3, 11);
+        cache.apply([insert_session(k, e)], 1.0);
+        let dir = std::env::temp_dir().join("pipetune_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        cache.save(&path).unwrap();
+        let loaded = EpochCache::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 1);
+        let a = cache.peek(k.fingerprint, 9).unwrap();
+        let b = loaded.peek(k.fingerprint, 9).unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.rng, b.rng, "trial RNG stream restored exactly");
+        assert_eq!(a.records.len(), b.records.len());
+        // The reconstructed workload continues identically to the live one:
+        // same held-out accuracy now and after one more epoch.
+        let mut wa = a.workload;
+        let mut wb = b.workload;
+        use crate::workload::EpochWorkload;
+        assert_eq!(wa.epochs_run(), wb.epochs_run());
+        assert_eq!(wa.accuracy().unwrap().to_bits(), wb.accuracy().unwrap().to_bits());
+        wa.run_epoch().unwrap();
+        wb.run_epoch().unwrap();
+        assert_eq!(wa.accuracy().unwrap().to_bits(), wb.accuracy().unwrap().to_bits());
+    }
+
+    #[test]
+    fn kernel_prefixes_are_skipped_on_save() {
+        let env = ExperimentEnv::distributed(3);
+        let hp = hp(256, 9);
+        let kspec = WorkloadSpec::jacobi().with_scale(0.2);
+        let workload = kspec.instantiate(&hp, 5).unwrap();
+        let mut exec =
+            TrialExecution::new(workload, SystemTuner::pipelined(ProbeGoal::Runtime));
+        let mut rng = StdRng::seed_from_u64(5);
+        exec.run_epochs(&env, 2, None, 1.0, &mut rng).unwrap();
+        let key = CacheKey { fingerprint: fingerprint(&kspec, &hp), epochs: 2 };
+        let entry = CacheEntry {
+            workload: exec.workload().clone(),
+            tuner: exec.tuner().clone(),
+            rng,
+            records: exec.records().to_vec(),
+            trained_secs: exec.duration_secs(),
+            trained_energy_j: exec.energy_j(),
+            last_access: 0.0,
+            seq: 0,
+        };
+        let mut cache = EpochCache::new(EpochCacheConfig::default());
+        cache.apply([insert_session(key, entry)], 1.0);
+        let dir = std::env::temp_dir().join("pipetune_cache_kernel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        cache.save(&path).unwrap();
+        let loaded = EpochCache::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 0, "kernel prefixes have no exportable weights");
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_knobs() {
+        assert!(EpochCacheConfig::default().validate().is_ok());
+        assert!(EpochCacheConfig { capacity: 0, ..EpochCacheConfig::default() }
+            .validate()
+            .is_err());
+        for bad in [0.0, 1.0, -0.5, f64::NAN] {
+            assert!(
+                EpochCacheConfig { reload_cost_factor: bad, ..EpochCacheConfig::default() }
+                    .validate()
+                    .is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = EpochCacheHandle::disabled();
+        assert!(!h.is_enabled());
+        assert!(h.stats().is_none());
+        assert!(h.len().is_none());
+        assert!(h.is_empty());
+        assert!(h.peek(1, 9).is_none());
+        h.flush([CacheSession::default()], 1.0);
+        assert!(h.save(Path::new("/nonexistent/never-written.json")).is_ok());
+        // SystemConfig only used via trained_entry; silence unused import
+        // warnings on cfg(test) paths.
+        let _ = SystemConfig::new(4, 4);
+    }
+
+    #[test]
+    fn handle_clones_share_one_store() {
+        let h = EpochCacheHandle::new(EpochCacheConfig::default());
+        let h2 = h.clone();
+        let (k, e) = trained_entry(256, 1, 3);
+        h.flush([insert_session(k, e)], 1.0);
+        assert_eq!(h2.len(), Some(1));
+        assert!(h2.peek(k.fingerprint, 9).is_some());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn hp_strategy() -> impl Strategy<Value = HyperParams> {
+            // Paper ranges, discretised enough that independently drawn
+            // configs frequently share a prefix — the overlap the cache
+            // exploits.
+            (
+                prop::sample::select(vec![32usize, 64, 128, 256, 512, 1024]),
+                prop::sample::select(vec![0.0f32, 0.1, 0.25, 0.5]),
+                prop::sample::select(vec![50usize, 100, 300]),
+                prop::sample::select(vec![0.001f32, 0.01, 0.1]),
+                1u32..=30,
+            )
+                .prop_map(|(batch_size, dropout, embedding_dim, learning_rate, epochs)| {
+                    HyperParams { batch_size, dropout, embedding_dim, learning_rate, epochs }
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The fingerprint is exactly the hyperparameter prefix: blind
+            /// to `epochs`, injective (modulo 64-bit collisions) in every
+            /// other field over the paper's grid.
+            #[test]
+            fn fingerprint_equality_is_prefix_equality(a in hp_strategy(), b in hp_strategy()) {
+                let spec = WorkloadSpec::lenet_mnist();
+                let same_prefix = a.batch_size == b.batch_size
+                    && a.dropout == b.dropout
+                    && a.embedding_dim == b.embedding_dim
+                    && a.learning_rate == b.learning_rate;
+                prop_assert_eq!(
+                    fingerprint(&spec, &a) == fingerprint(&spec, &b),
+                    same_prefix,
+                    "fingerprints must coincide exactly when the prefixes do: {:?} vs {:?}", a, b
+                );
+            }
+
+            /// For any population of trained prefixes with overlapping
+            /// hyperparameter prefixes, a lookup adopts the deepest cached
+            /// depth not exceeding the budget — never a deeper one, never
+            /// a shallower one when a deeper qualifying prefix exists.
+            #[test]
+            fn peek_always_adopts_the_deepest_affordable_prefix(
+                depths in prop::collection::btree_set(1u32..=12, 1..6),
+                others in prop::collection::vec((prop::sample::select(vec![64usize, 512]), 1u32..=12), 0..4),
+                budget in 1u32..=14,
+            ) {
+                let mut cache = EpochCache::new(EpochCacheConfig::default());
+                let mut session = CacheSession::default();
+                // One fingerprint with several depths...
+                for &d in &depths {
+                    let (k, e) = trained_entry(256, d, 7);
+                    session.events.push(CacheEvent::Insert { key: k, entry: Box::new(e) });
+                }
+                // ...plus unrelated prefixes that must never be adopted.
+                for &(batch, d) in &others {
+                    let (k, e) = trained_entry(batch, d, 7);
+                    session.events.push(CacheEvent::Insert { key: k, entry: Box::new(e) });
+                }
+                cache.apply([session], 1.0);
+                let fp = fingerprint(&spec(), &hp(256, 1));
+                let expect = depths.iter().copied().filter(|&d| d <= budget).max();
+                match (cache.peek(fp, budget), expect) {
+                    (Some(prefix), Some(d)) => {
+                        prop_assert_eq!(prefix.key.epochs, d);
+                        prop_assert_eq!(prefix.key.fingerprint, fp);
+                    }
+                    (None, None) => {}
+                    (got, want) => {
+                        return Err(TestCaseError::fail(format!(
+                            "peek budget {budget} over {depths:?}: got {:?}, want depth {want:?}",
+                            got.map(|p| p.key)
+                        )));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -53,6 +53,12 @@ pub struct ExperimentEnv {
     /// traces are byte-identical for every [`ExperimentEnv::workers`]
     /// count (see `docs/telemetry.md`).
     pub telemetry: TelemetryHandle,
+    /// Cross-trial epoch-reuse cache (see `docs/reuse.md`). Disabled by
+    /// default — a disabled handle bypasses every lookup/insert site and
+    /// leaves run results bit-identical to cache-free builds. Enable with
+    /// [`ExperimentEnv::with_epoch_cache`]; with the cache on, results are
+    /// byte-identical for every [`ExperimentEnv::workers`] count.
+    pub epoch_cache: crate::cache::EpochCacheHandle,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
 }
@@ -75,6 +81,7 @@ impl ExperimentEnv {
             profile_overhead: 0.02,
             sampled_profiling: false,
             telemetry: TelemetryHandle::disabled(),
+            epoch_cache: crate::cache::EpochCacheHandle::disabled(),
             seed,
         }
     }
@@ -100,6 +107,7 @@ impl ExperimentEnv {
             profile_overhead: 0.02,
             sampled_profiling: false,
             telemetry: TelemetryHandle::disabled(),
+            epoch_cache: crate::cache::EpochCacheHandle::disabled(),
             seed,
         }
     }
@@ -182,6 +190,26 @@ impl ExperimentEnv {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Installs an epoch-reuse cache handle. Fresh trials then resume from
+    /// the deepest cached hyperparameter-prefix match instead of training
+    /// from epoch 0; share one handle (or clones of it) across runs and
+    /// jobs to reuse prefixes between them (see `docs/reuse.md`).
+    ///
+    /// ```
+    /// use pipetune::{EpochCacheConfig, EpochCacheHandle, ExperimentEnv};
+    ///
+    /// let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+    /// let env = ExperimentEnv::distributed(42).with_epoch_cache(cache.clone());
+    /// assert!(env.epoch_cache.is_enabled());
+    /// // ... run a tuner against `env`, then:
+    /// assert_eq!(cache.stats().unwrap().hits, 0); // nothing ran yet
+    /// ```
+    #[must_use]
+    pub fn with_epoch_cache(mut self, cache: crate::cache::EpochCacheHandle) -> Self {
+        self.epoch_cache = cache;
         self
     }
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod baselines;
+mod cache;
 mod env;
 mod error;
 mod experiments;
@@ -53,6 +54,10 @@ mod tuner;
 mod workload;
 
 pub use baselines::{run_arbitrary, TuneV1, TuneV2};
+pub use cache::{
+    fingerprint as epoch_cache_fingerprint, CacheKey, CacheSession, CacheStats, EpochCache,
+    EpochCacheConfig, EpochCacheHandle,
+};
 pub use env::ExperimentEnv;
 pub use error::PipeTuneError;
 pub use pipetune_cluster::{FaultKind, FaultPlan, FaultReport, RetryPolicy};

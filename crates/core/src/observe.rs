@@ -29,6 +29,27 @@ pub const EPOCHS_TUNED: &str = "epochs.tuned";
 /// Counter: epochs that ran in [`crate::EpochPhase::Fixed`] (baselines).
 pub const EPOCHS_FIXED: &str = "epochs.fixed";
 
+/// Counter: epochs adopted from the epoch-reuse cache instead of being
+/// trained (never included in [`EPOCHS_TOTAL`], which counts only epochs
+/// that really executed).
+pub const EPOCHS_CACHED: &str = "epochs.cached";
+
+/// Counter: epoch-reuse cache lookups that adopted a cached prefix.
+pub const CACHE_HITS: &str = "cache.hit";
+
+/// Counter: epoch-reuse cache lookups that fell through to a cold start.
+pub const CACHE_MISSES: &str = "cache.miss";
+
+/// Counter: epoch prefixes inserted into the epoch-reuse cache.
+pub const CACHE_INSERTS: &str = "cache.insert";
+
+/// Counter: cache entries evicted by the LRU-by-simulated-time policy.
+pub const CACHE_EVICTIONS: &str = "cache.evict";
+
+/// Gauge: simulated epoch-seconds the epoch-reuse cache saved over the
+/// most recent job (unset until the first job with a cache hit finishes).
+pub const CACHE_SAVED_SECS: &str = "cache.saved_secs";
+
 /// Counter: probe measurements kept (lost counter reads excluded).
 pub const PROBE_COUNT: &str = "probe.count";
 

@@ -25,10 +25,12 @@ use pipetune_telemetry::{EventKind, SpanId, SpanKind, COUNT_BUCKETS, RATIO_BUCKE
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cache::{self, CacheEntry, CacheEvent, CacheKey, CacheSession, CacheStats};
 use crate::groundtruth::{GroundTruthAccess, GtSession, SharedGroundTruth};
 use crate::objective::Objective;
 use crate::observe;
 use crate::trial::{SystemTuner, TrialExecution};
+use crate::workload::EpochWorkload;
 use crate::{ExperimentEnv, GroundTruth, HyperParams, PipeTuneError, WorkloadSpec};
 
 /// Completion record for one trial request (one scheduler rung's worth of
@@ -122,6 +124,9 @@ pub(crate) struct RunResult {
     /// Faults injected and recovered from over the whole run (clean when
     /// the environment's fault plan is empty).
     pub fault_report: FaultReport,
+    /// Epoch-reuse cache activity this run added (all-zero when the
+    /// environment's cache handle is disabled).
+    pub cache_stats: CacheStats,
 }
 
 /// One trial's executor-side state: the live execution plus its private RNG.
@@ -167,6 +172,9 @@ struct ItemResult<'s, 'a> {
     /// `Some(attempts)` when the trial exhausted its retry budget this
     /// rung and was abandoned (its score is already `NEG_INFINITY`).
     abandoned: Option<u32>,
+    /// Buffered epoch-reuse cache events (`None` when the cache is
+    /// disabled); the coordinator flushes them in request order.
+    cache_session: Option<CacheSession>,
 }
 
 /// Trains one work item to completion (worker-thread body).
@@ -179,28 +187,61 @@ fn execute_item<'s, 'a>(
     item: WorkItem,
 ) -> Result<ItemResult<'s, 'a>, PipeTuneError> {
     let WorkItem { req, slot, tuner } = item;
+    let was_resumed = slot.is_some();
+    let mut cache_session =
+        if env.epoch_cache.is_enabled() { Some(CacheSession::default()) } else { None };
+    // Epochs already covered by an adopted cache prefix (fresh trials only).
+    let mut adopted_epochs = 0u32;
     let mut slot = match slot {
         Some(s) => s,
         None => {
             let hp = HyperParams::from_config(&req.config);
-            let workload = spec.instantiate(&hp, env.subseed(req.id.0))?;
-            TrialSlot {
-                exec: TrialExecution::new(
-                    workload,
-                    tuner.expect("fresh trials carry a tuner"),
-                )
-                .with_trial_id(req.id.0),
-                rng: trial_rng(env, req.id),
+            let mut rng = trial_rng(env, req.id);
+            // Fresh trial: consult the epoch-reuse cache for the deepest
+            // prefix within this rung's budget. `peek` is read-only — the
+            // hit/miss bookkeeping is buffered in `cache_session` and
+            // applied by the coordinator in request order.
+            let fp = cache_session.as_ref().map(|_| cache::fingerprint(spec, &hp));
+            match fp.and_then(|fp| env.epoch_cache.peek(fp, req.epochs)) {
+                Some(prefix) => {
+                    let session = cache_session.as_mut().expect("cache enabled on hit");
+                    session.events.push(CacheEvent::Hit {
+                        key: prefix.key,
+                        saved_secs: prefix.saved_secs,
+                    });
+                    adopted_epochs = prefix.key.epochs;
+                    let exec =
+                        TrialExecution::from_cached_prefix(env, prefix, req.id.0, &mut rng);
+                    TrialSlot { exec, rng }
+                }
+                None => {
+                    let workload = spec.instantiate(&hp, env.subseed(req.id.0))?;
+                    let mut exec = TrialExecution::new(
+                        workload,
+                        tuner.expect("fresh trials carry a tuner"),
+                    )
+                    .with_trial_id(req.id.0);
+                    if let Some(session) = cache_session.as_mut() {
+                        session.events.push(CacheEvent::Miss);
+                        exec.note_cache_miss(env);
+                    }
+                    TrialSlot { exec, rng }
+                }
             }
         }
     };
     let mut session = shared.map(SharedGroundTruth::session);
-    let secs_before = slot.exec.duration_secs();
-    let energy_before = slot.exec.energy_j();
+    // A fresh trial that adopted a prefix already carries the charged
+    // reload time; the whole of it belongs to this rung's slot occupancy.
+    let (secs_before, energy_before) = if was_resumed {
+        (slot.exec.duration_secs(), slot.exec.energy_j())
+    } else {
+        (0.0, 0.0)
+    };
     let faults_before = slot.exec.fault_report();
     let run = slot.exec.run_epochs(
         env,
-        req.epochs,
+        req.epochs - adopted_epochs,
         session.as_mut().map(|s| s as &mut dyn GroundTruthAccess),
         contention,
         &mut slot.rng,
@@ -221,6 +262,33 @@ fn execute_item<'s, 'a>(
     let delta_secs = slot.exec.duration_secs() - secs_before;
     let delta_energy = slot.exec.energy_j() - energy_before;
     let faults = slot.exec.fault_report().delta_since(&faults_before);
+    if abandoned.is_none() {
+        if let Some(cache_session) = cache_session.as_mut() {
+            // Remember this trial's state at its new depth. Totals are
+            // *trained-equivalent*: charged time plus whatever this trial
+            // itself saved by adoption, so chained adoption never compounds
+            // the reload discount.
+            let exec = &slot.exec;
+            let key = CacheKey {
+                fingerprint: cache::fingerprint(
+                    exec.workload().spec(),
+                    exec.workload().hyperparams(),
+                ),
+                epochs: exec.workload().epochs_run(),
+            };
+            cache_session.events.push(CacheEvent::Insert {
+                key,
+                entry: Box::new(CacheEntry::new(
+                    exec.workload().clone(),
+                    exec.tuner().clone(),
+                    slot.rng.clone(),
+                    exec.records().to_vec(),
+                    exec.duration_secs() + exec.cache_saved_secs(),
+                    exec.energy_j() + exec.cache_saved_energy_j(),
+                )),
+            });
+        }
+    }
     Ok(ItemResult {
         id: req.id,
         slot,
@@ -232,6 +300,7 @@ fn execute_item<'s, 'a>(
         delta_energy,
         faults,
         abandoned,
+        cache_session,
     })
 }
 
@@ -263,6 +332,7 @@ where
     F: FnMut(&Config) -> SystemTuner,
 {
     let shared: Option<SharedGroundTruth<'_>> = ground_truth.map(SharedGroundTruth::new);
+    let cache_stats_before = env.epoch_cache.stats().unwrap_or_default();
     let telemetry = &env.telemetry;
     let run_span = telemetry.open_span(
         SpanId::NONE,
@@ -361,6 +431,7 @@ where
         let mut durations = Vec::with_capacity(n);
         let mut reports = Vec::with_capacity(n);
         let mut sessions: Vec<GtSession<'_, '_>> = Vec::new();
+        let mut cache_sessions: Vec<CacheSession> = Vec::new();
         for cell in results {
             let mut item = cell.into_inner().expect("every item executed")?;
             durations.push(item.delta_secs);
@@ -394,6 +465,7 @@ where
             }
             reports.push((item.id, item.accuracy, item.score, item.abandoned));
             sessions.extend(item.session);
+            cache_sessions.extend(item.cache_session);
             if item.abandoned.is_none() {
                 trials.insert(item.id, item.slot);
             }
@@ -466,6 +538,12 @@ where
             scheduler.report(TrialReport { id: *id, score: *score, epochs_run: 0 });
         }
         clock += makespan;
+        // Cache mutations land at the post-batch clock, in request order —
+        // same discipline as the ground-truth flush above, so contents and
+        // LRU stamps never depend on worker timing.
+        if !cache_sessions.is_empty() {
+            env.epoch_cache.flush(cache_sessions, clock);
+        }
         telemetry.close_span(batch_span, clock);
         telemetry.close_span(rung_span, clock);
     }
@@ -489,6 +567,19 @@ where
     telemetry.gauge_set(cluster_observe::FAULTS_WASTED_SECS, fault_report.wasted_epoch_secs);
     telemetry
         .gauge_set(cluster_observe::FAULTS_RECOVERY_SECS, fault_report.recovery_overhead_secs);
+    let cache_stats =
+        env.epoch_cache.stats().unwrap_or_default().delta_since(&cache_stats_before);
+    if env.epoch_cache.is_enabled() {
+        telemetry.with_metrics(|m| {
+            m.counter_add(observe::CACHE_HITS, cache_stats.hits);
+            m.counter_add(observe::CACHE_MISSES, cache_stats.misses);
+            m.counter_add(observe::CACHE_INSERTS, cache_stats.inserts);
+            m.counter_add(observe::CACHE_EVICTIONS, cache_stats.evictions);
+        });
+        if cache_stats.hits > 0 {
+            telemetry.gauge_set(observe::CACHE_SAVED_SECS, cache_stats.saved_secs);
+        }
+    }
     telemetry.close_span(run_span, clock);
 
     let best_trial = &mut trials.get_mut(&best_id).expect("best trial exists").exec;
@@ -510,6 +601,7 @@ where
         epochs_total: scheduler.epochs_issued(),
         outcomes,
         fault_report,
+        cache_stats,
     })
 }
 

@@ -11,6 +11,7 @@
 use pipetune_cluster::{FaultKind, FaultReport, SystemConfig};
 use pipetune_telemetry::{EventKind, SpanKind, TelemetryBuffer, DURATION_BUCKETS_SECS};
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 
 use crate::groundtruth::GroundTruthAccess;
 use crate::objective::ProbeGoal;
@@ -19,7 +20,7 @@ use crate::workload::EpochWorkload;
 use crate::{ExperimentEnv, PipeTuneError, WorkloadInstance};
 
 /// Which phase of Algorithm 1 an epoch executed in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EpochPhase {
     /// First epoch: running under the default configuration while the
     /// profiler collects counters.
@@ -32,6 +33,10 @@ pub enum EpochPhase {
     Tuned,
     /// Fixed-policy epoch (baselines).
     Fixed,
+    /// Adopted from the epoch-reuse cache: the epoch was trained by an
+    /// earlier trial and reloaded here at a fraction of the cost (see
+    /// `docs/reuse.md`).
+    Cached,
 }
 
 impl EpochPhase {
@@ -43,6 +48,7 @@ impl EpochPhase {
             EpochPhase::Probe => "probe",
             EpochPhase::Tuned => "tuned",
             EpochPhase::Fixed => "fixed",
+            EpochPhase::Cached => "cached",
         }
     }
 }
@@ -54,11 +60,14 @@ fn phase_counter(phase: EpochPhase) -> &'static str {
         EpochPhase::Probe => observe::EPOCHS_PROBE,
         EpochPhase::Tuned | EpochPhase::Reused => observe::EPOCHS_TUNED,
         EpochPhase::Fixed => observe::EPOCHS_FIXED,
+        // Cached epochs never execute, so they never reach the per-epoch
+        // recording path; they are counted in EPOCHS_CACHED at adoption.
+        EpochPhase::Cached => observe::EPOCHS_CACHED,
     }
 }
 
 /// One executed epoch.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochRecord {
     /// 1-based epoch index within the trial.
     pub epoch: u32,
@@ -75,7 +84,7 @@ pub struct EpochRecord {
 }
 
 /// The per-trial system-parameter policy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum SystemTuner {
     /// Run every epoch with one fixed configuration (Tune V1/V2, Arbitrary).
     Fixed(SystemConfig),
@@ -102,7 +111,7 @@ pub enum SystemTuner {
 }
 
 /// Coordinate-probing progress.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProbePhase {
     /// Sweeping candidate core counts at the default memory size.
     Cores,
@@ -171,6 +180,8 @@ pub struct TrialExecution {
     trial_id: u64,
     faults: FaultReport,
     telemetry: TelemetryBuffer,
+    cache_saved_secs: f64,
+    cache_saved_energy_j: f64,
 }
 
 impl TrialExecution {
@@ -185,6 +196,8 @@ impl TrialExecution {
             trial_id: 0,
             faults: FaultReport::default(),
             telemetry: TelemetryBuffer::disabled(),
+            cache_saved_secs: 0.0,
+            cache_saved_energy_j: 0.0,
         }
     }
 
@@ -269,6 +282,102 @@ impl TrialExecution {
     /// Accumulated trial energy, joules.
     pub fn energy_j(&self) -> f64 {
         self.total_energy_j
+    }
+
+    /// Simulated epoch time the epoch-reuse cache saved this trial (zero
+    /// unless a cached prefix was adopted).
+    pub fn cache_saved_secs(&self) -> f64 {
+        self.cache_saved_secs
+    }
+
+    /// Energy analogue of [`TrialExecution::cache_saved_secs`].
+    pub fn cache_saved_energy_j(&self) -> f64 {
+        self.cache_saved_energy_j
+    }
+
+    /// Builds a trial directly from an adopted epoch-reuse-cache prefix:
+    /// the trial's workload, tuner, RNG stream and epoch log are the
+    /// donor's, with the prefix's epochs charged at reload cost. Emits the
+    /// cached epoch spans, the `EPOCHS_CACHED` counter and a hit
+    /// `cache_lookup` event on the trial buffer (cached epochs never touch
+    /// `EPOCHS_TOTAL`, the epoch-duration histogram or the energy meter —
+    /// they did not execute).
+    pub(crate) fn from_cached_prefix(
+        env: &ExperimentEnv,
+        prefix: crate::cache::CachedPrefix,
+        trial_id: u64,
+        rng: &mut StdRng,
+    ) -> Self {
+        let crate::cache::CachedPrefix {
+            key,
+            workload,
+            tuner,
+            rng: prefix_rng,
+            records,
+            saved_secs,
+            saved_energy_j,
+        } = prefix;
+        let mut exec = TrialExecution::new(workload, tuner).with_trial_id(trial_id);
+        *rng = prefix_rng;
+        exec.cache_saved_secs = saved_secs;
+        exec.cache_saved_energy_j = saved_energy_j;
+        for r in &records {
+            exec.total_secs += r.duration_secs;
+            exec.total_energy_j += r.energy_j;
+        }
+        if env.telemetry.is_enabled() {
+            exec.telemetry.enable();
+            let mut at = 0.0;
+            for r in &records {
+                at += r.duration_secs;
+                exec.telemetry.push_span(
+                    SpanKind::Epoch,
+                    format!("epoch {} (cached)", r.epoch),
+                    None,
+                    at - r.duration_secs,
+                    at,
+                    vec![
+                        ("epoch", r.epoch.into()),
+                        ("phase", EpochPhase::Cached.name().into()),
+                        ("cores", r.system.cores.into()),
+                        ("memory_gb", r.system.memory_gb.into()),
+                        ("freq_mhz", r.system.freq_mhz.into()),
+                        ("energy_j", r.energy_j.into()),
+                        ("train_score", r.train_score.into()),
+                    ],
+                );
+            }
+            let adopted = records.len() as u64;
+            exec.telemetry.with_metrics(|m| {
+                m.counter_add(observe::EPOCHS_CACHED, adopted);
+            });
+            exec.telemetry.push_event(
+                EventKind::CacheLookup,
+                None,
+                exec.total_secs,
+                vec![
+                    ("hit", true.into()),
+                    ("epochs", key.epochs.into()),
+                    ("saved_secs", saved_secs.into()),
+                ],
+            );
+        }
+        exec.records = records;
+        exec
+    }
+
+    /// Records a miss `cache_lookup` event on the trial buffer (fresh
+    /// trial consulted the epoch-reuse cache and found no usable prefix).
+    pub(crate) fn note_cache_miss(&mut self, env: &ExperimentEnv) {
+        if env.telemetry.is_enabled() {
+            self.telemetry.enable();
+            self.telemetry.push_event(
+                EventKind::CacheLookup,
+                None,
+                self.total_secs,
+                vec![("hit", false.into())],
+            );
+        }
     }
 
     /// Current held-out accuracy.

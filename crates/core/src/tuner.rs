@@ -114,6 +114,10 @@ pub struct TuningOutcome {
     /// Faults injected and recovered from during the job (clean when the
     /// environment's fault plan is empty).
     pub fault_report: pipetune_cluster::FaultReport,
+    /// Epoch-reuse cache behaviour during this job (all-zero when
+    /// [`ExperimentEnv::epoch_cache`] is disabled); `saved_secs` is the
+    /// simulated epoch time adoption avoided (see `docs/reuse.md`).
+    pub cache_stats: crate::CacheStats,
 }
 
 impl TuningOutcome {
@@ -256,6 +260,7 @@ impl PipeTune {
             model_weights: result.best_weights,
             best_trial_id: result.best_trial_id,
             fault_report: result.fault_report,
+            cache_stats: result.cache_stats,
             gt_stats: GroundTruthStats {
                 recorded: stats_after.recorded - stats_before.recorded,
                 hits: stats_after.hits - stats_before.hits,

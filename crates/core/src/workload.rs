@@ -132,6 +132,13 @@ impl WorkloadSpec {
         self
     }
 
+    /// The dataset-scale multiplier's exact bit pattern (epoch-reuse cache
+    /// fingerprinting: two specs train the same dataset iff the name and
+    /// these bits agree).
+    pub(crate) fn scale_bits(&self) -> u32 {
+        self.scale.to_bits()
+    }
+
     /// Workload name as printed in the paper's figures.
     pub fn name(&self) -> &'static str {
         match self.kind {
@@ -325,7 +332,7 @@ impl WorkloadSpec {
             momentum: 0.9,
             weight_decay: 0.0,
         };
-        Ok(WorkloadInstance { spec: *self, hp: *hp, train_cfg, inner, rng, epochs_run: 0 })
+        Ok(WorkloadInstance { spec: *self, hp: *hp, train_cfg, inner, rng, epochs_run: 0, seed })
     }
 }
 
@@ -427,6 +434,9 @@ pub struct WorkloadInstance {
     inner: InstanceKind,
     rng: StdRng,
     epochs_run: u32,
+    /// The seed [`WorkloadSpec::instantiate`] was called with — kept so the
+    /// epoch-reuse cache can persist an instance as a reconstruction recipe.
+    seed: u64,
 }
 
 impl WorkloadInstance {
@@ -438,6 +448,68 @@ impl WorkloadInstance {
     /// The hyperparameters in effect.
     pub fn hyperparams(&self) -> &HyperParams {
         &self.hp
+    }
+
+    /// The seed this instance was built with (cache persistence recipe).
+    pub(crate) fn instantiation_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The training RNG's raw state (cache persistence recipe).
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the training RNG stream and epoch counter captured by
+    /// [`WorkloadInstance::rng_state`] / [`EpochWorkload::epochs_run`] on a
+    /// freshly re-instantiated instance (cache load path). Model state is
+    /// restored separately via [`WorkloadInstance::import_params`].
+    pub(crate) fn restore_training_state(&mut self, rng_state: [u64; 4], epochs_run: u32) {
+        self.rng = StdRng::from_state(rng_state);
+        self.epochs_run = epochs_run;
+    }
+
+    /// Snapshots the full trainable parameter state — weights plus the
+    /// optimizer's gradient/momentum buffers — of a DNN workload (`None`
+    /// for kernels). Restoring this snapshot resumes training bit for
+    /// bit, which the epoch-cache persistence path requires; contrast
+    /// [`WorkloadInstance::export_weights`], which captures values only.
+    pub(crate) fn export_params(&mut self) -> Option<Vec<pipetune_dnn::Param>> {
+        match &mut self.inner {
+            InstanceKind::Dnn { model, .. } => Some(match model {
+                AnyModel::LeNet(m) => m.export_params(),
+                AnyModel::TextCnn(m) => m.export_params(),
+                AnyModel::Lstm(m) => m.export_params(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Restores parameter state exported by
+    /// [`WorkloadInstance::export_params`] on an identically-configured
+    /// instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipeTuneError::Dnn`] on kernels or shape mismatches.
+    pub(crate) fn import_params(
+        &mut self,
+        params: &[pipetune_dnn::Param],
+    ) -> Result<(), PipeTuneError> {
+        match &mut self.inner {
+            InstanceKind::Dnn { model, .. } => {
+                match model {
+                    AnyModel::LeNet(m) => m.import_params(params)?,
+                    AnyModel::TextCnn(m) => m.import_params(params)?,
+                    AnyModel::Lstm(m) => m.import_params(params)?,
+                }
+                Ok(())
+            }
+            _ => Err(PipeTuneError::Dnn(pipetune_dnn::DnnError::WrongFeatureKind {
+                expected: "image or token",
+                actual: "kernel",
+            })),
+        }
     }
 
     /// Snapshots the current model's trainable weights (DNN workloads only;

@@ -175,6 +175,70 @@ pub trait Model {
         }
         Ok(())
     }
+
+    /// Snapshots every trainable parameter *with* its optimizer state
+    /// (gradient accumulator, momentum velocity and any second-moment
+    /// buffer), in visitation order. Unlike [`Model::export_weights`],
+    /// which captures values only, restoring this snapshot resumes
+    /// training bit for bit.
+    fn export_params(&mut self) -> Vec<crate::Param>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p: &mut crate::Param| out.push(p.clone()));
+        out
+    }
+
+    /// Restores full parameter state from a snapshot taken by
+    /// [`Model::export_params`] on an identically-shaped model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] when the snapshot has the wrong
+    /// parameter count or any tensor has the wrong shape; on error the
+    /// model is left partially updated and should be discarded.
+    fn import_params(&mut self, params: &[crate::Param]) -> Result<(), DnnError>
+    where
+        Self: Sized,
+    {
+        let mut idx = 0usize;
+        let mut error: Option<DnnError> = None;
+        self.visit_params(&mut |p: &mut crate::Param| {
+            if error.is_some() {
+                return;
+            }
+            match params.get(idx) {
+                Some(saved) if saved.value().shape() == p.value().shape() => {
+                    *p = saved.clone();
+                }
+                Some(saved) => {
+                    error = Some(DnnError::InvalidConfig {
+                        reason: format!(
+                            "param {idx} shape {:?} does not match {:?}",
+                            saved.value().shape().dims(),
+                            p.value().shape().dims()
+                        ),
+                    });
+                }
+                None => {
+                    error = Some(DnnError::InvalidConfig {
+                        reason: format!("snapshot ends at {idx} parameters"),
+                    });
+                }
+            }
+            idx += 1;
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if idx != params.len() {
+            return Err(DnnError::InvalidConfig {
+                reason: format!("snapshot has {} parameters, model has {idx}", params.len()),
+            });
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,8 @@
 //! assert!(joules > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod observe;
 mod pdu;
 mod power;

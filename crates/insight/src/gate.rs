@@ -80,6 +80,9 @@ impl GateConfig {
         tolerances.insert("energy_reduction_vs_v1".into(), Tolerance::higher(0.10));
         tolerances.insert("final_accuracy".into(), Tolerance::higher(0.02));
         tolerances.insert("tuning_secs.pipetune".into(), Tolerance::lower(0.05));
+        // Epoch-reuse cache headline: a warm (pre-populated) cache must
+        // keep tuning measurably faster than the cold run.
+        tolerances.insert("warm_speedup".into(), Tolerance::higher(0.05));
         // Multi-tenant headline metrics (per scheduling policy): response
         // times must not degrade.
         tolerances.insert("mean_response_secs".into(), Tolerance::lower(0.05));

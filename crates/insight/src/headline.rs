@@ -130,6 +130,43 @@ pub fn headline_metrics(
     metrics
 }
 
+/// Computes the epoch-reuse cache headline for one workload: a cold run
+/// (empty cache) against a warm rerun over the cache the cold run filled.
+///
+/// Keys are prefixed `"cache.{workload_key}."`. `warm_speedup`
+/// (`cold_secs / warm_secs`, the gated metric) is only emitted when both
+/// durations are positive, mirroring [`headline_metrics`]' NaN hygiene.
+///
+/// # Example
+///
+/// ```
+/// use pipetune_insight::cache_speedup_metrics;
+///
+/// let m = cache_speedup_metrics("lenet_mnist", 100.0, 80.0, 20.0);
+/// assert_eq!(m["cache.lenet_mnist.warm_speedup"], 1.25);
+/// assert_eq!(m["cache.lenet_mnist.saved_secs"], 20.0);
+/// ```
+pub fn cache_speedup_metrics(
+    workload_key: &str,
+    cold_secs: f64,
+    warm_secs: f64,
+    saved_secs: f64,
+) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    let mut put = |name: &str, value: f64| {
+        if value.is_finite() {
+            metrics.insert(format!("cache.{workload_key}.{name}"), value);
+        }
+    };
+    put("cold_secs", cold_secs);
+    put("warm_secs", warm_secs);
+    put("saved_secs", saved_secs);
+    if cold_secs > 0.0 && warm_secs > 0.0 {
+        put("warm_speedup", cold_secs / warm_secs);
+    }
+    metrics
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -62,7 +62,9 @@ pub use diff::TraceDiff;
 pub use gate::{
     check, BenchReport, Direction, GateConfig, GateOutcome, MetricCheck, Tolerance, Verdict,
 };
-pub use headline::{best_accuracy, headline_metrics, total_energy_j, tuning_secs};
+pub use headline::{
+    best_accuracy, cache_speedup_metrics, headline_metrics, total_energy_j, tuning_secs,
+};
 pub use multitenant::{
     multitenant_metrics, response_stats, service_fault_metrics, ResponseStats,
 };

@@ -31,6 +31,13 @@ fn attr_f64(attrs: &Attrs, key: &str) -> Option<f64> {
     attr(attrs, key).and_then(AttrValue::as_field)
 }
 
+fn attr_bool(attrs: &Attrs, key: &str) -> Option<bool> {
+    match attr(attrs, key) {
+        Some(AttrValue::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
 /// A closed span's duration; `None` while the span is still open.
 fn duration(span: &Span) -> Option<f64> {
     (span.start_secs.is_finite() && span.end_secs.is_finite())
@@ -128,6 +135,15 @@ pub struct RunReport {
     /// with unlimited slots. `wall − critical_path` is scheduling
     /// headroom; `critical_path` is the part only faster trials can fix.
     pub critical_path_secs: f64,
+    /// Epoch-reuse cache lookups that adopted a cached prefix (from the
+    /// run's `cache_lookup` events; 0 for cache-less runs).
+    pub cache_hits: u64,
+    /// Epoch-reuse cache lookups that fell through to a cold start.
+    pub cache_misses: u64,
+    /// Simulated epoch-seconds the cache saved the run, summed over its
+    /// hit events (trained cost of the adopted prefixes minus the charged
+    /// reload cost).
+    pub cache_saved_secs: f64,
     /// The run's slowest trials, longest first (ties broken by span
     /// index), capped at [`RunReport::MAX_STRAGGLERS`].
     pub stragglers: Vec<Straggler>,
@@ -232,17 +248,31 @@ impl TraceReport {
                     *phases.secs.entry(phase.to_string()).or_insert(0.0) += d;
                 }
             }
+            let mut cache_hits = 0u64;
+            let mut cache_misses = 0u64;
+            let mut cache_saved_secs = 0.0f64;
             for event in &snapshot.events {
-                if event.kind != EventKind::Fault {
-                    continue;
-                }
                 let Some(owner) = event.span else { continue };
                 if !member(owner as usize) {
                     continue;
                 }
-                phases.retry_overhead_secs += attr_f64(&event.attrs, "wasted_secs")
-                    .unwrap_or(0.0)
-                    + attr_f64(&event.attrs, "backoff_secs").unwrap_or(0.0);
+                match event.kind {
+                    EventKind::Fault => {
+                        phases.retry_overhead_secs += attr_f64(&event.attrs, "wasted_secs")
+                            .unwrap_or(0.0)
+                            + attr_f64(&event.attrs, "backoff_secs").unwrap_or(0.0);
+                    }
+                    EventKind::CacheLookup => {
+                        if attr_bool(&event.attrs, "hit") == Some(true) {
+                            cache_hits += 1;
+                            cache_saved_secs +=
+                                attr_f64(&event.attrs, "saved_secs").unwrap_or(0.0);
+                        } else {
+                            cache_misses += 1;
+                        }
+                    }
+                    _ => {}
+                }
             }
 
             // Trials, grouped by owning rung.
@@ -328,6 +358,9 @@ impl TraceReport {
                 phases,
                 rungs,
                 critical_path_secs,
+                cache_hits,
+                cache_misses,
+                cache_saved_secs,
                 stragglers,
                 trial_stats: duration_stats(&db, "trial_secs"),
                 epoch_stats: duration_stats(&db, "epoch_secs"),
@@ -387,6 +420,16 @@ impl TraceReport {
                 run.phases.retry_overhead_secs,
                 100.0 * run.phases.retry_overhead_secs / total
             );
+            if run.cache_hits + run.cache_misses > 0 {
+                let _ = writeln!(
+                    out,
+                    "  epoch cache: {} hit(s), {} miss(es) | saved {:.3}s ({:.1}% of wall)",
+                    run.cache_hits,
+                    run.cache_misses,
+                    run.cache_saved_secs,
+                    percent(run.cache_saved_secs, run.wall_secs + run.cache_saved_secs),
+                );
+            }
             let _ = writeln!(out, "  rungs:");
             for rung in &run.rungs {
                 let critical = rung.critical_trial.as_ref().map_or_else(

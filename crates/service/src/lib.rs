@@ -32,6 +32,25 @@
 //!   and the chaos sweep in `tests/service_chaos.rs`).
 //!
 //! See `docs/multitenancy.md` for the design narrative.
+//!
+//! # Example
+//!
+//! ```
+//! use pipetune::{ExperimentEnv, TunerOptions, WorkloadSpec};
+//! use pipetune_service::{JobSubmission, SchedulingPolicy, ServiceConfig, TuningService};
+//!
+//! let service = TuningService::new(
+//!     ServiceConfig::default().with_policy(SchedulingPolicy::ProcessorSharing),
+//! );
+//! let outcome = service.run(
+//!     &ExperimentEnv::distributed(41).with_workers(1),
+//!     &[JobSubmission::new(0.0, WorkloadSpec::lenet_mnist())],
+//!     &TunerOptions::fast(),
+//! )?;
+//! assert_eq!(outcome.jobs.len(), 1);
+//! assert!(outcome.mean_response_secs > 0.0);
+//! # Ok::<(), pipetune::PipeTuneError>(())
+//! ```
 
 #![warn(missing_docs)]
 

@@ -49,7 +49,9 @@
 
 use std::collections::BTreeMap;
 
-use pipetune::{ExperimentEnv, PipeTune, PipeTuneError, TunerOptions};
+use pipetune::{
+    EpochCacheConfig, EpochCacheHandle, ExperimentEnv, PipeTune, PipeTuneError, TunerOptions,
+};
 use pipetune_cluster::{
     ChurnKind, FaultReport, ServiceFaultPlan, ServiceFaultReport, SlotPool, SlotPoolError,
 };
@@ -84,6 +86,19 @@ pub struct ServiceConfig {
     /// amortisation: later tenants skip probing for families seen
     /// earlier). When false every job tunes cold.
     pub share_ground_truth: bool,
+    /// Per-job opt-in for the epoch-reuse cache: each admitted job runs
+    /// with its own [`EpochCacheConfig`]-sized cache, so repeated
+    /// hyperparameter prefixes inside one tuning run resume instead of
+    /// retraining. `None` (the default) keeps every run byte-identical to
+    /// cache-less builds.
+    pub epoch_cache: Option<EpochCacheConfig>,
+    /// Share one epoch cache across the whole stream (mirroring
+    /// [`ServiceConfig::share_ground_truth`]): later jobs adopt prefixes
+    /// trained by earlier tenants of the same workload family. Requires
+    /// [`ServiceConfig::epoch_cache`] to be set; jobs are executed in
+    /// admission order by a single-threaded driver, so sharing stays
+    /// deterministic.
+    pub share_epoch_cache: bool,
     /// Per-job relative deadline (SLO), seconds after arrival: a job
     /// still unfinished then is shed ([`JobOutcome::Shed`]). `None`
     /// disables deadline enforcement.
@@ -100,6 +115,8 @@ impl Default for ServiceConfig {
             admission: AdmissionControl::unbounded(),
             servers: 1,
             share_ground_truth: true,
+            epoch_cache: None,
+            share_epoch_cache: false,
             deadline_secs: None,
             faults: ServiceFaultPlan::none(),
         }
@@ -125,6 +142,37 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_servers(mut self, servers: usize) -> Self {
         self.servers = servers;
+        self
+    }
+
+    /// Enables the epoch-reuse cache with the given knobs; each job gets
+    /// its own cache unless [`ServiceConfig::with_shared_epoch_cache`]
+    /// also turns on cross-job sharing.
+    #[must_use]
+    pub fn with_epoch_cache(mut self, config: EpochCacheConfig) -> Self {
+        self.epoch_cache = Some(config);
+        self
+    }
+
+    /// Shares one epoch cache across the whole stream (validated at run
+    /// time: requires [`ServiceConfig::with_epoch_cache`]).
+    ///
+    /// ```
+    /// use pipetune::EpochCacheConfig;
+    /// use pipetune_service::ServiceConfig;
+    ///
+    /// let shared = ServiceConfig::default()
+    ///     .with_epoch_cache(EpochCacheConfig::default())
+    ///     .with_shared_epoch_cache(true);
+    /// assert!(shared.validate().is_ok());
+    ///
+    /// // Sharing without a cache to share is a configuration error:
+    /// let orphan = ServiceConfig::default().with_shared_epoch_cache(true);
+    /// assert!(orphan.validate().is_err());
+    /// ```
+    #[must_use]
+    pub fn with_shared_epoch_cache(mut self, share: bool) -> Self {
+        self.share_epoch_cache = share;
         self
     }
 
@@ -161,6 +209,11 @@ impl ServiceConfig {
             if !d.is_finite() || d <= 0.0 {
                 return bad(format!("service deadline must be finite and positive, got {d}"));
             }
+        }
+        if let Some(cache) = &self.epoch_cache {
+            cache.validate()?;
+        } else if self.share_epoch_cache {
+            return bad("share_epoch_cache requires an epoch cache (with_epoch_cache)".into());
         }
         let f = &self.faults;
         for (name, p) in [
@@ -674,6 +727,14 @@ impl TuningService {
         // The shared tuner carries its ground truth from job to job (cold
         // start: the stream itself builds it, as in §7.4).
         let mut shared_tuner = PipeTune::new(*options);
+        // With sharing on, one cache handle serves the whole stream (jobs
+        // run sequentially at admission, so cross-job flush order is the
+        // admission order — deterministic). Without sharing each job gets
+        // a fresh cache below.
+        let shared_cache = match self.config.epoch_cache {
+            Some(cfg) if self.config.share_epoch_cache => Some(EpochCacheHandle::new(cfg)),
+            _ => None,
+        };
         let mut arr_pos = 0usize;
         let mut next_tick: u64 = 1;
 
@@ -786,11 +847,16 @@ impl TuningService {
             }
             telemetry.counter_add(observe::JOBS_ADMITTED, 1);
             let slots = d.slice();
-            let job_env = env
+            let mut job_env = env
                 .clone()
                 .with_seed(job_seed(env, job))
                 .with_parallel_slots(slots)
                 .with_telemetry(telemetry.scoped(span));
+            if let Some(handle) = &shared_cache {
+                job_env = job_env.with_epoch_cache(handle.clone());
+            } else if let Some(cfg) = self.config.epoch_cache {
+                job_env = job_env.with_epoch_cache(EpochCacheHandle::new(cfg));
+            }
             let outcome = if self.config.share_ground_truth {
                 shared_tuner.run(&job_env, &sub.spec)?
             } else {

@@ -94,6 +94,11 @@ pub enum EventKind {
     /// A job was shed for exceeding its deadline (recorded on the job
     /// span).
     Shed,
+    /// The epoch-reuse cache was consulted for a fresh trial (attribute
+    /// `hit` tells whether a cached prefix was adopted; on a hit,
+    /// `epochs` carries the adopted depth and `saved_secs` the simulated
+    /// epoch time the reuse avoided).
+    CacheLookup,
 }
 
 impl EventKind {
@@ -108,6 +113,7 @@ impl EventKind {
             EventKind::Profile => "profile",
             EventKind::Churn => "churn",
             EventKind::Shed => "shed",
+            EventKind::CacheLookup => "cache_lookup",
         }
     }
 
@@ -122,6 +128,7 @@ impl EventKind {
             "profile" => Some(EventKind::Profile),
             "churn" => Some(EventKind::Churn),
             "shed" => Some(EventKind::Shed),
+            "cache_lookup" => Some(EventKind::CacheLookup),
             _ => None,
         }
     }
@@ -270,6 +277,8 @@ mod tests {
         assert_eq!(EventKind::Shed.name(), "shed");
         assert_eq!(EventKind::from_name("churn"), Some(EventKind::Churn));
         assert_eq!(EventKind::from_name("shed"), Some(EventKind::Shed));
+        assert_eq!(EventKind::CacheLookup.name(), "cache_lookup");
+        assert_eq!(EventKind::from_name("cache_lookup"), Some(EventKind::CacheLookup));
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! # Ok::<(), pipetune_tsdb::TsdbError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod db;
 mod line_protocol;
 mod point;

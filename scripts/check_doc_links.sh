@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Offline markdown link checker: every relative link target in the repo's
-# documentation must exist on disk. External (http/https/mailto) links are
-# skipped — CI has no network and their liveness is not ours to pin.
+# documentation must exist on disk, and every #fragment must match a
+# heading in the target file (GitHub-style slugs). External
+# (http/https/mailto) links are skipped — CI has no network and their
+# liveness is not ours to pin.
 #
 # Usage: scripts/check_doc_links.sh [file.md ...]
 # With no arguments, checks README.md, the top-level *.md and docs/*.md.
@@ -14,21 +16,60 @@ if [ ${#files[@]} -eq 0 ]; then
   files=(README.md CHANGELOG.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
 fi
 
+# GitHub's heading-to-anchor slug: lowercase, drop everything but
+# alphanumerics/spaces/hyphens, spaces become hyphens.
+slugify() {
+  printf '%s' "$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+# All heading slugs of a markdown file, one per line.
+heading_slugs() {
+  local line
+  while IFS= read -r line; do
+    slugify "${line#"${line%%[^#]*}"}" | sed 's/^-*//'
+    echo
+  done < <(grep -E '^#{1,6} ' "$1" | sed -E 's/^#{1,6} +//')
+}
+
 fail=0
 for file in "${files[@]}"; do
   [ -f "$file" ] || { echo "missing doc file: $file"; fail=1; continue; }
   dir=$(dirname "$file")
-  # Inline markdown links: [text](target). Targets with a scheme are skipped;
-  # in-page anchors (#...) are skipped; a trailing #fragment is stripped.
+  # Inline markdown links: [text](target). Targets with a scheme are
+  # skipped; a #fragment is checked against the target file's headings
+  # (the current file for in-page anchors).
   while IFS= read -r target; do
     case "$target" in
-      http://*|https://*|mailto:*|\#*) continue ;;
+      http://*|https://*|mailto:*) continue ;;
     esac
     path="${target%%#*}"
-    [ -n "$path" ] || continue
-    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
-      echo "$file: broken link -> $target"
-      fail=1
+    fragment=""
+    case "$target" in
+      *'#'*) fragment="${target#*#}" ;;
+    esac
+    anchor_file="$file"
+    if [ -n "$path" ]; then
+      if [ -e "$dir/$path" ]; then
+        anchor_file="$dir/$path"
+      elif [ -e "$path" ]; then
+        anchor_file="$path"
+      else
+        echo "$file: broken link -> $target"
+        fail=1
+        continue
+      fi
+    fi
+    if [ -n "$fragment" ]; then
+      case "$anchor_file" in
+        *.md) ;;
+        *) continue ;;  # anchors into non-markdown targets are not ours to slug
+      esac
+      if ! heading_slugs "$anchor_file" | grep -qxF "$fragment"; then
+        echo "$file: stale anchor -> $target"
+        fail=1
+      fi
     fi
   done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*](\([^)]*\))/\1/')
 done

@@ -1,0 +1,182 @@
+//! The epoch-reuse cache's determinism contract, enforced byte for byte:
+//!
+//! * With the cache **on**, a tuning run — cold or warm — is a pure
+//!   function of the environment seed: outcomes and telemetry traces are
+//!   byte-identical for 1, 4 and 64 executor workers.
+//! * With the cache **off** (the default), every result is bit-identical
+//!   to a cache-less build: the handle is inert and no call site changes
+//!   behaviour.
+//! * A **warm** rerun over the cache a cold run filled reproduces the
+//!   cold run's search verdicts exactly — same best trial, same
+//!   accuracies — while finishing measurably faster.
+//! * Persisted caches ([`EpochCacheHandle::save`]/[`load`]) resume
+//!   exactly where the live cache left off.
+
+use pipetune::{
+    ConvergencePoint, EpochCacheConfig, EpochCacheHandle, ExperimentEnv, PipeTune, TunerOptions,
+    TuningOutcome, WorkloadSpec,
+};
+use pipetune_telemetry::TelemetryHandle;
+
+const SEED: u64 = 41;
+
+fn assert_trajectories_identical(a: &[ConvergencePoint], b: &[ConvergencePoint]) {
+    assert_eq!(a.len(), b.len(), "different number of trial completions");
+    for (i, (pa, pb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(pa.wall_secs.to_bits(), pb.wall_secs.to_bits(), "wall_secs differs at {i}");
+        assert_eq!(pa.accuracy.to_bits(), pb.accuracy.to_bits(), "accuracy differs at {i}");
+        assert_eq!(pa.trial_secs.to_bits(), pb.trial_secs.to_bits(), "trial_secs differs at {i}");
+    }
+}
+
+fn assert_outcomes_identical(a: &TuningOutcome, b: &TuningOutcome) {
+    assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits());
+    assert_eq!(a.best_hp, b.best_hp);
+    assert_eq!(a.best_system, b.best_system);
+    assert_eq!(a.best_trial_id, b.best_trial_id);
+    assert_eq!(a.tuning_secs.to_bits(), b.tuning_secs.to_bits());
+    assert_eq!(a.tuning_energy_j.to_bits(), b.tuning_energy_j.to_bits());
+    assert_eq!(a.training_secs.to_bits(), b.training_secs.to_bits());
+    assert_eq!(a.epochs_total, b.epochs_total);
+    assert_eq!(a.gt_stats, b.gt_stats);
+    assert_eq!(a.cache_stats, b.cache_stats);
+    assert_trajectories_identical(&a.convergence, &b.convergence);
+}
+
+/// A cold run filling a fresh cache followed by a warm rerun over it,
+/// under the given worker count and cache capacity.
+fn cold_then_warm(workers: usize, capacity: usize) -> (TuningOutcome, TuningOutcome) {
+    let cache = EpochCacheHandle::new(EpochCacheConfig {
+        capacity,
+        ..EpochCacheConfig::default()
+    });
+    let env = ExperimentEnv::distributed(SEED).with_workers(workers).with_epoch_cache(cache);
+    let spec = WorkloadSpec::lenet_mnist();
+    let cold = PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap();
+    let warm = PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap();
+    (cold, warm)
+}
+
+#[test]
+fn cached_runs_replay_across_worker_counts() {
+    let (cold_1, warm_1) = cold_then_warm(1, 64);
+    for workers in [4, 64] {
+        let (cold_n, warm_n) = cold_then_warm(workers, 64);
+        assert_outcomes_identical(&cold_1, &cold_n);
+        assert_outcomes_identical(&warm_1, &warm_n);
+    }
+    // The warm leg must actually exercise the cache, or the worker sweep
+    // proves less than it claims.
+    assert!(warm_1.cache_stats.hits > 0, "warm rerun should adopt cached prefixes");
+}
+
+#[test]
+fn cached_traces_are_byte_identical_across_worker_counts() {
+    let trace = |workers: usize| {
+        let telemetry = TelemetryHandle::enabled();
+        let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+        let env = ExperimentEnv::distributed(SEED)
+            .with_workers(workers)
+            .with_telemetry(telemetry.clone())
+            .with_epoch_cache(cache);
+        let spec = WorkloadSpec::lenet_mnist();
+        PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap();
+        PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap();
+        telemetry.snapshot().unwrap().to_json_string()
+    };
+    let sequential = trace(1);
+    assert!(sequential.contains("cache_lookup"), "trace should record cache lookups");
+    for workers in [4, 64] {
+        assert_eq!(sequential, trace(workers), "trace differs at {workers} workers");
+    }
+}
+
+#[test]
+fn disabled_cache_is_bit_identical_to_default_runs() {
+    // `ExperimentEnv` defaults to a disabled handle; attaching an explicit
+    // disabled handle must change nothing either. This pins the contract
+    // that every cache call site is behind `is_enabled()`.
+    let spec = WorkloadSpec::lenet_mnist();
+    let base_env = ExperimentEnv::distributed(SEED);
+    let base = PipeTune::new(TunerOptions::fast()).run(&base_env, &spec).unwrap();
+    let explicit_env =
+        ExperimentEnv::distributed(SEED).with_epoch_cache(EpochCacheHandle::disabled());
+    let explicit = PipeTune::new(TunerOptions::fast()).run(&explicit_env, &spec).unwrap();
+    assert_outcomes_identical(&base, &explicit);
+    assert_eq!(base.cache_stats, Default::default(), "disabled runs never touch the cache");
+}
+
+#[test]
+fn cold_cache_reproduces_disabled_results() {
+    // An empty cache can only miss on first sight of each prefix; misses
+    // must not perturb the search. Durations may legitimately differ only
+    // if an intra-run hit occurred, which the stats expose.
+    let spec = WorkloadSpec::lenet_mnist();
+    let disabled_env = ExperimentEnv::distributed(SEED);
+    let disabled = PipeTune::new(TunerOptions::fast()).run(&disabled_env, &spec).unwrap();
+    let (cold, _) = cold_then_warm(1, 64);
+    assert_eq!(cold.best_accuracy.to_bits(), disabled.best_accuracy.to_bits());
+    assert_eq!(cold.best_hp, disabled.best_hp);
+    assert_eq!(cold.best_trial_id, disabled.best_trial_id);
+    assert!(cold.cache_stats.misses > 0, "cold run should consult the cache");
+    if cold.cache_stats.hits == 0 {
+        assert_eq!(cold.tuning_secs.to_bits(), disabled.tuning_secs.to_bits());
+        assert_eq!(cold.epochs_total, disabled.epochs_total);
+    }
+}
+
+#[test]
+fn warm_rerun_is_faster_and_reproduces_the_cold_verdict() {
+    let (cold, warm) = cold_then_warm(4, 64);
+    assert_eq!(warm.best_accuracy.to_bits(), cold.best_accuracy.to_bits());
+    assert_eq!(warm.best_hp, cold.best_hp);
+    assert_eq!(warm.best_trial_id, cold.best_trial_id);
+    assert!(warm.cache_stats.hits > 0, "warm rerun should hit");
+    assert!(warm.cache_stats.saved_secs > 0.0, "hits should save simulated time");
+    assert!(
+        warm.tuning_secs < cold.tuning_secs,
+        "warm tuning ({}s) should beat cold ({}s)",
+        warm.tuning_secs,
+        cold.tuning_secs
+    );
+}
+
+#[test]
+fn bounded_capacity_evicts_deterministically() {
+    // A deliberately tiny cache forces LRU eviction mid-run; the eviction
+    // order — and therefore every downstream lookup — must not depend on
+    // the worker count.
+    let (cold_1, warm_1) = cold_then_warm(1, 2);
+    let (cold_4, warm_4) = cold_then_warm(4, 2);
+    assert_outcomes_identical(&cold_1, &cold_4);
+    assert_outcomes_identical(&warm_1, &warm_4);
+    assert!(
+        cold_1.cache_stats.evictions + warm_1.cache_stats.evictions > 0,
+        "a 2-entry cache should evict under a full tuning run"
+    );
+}
+
+#[test]
+fn persisted_caches_resume_exactly_where_live_ones_left_off() {
+    let spec = WorkloadSpec::lenet_mnist();
+    let live = EpochCacheHandle::new(EpochCacheConfig::default());
+    let env = ExperimentEnv::distributed(SEED).with_epoch_cache(live.clone());
+    let cold = PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap();
+    assert!(cold.cache_stats.inserts > 0);
+
+    let path = std::env::temp_dir().join(format!("pipetune-cache-{}.json", std::process::id()));
+    live.save(&path).unwrap();
+    let restored = EpochCacheHandle::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let warm_live = {
+        let env = env.clone();
+        PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap()
+    };
+    let warm_restored = {
+        let env = ExperimentEnv::distributed(SEED).with_epoch_cache(restored);
+        PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap()
+    };
+    assert_outcomes_identical(&warm_live, &warm_restored);
+    assert!(warm_restored.cache_stats.hits > 0, "the restored cache should serve hits");
+}

@@ -153,6 +153,68 @@ pub mod collection {
             (0..len).map(|_| self.element.sample_value(rng)).collect()
         }
     }
+
+    /// Strategy generating `BTreeSet`s of `element` samples. As in
+    /// upstream proptest, duplicate draws are retried a bounded number of
+    /// times, so the produced set can be smaller than the drawn size when
+    /// the element domain is narrow.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`btree_set()`](crate::collection::btree_set).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn sample_value(&self, rng: &mut StdRng) -> std::collections::BTreeSet<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < len && attempts < len * 10 + 10 {
+                out.insert(self.element.sample_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies drawing from fixed option sets.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly among a fixed set of values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "proptest select needs at least one option");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select()`](crate::sample::select).
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
 }
 
 /// Per-suite configuration (`#![proptest_config(...)]`).
@@ -411,6 +473,9 @@ pub mod prelude {
     pub use crate::strategy::{Map, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
     pub use crate::{ProptestConfig, TestCaseError};
+    /// Upstream-compatible alias: `prop::sample::select`,
+    /// `prop::collection::vec`, ... resolve through the crate root.
+    pub use crate as prop;
 }
 
 #[cfg(test)]

@@ -283,6 +283,16 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_content(content)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_content(&self) -> Content {
         self.as_slice().to_content()
