@@ -15,7 +15,16 @@
 //!
 //! # Determinism contract
 //!
-//! The cache follows the same batch-snapshot discipline as
+//! The content address covers the trial's *full resumable identity* —
+//! the hyperparameter-prefix [`fingerprint`] extended by
+//! `trial_identity` with the workload instantiation seed, the trial's
+//! private RNG seed, the tuner-policy discriminant and the contention
+//! factor. A hit can therefore only ever return state the adopting trial
+//! would have computed, bit for bit, had it trained the prefix itself:
+//! accuracy trajectories with the cache on are byte-identical to
+//! cache-off runs, and only the time/energy accounting changes.
+//!
+//! The cache also follows the same batch-snapshot discipline as
 //! [`crate::SharedGroundTruth`]: during a scheduler batch, worker threads
 //! only *read* the cache (through [`EpochCacheHandle::peek`], which takes
 //! a read lock and never mutates), while hits, misses and inserts are
@@ -91,27 +100,40 @@ impl EpochCacheConfig {
     }
 }
 
-/// Content address of a cached prefix: the workload/hyperparameter-prefix
-/// [`fingerprint`] plus the epoch depth the prefix was trained to.
+/// Content address of a cached prefix: the full trial identity
+/// (`trial_identity` over the hyperparameter-prefix [`fingerprint`])
+/// plus the epoch depth the prefix was trained to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CacheKey {
-    /// Output of [`fingerprint`]: dataset + model configuration +
-    /// hyperparameter prefix (everything but the `epochs` budget).
+    /// Output of `trial_identity`: the [`fingerprint`] of dataset +
+    /// model configuration + hyperparameter prefix (everything but the
+    /// `epochs` budget), extended with the trial's instantiation seed,
+    /// RNG seed, tuner policy and contention factor.
     pub fingerprint: u64,
     /// Epochs the cached prefix was trained for.
     pub epochs: u32,
 }
 
-/// Content-addresses a trial's reusable identity: the dataset fingerprint
+/// FNV-1a 64-bit offset basis (stable across runs and platforms;
+/// everything is hashed in little-endian bit patterns).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Hashes a trial's hyperparameter *prefix*: the dataset fingerprint
 /// (workload name and scale — the dataset generator is a pure function of
 /// those plus the instantiation seed), the model configuration (also
-/// derived from the workload name and the hyperparameters) and the
-/// hyperparameter *prefix* — every tuned hyperparameter except `epochs`,
-/// which is the depth dimension the cache indexes separately.
+/// derived from the workload name and the hyperparameters) and every
+/// tuned hyperparameter except `epochs`, which is the depth dimension the
+/// cache indexes separately.
 ///
-/// Two trials with equal fingerprints perform identical epoch work; they
-/// differ only in how many epochs they are budgeted
-/// ([`HyperParams::epochs`] and the scheduler rung), which is exactly the
+/// This is the *configuration* component of the cache address. The full
+/// [`CacheKey::fingerprint`] additionally folds in the trial's identity
+/// through `trial_identity`, so two trials share an address only when
+/// they would compute bit-identical prefixes — same configuration *and*
+/// same instantiation seed, RNG stream, tuner policy and contention.
+/// Configuration-equal trials differing in how many epochs they are
+/// budgeted ([`HyperParams::epochs`] and the scheduler rung) is the
 /// redundancy the cache exploits.
 ///
 /// ```
@@ -127,14 +149,10 @@ pub struct CacheKey {
 /// assert_ne!(epoch_cache_fingerprint(&spec, &a), epoch_cache_fingerprint(&spec, &c));
 /// ```
 pub fn fingerprint(spec: &WorkloadSpec, hp: &HyperParams) -> u64 {
-    // FNV-1a over the identity bytes; stable across runs and platforms
-    // (everything is hashed in little-endian bit patterns).
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h = OFFSET;
+    let mut h = FNV_OFFSET;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
-            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
         }
     };
     eat(spec.name().as_bytes());
@@ -143,6 +161,68 @@ pub fn fingerprint(spec: &WorkloadSpec, hp: &HyperParams) -> u64 {
     eat(&hp.dropout.to_bits().to_le_bytes());
     eat(&(hp.embedding_dim as u64).to_le_bytes());
     eat(&hp.learning_rate.to_bits().to_le_bytes());
+    h
+}
+
+/// Extends the configuration [`fingerprint`] with everything *else* that
+/// determines a trial's trained prefix bit for bit: the workload
+/// instantiation seed (datasets and initial weights), the seed of the
+/// trial's private RNG stream (profile noise, fault draws), the tuner
+/// policy it starts from ([`tuner_policy`] — probe sweeps change system
+/// configurations and therefore time/energy and tuner evolution) and the
+/// contention factor (scales epoch durations, which probe costs — and
+/// hence the tuner's argmin — depend on).
+///
+/// Restricting hits to identity-equal trials is what makes adoption
+/// sound: without it, a trial could adopt a prefix trained under a
+/// different seed or policy and its accuracy trajectory would diverge
+/// from the cache-off run.
+pub(crate) fn trial_identity(
+    config: u64,
+    instantiation_seed: u64,
+    rng_seed: u64,
+    tuner_policy: u64,
+    contention: f64,
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    for word in [config, instantiation_seed, rng_seed, tuner_policy, contention.to_bits()] {
+        for b in word.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Stable discriminant of a [`SystemTuner`]'s *policy* — the variant and
+/// its defining parameters, deliberately ignoring evolved probe state
+/// (queues, measurements, the chosen config). The discriminant is
+/// constant over a trial's lifetime: the cache key pins the policy a
+/// prefix *started* from, and the identity components of
+/// `trial_identity` guarantee its evolution from there is exactly what
+/// the adopting trial would have computed.
+pub(crate) fn tuner_policy(tuner: &SystemTuner) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |word: u64| {
+        for b in word.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    match tuner {
+        SystemTuner::Fixed(c) => {
+            eat(1);
+            eat(u64::from(c.cores));
+            eat(u64::from(c.memory_gb));
+            eat(u64::from(c.freq_mhz));
+        }
+        SystemTuner::Pipelined { goal, .. } => {
+            eat(2);
+            eat(match goal {
+                crate::ProbeGoal::Runtime => 0,
+                crate::ProbeGoal::Energy => 1,
+                crate::ProbeGoal::EnergyDelay => 2,
+            });
+        }
+    }
     h
 }
 
@@ -282,7 +362,18 @@ pub struct EpochCache {
 
 impl EpochCache {
     /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`EpochCacheConfig::validate`]: a zero
+    /// capacity or a reload cost factor outside `(0, 1)` would break the
+    /// accounting invariants (negative savings, charged cost exceeding
+    /// trained cost), so the check is enforced at every construction
+    /// site, not just in callers that validate up front.
     pub fn new(config: EpochCacheConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid EpochCacheConfig: {e}");
+        }
         EpochCache {
             config,
             entries: BTreeMap::new(),
@@ -392,7 +483,9 @@ impl EpochCache {
                 }
             }
         }
-        while self.entries.len() > self.config.capacity.max(1) {
+        // Construction validates `capacity >= 1`, so the loop always
+        // terminates with at least one entry retained.
+        while self.entries.len() > self.config.capacity {
             let victim = self
                 .entries
                 .iter()
@@ -483,13 +576,19 @@ impl EpochCache {
     ///
     /// # Errors
     ///
-    /// Returns [`PipeTuneError::Tsdb`] on I/O or decode failures and
-    /// propagates workload reconstruction failures.
+    /// Returns [`PipeTuneError::Tsdb`] on I/O or decode failures — a
+    /// persisted config that fails [`EpochCacheConfig::validate`] counts
+    /// as corrupt — and propagates workload reconstruction failures.
     pub fn load(path: &Path) -> Result<Self, PipeTuneError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| PipeTuneError::Tsdb(TsdbError::Io(e)))?;
         let saved: SavedCache = serde_json::from_str(&text)
             .map_err(|e| PipeTuneError::Tsdb(TsdbError::Corrupt { reason: e.to_string() }))?;
+        saved.config.validate().map_err(|e| {
+            PipeTuneError::Tsdb(TsdbError::Corrupt {
+                reason: format!("persisted epoch cache config is degenerate: {e}"),
+            })
+        })?;
         let mut cache = EpochCache::new(saved.config);
         cache.next_seq = saved.next_seq;
         cache.lru_offset = saved.lru_offset;
@@ -581,6 +680,11 @@ impl EpochCacheHandle {
     }
 
     /// A live handle over a fresh, empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`EpochCacheConfig::validate`] (see
+    /// [`EpochCache::new`]).
     pub fn new(config: EpochCacheConfig) -> Self {
         EpochCacheHandle {
             inner: Some(Arc::new(parking_lot::RwLock::new(EpochCache::new(config)))),
@@ -910,6 +1014,72 @@ mod tests {
         let loaded = EpochCache::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded.len(), 0, "kernel prefixes have no exportable weights");
+    }
+
+    #[test]
+    fn trial_identity_separates_every_component() {
+        let base = trial_identity(1, 2, 3, 4, 1.0);
+        assert_eq!(base, trial_identity(1, 2, 3, 4, 1.0), "pure function of its inputs");
+        assert_ne!(base, trial_identity(9, 2, 3, 4, 1.0), "config fingerprint");
+        assert_ne!(base, trial_identity(1, 9, 3, 4, 1.0), "instantiation seed");
+        assert_ne!(base, trial_identity(1, 2, 9, 4, 1.0), "trial RNG seed");
+        assert_ne!(base, trial_identity(1, 2, 3, 9, 1.0), "tuner policy");
+        assert_ne!(base, trial_identity(1, 2, 3, 4, 2.0), "contention factor");
+    }
+
+    #[test]
+    fn tuner_policy_discriminates_policies_not_progress() {
+        let fixed_a = tuner_policy(&SystemTuner::Fixed(SystemConfig::new(4, 4)));
+        let fixed_b = tuner_policy(&SystemTuner::Fixed(SystemConfig::new(8, 4)));
+        let pipe_rt = tuner_policy(&SystemTuner::pipelined(ProbeGoal::Runtime));
+        let pipe_en = tuner_policy(&SystemTuner::pipelined(ProbeGoal::Energy));
+        assert_ne!(fixed_a, fixed_b, "fixed configs are distinct policies");
+        assert_ne!(pipe_rt, pipe_en, "probe goals are distinct policies");
+        assert_ne!(fixed_a, pipe_rt, "fixed vs pipelined never collide");
+        // Evolved probe state must not change the discriminant: the key
+        // pins the policy a prefix started from, not its progress.
+        let mut evolved = SystemTuner::pipelined(ProbeGoal::Runtime);
+        if let SystemTuner::Pipelined { probe_results, features, chosen, .. } = &mut evolved {
+            probe_results.push((SystemConfig::new(4, 4), 1.0));
+            *features = Some(vec![1.0, 2.0]);
+            *chosen = Some(SystemConfig::new(16, 32));
+        }
+        assert_eq!(tuner_policy(&evolved), pipe_rt);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid EpochCacheConfig")]
+    fn zero_capacity_cache_panics_at_construction() {
+        let _ = EpochCache::new(EpochCacheConfig { capacity: 0, ..EpochCacheConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid EpochCacheConfig")]
+    fn degenerate_reload_factor_handle_panics_at_construction() {
+        let _ = EpochCacheHandle::new(EpochCacheConfig {
+            reload_cost_factor: 1.5,
+            ..EpochCacheConfig::default()
+        });
+    }
+
+    #[test]
+    fn load_rejects_persisted_degenerate_config() {
+        let saved = SavedCache {
+            config: EpochCacheConfig { capacity: 0, ..EpochCacheConfig::default() },
+            entries: Vec::new(),
+            next_seq: 0,
+            lru_offset: 0.0,
+            last_clock: 0.0,
+        };
+        let path = std::env::temp_dir()
+            .join(format!("pipetune-degenerate-cache-{}.json", std::process::id()));
+        std::fs::write(&path, serde_json::to_string(&saved).unwrap()).unwrap();
+        let err = EpochCache::load(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, Err(PipeTuneError::Tsdb(TsdbError::Corrupt { .. }))),
+            "a degenerate persisted config must read as corrupt, got {err:?}"
+        );
     }
 
     #[test]

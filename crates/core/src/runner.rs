@@ -140,11 +140,39 @@ struct TrialSlot {
     rng: StdRng,
 }
 
-/// Derives the private RNG of trial `id` (decorrelated from the workload
-/// instantiation seed `env.subseed(id)` by the golden-ratio stride).
+/// Seed of the private RNG of trial `id` (decorrelated from the workload
+/// instantiation seed `env.subseed(id)` by the golden-ratio stride). Also
+/// one of the epoch-reuse cache's identity components: two trials share a
+/// cached prefix only if their RNG streams are identical.
+fn trial_rng_seed(env: &ExperimentEnv, id: TrialId) -> u64 {
+    env.subseed(0xEE).wrapping_add(id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Derives the private RNG of trial `id`.
 fn trial_rng(env: &ExperimentEnv, id: TrialId) -> StdRng {
-    StdRng::seed_from_u64(
-        env.subseed(0xEE).wrapping_add(id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    StdRng::seed_from_u64(trial_rng_seed(env, id))
+}
+
+/// The epoch-reuse cache address of one trial: the hyperparameter-prefix
+/// fingerprint extended with everything else that pins the trained state
+/// bit for bit — instantiation seed, RNG seed, tuner policy, contention.
+/// Computed identically at lookup (fresh trials) and insert (all trials),
+/// so a trial always re-addresses its own prefixes, and never anyone
+/// else's.
+fn cache_identity(
+    env: &ExperimentEnv,
+    spec: &WorkloadSpec,
+    hp: &HyperParams,
+    id: TrialId,
+    tuner: &SystemTuner,
+    contention: f64,
+) -> u64 {
+    cache::trial_identity(
+        cache::fingerprint(spec, hp),
+        env.subseed(id.0),
+        trial_rng_seed(env, id),
+        cache::tuner_policy(tuner),
+        contention,
     )
 }
 
@@ -197,11 +225,16 @@ fn execute_item<'s, 'a>(
         None => {
             let hp = HyperParams::from_config(&req.config);
             let mut rng = trial_rng(env, req.id);
+            let tuner = tuner.expect("fresh trials carry a tuner");
             // Fresh trial: consult the epoch-reuse cache for the deepest
             // prefix within this rung's budget. `peek` is read-only — the
             // hit/miss bookkeeping is buffered in `cache_session` and
-            // applied by the coordinator in request order.
-            let fp = cache_session.as_ref().map(|_| cache::fingerprint(spec, &hp));
+            // applied by the coordinator in request order. The address is
+            // the trial's full identity, so a hit only ever serves state
+            // this exact trial would have trained itself.
+            let fp = cache_session
+                .as_ref()
+                .map(|_| cache_identity(env, spec, &hp, req.id, &tuner, contention));
             match fp.and_then(|fp| env.epoch_cache.peek(fp, req.epochs)) {
                 Some(prefix) => {
                     let session = cache_session.as_mut().expect("cache enabled on hit");
@@ -210,17 +243,19 @@ fn execute_item<'s, 'a>(
                         saved_secs: prefix.saved_secs,
                     });
                     adopted_epochs = prefix.key.epochs;
+                    // The scheduler-assigned `tuner` is dropped in favour
+                    // of the donor's evolved state: the key's policy
+                    // discriminant guarantees both started from the same
+                    // policy, and the identity components guarantee the
+                    // donor evolved exactly as this trial would have.
                     let exec =
                         TrialExecution::from_cached_prefix(env, prefix, req.id.0, &mut rng);
                     TrialSlot { exec, rng }
                 }
                 None => {
                     let workload = spec.instantiate(&hp, env.subseed(req.id.0))?;
-                    let mut exec = TrialExecution::new(
-                        workload,
-                        tuner.expect("fresh trials carry a tuner"),
-                    )
-                    .with_trial_id(req.id.0);
+                    let mut exec =
+                        TrialExecution::new(workload, tuner).with_trial_id(req.id.0);
                     if let Some(session) = cache_session.as_mut() {
                         session.events.push(CacheEvent::Miss);
                         exec.note_cache_miss(env);
@@ -267,12 +302,19 @@ fn execute_item<'s, 'a>(
             // Remember this trial's state at its new depth. Totals are
             // *trained-equivalent*: charged time plus whatever this trial
             // itself saved by adoption, so chained adoption never compounds
-            // the reload discount.
+            // the reload discount. The insert address recomputes the same
+            // identity the lookup used (the tuner-policy discriminant is
+            // invariant over tuner evolution), so resumed trials keep
+            // addressing their own prefix line.
             let exec = &slot.exec;
             let key = CacheKey {
-                fingerprint: cache::fingerprint(
+                fingerprint: cache_identity(
+                    env,
                     exec.workload().spec(),
                     exec.workload().hyperparams(),
+                    req.id,
+                    exec.tuner(),
+                    contention,
                 ),
                 epochs: exec.workload().epochs_run(),
             };

@@ -93,11 +93,15 @@ pub struct ServiceConfig {
     /// cache-less builds.
     pub epoch_cache: Option<EpochCacheConfig>,
     /// Share one epoch cache across the whole stream (mirroring
-    /// [`ServiceConfig::share_ground_truth`]): later jobs adopt prefixes
-    /// trained by earlier tenants of the same workload family. Requires
-    /// [`ServiceConfig::epoch_cache`] to be set; jobs are executed in
-    /// admission order by a single-threaded driver, so sharing stays
-    /// deterministic.
+    /// [`ServiceConfig::share_ground_truth`]). The cache key carries
+    /// each trial's full identity (per-job seed, RNG stream, tuner
+    /// policy), so a later job adopts prefixes exactly when it *replays*
+    /// an earlier one — a crash/resubmit rerun under its original
+    /// per-job seed, or a repeated identical submission — and jobs under
+    /// distinct seeds share the store but never each other's state.
+    /// Requires [`ServiceConfig::epoch_cache`] to be set; jobs are
+    /// executed in admission order by a single-threaded driver, so
+    /// sharing stays deterministic.
     pub share_epoch_cache: bool,
     /// Per-job relative deadline (SLO), seconds after arrival: a job
     /// still unfinished then is shed ([`JobOutcome::Shed`]). `None`
@@ -155,7 +159,10 @@ impl ServiceConfig {
     }
 
     /// Shares one epoch cache across the whole stream (validated at run
-    /// time: requires [`ServiceConfig::with_epoch_cache`]).
+    /// time: requires [`ServiceConfig::with_epoch_cache`]). Identity
+    /// keying means only replayed jobs — crash/resubmit reruns or
+    /// repeated identical submissions — resume each other's prefixes;
+    /// see `docs/reuse.md` §"Cross-job sharing".
     ///
     /// ```
     /// use pipetune::EpochCacheConfig;

@@ -13,8 +13,8 @@
 //!   exactly where the live cache left off.
 
 use pipetune::{
-    ConvergencePoint, EpochCacheConfig, EpochCacheHandle, ExperimentEnv, PipeTune, TunerOptions,
-    TuningOutcome, WorkloadSpec,
+    ConvergencePoint, EpochCacheConfig, EpochCacheHandle, ExperimentEnv, PipeTune, TuneV1,
+    TunerOptions, TuningOutcome, WorkloadSpec,
 };
 use pipetune_telemetry::TelemetryHandle;
 
@@ -108,21 +108,83 @@ fn disabled_cache_is_bit_identical_to_default_runs() {
 
 #[test]
 fn cold_cache_reproduces_disabled_results() {
-    // An empty cache can only miss on first sight of each prefix; misses
-    // must not perturb the search. Durations may legitimately differ only
-    // if an intra-run hit occurred, which the stats expose.
+    // The cache key is the trial's full identity (config prefix +
+    // instantiation seed + RNG seed + tuner policy), and trial identities
+    // are unique within a run, so an empty cache can only miss — and
+    // misses must not perturb the search in any way.
     let spec = WorkloadSpec::lenet_mnist();
     let disabled_env = ExperimentEnv::distributed(SEED);
     let disabled = PipeTune::new(TunerOptions::fast()).run(&disabled_env, &spec).unwrap();
     let (cold, _) = cold_then_warm(1, 64);
+    assert!(cold.cache_stats.misses > 0, "cold run should consult the cache");
+    assert_eq!(cold.cache_stats.hits, 0, "trial identities are unique within a run");
     assert_eq!(cold.best_accuracy.to_bits(), disabled.best_accuracy.to_bits());
     assert_eq!(cold.best_hp, disabled.best_hp);
     assert_eq!(cold.best_trial_id, disabled.best_trial_id);
-    assert!(cold.cache_stats.misses > 0, "cold run should consult the cache");
-    if cold.cache_stats.hits == 0 {
-        assert_eq!(cold.tuning_secs.to_bits(), disabled.tuning_secs.to_bits());
-        assert_eq!(cold.epochs_total, disabled.epochs_total);
-    }
+    assert_eq!(cold.tuning_secs.to_bits(), disabled.tuning_secs.to_bits());
+    assert_eq!(cold.tuning_energy_j.to_bits(), disabled.tuning_energy_j.to_bits());
+    assert_eq!(cold.epochs_total, disabled.epochs_total);
+    assert_trajectories_identical(&cold.convergence, &disabled.convergence);
+}
+
+/// Asserts two outcomes are identical in everything except their cache
+/// stats (used where one run consulted a cache and the other did not).
+fn assert_verdicts_identical(a: &TuningOutcome, b: &TuningOutcome) {
+    assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits());
+    assert_eq!(a.best_hp, b.best_hp);
+    assert_eq!(a.best_system, b.best_system);
+    assert_eq!(a.best_trial_id, b.best_trial_id);
+    assert_eq!(a.tuning_secs.to_bits(), b.tuning_secs.to_bits());
+    assert_eq!(a.tuning_energy_j.to_bits(), b.tuning_energy_j.to_bits());
+    assert_eq!(a.training_secs.to_bits(), b.training_secs.to_bits());
+    assert_eq!(a.epochs_total, b.epochs_total);
+    assert_trajectories_identical(&a.convergence, &b.convergence);
+}
+
+#[test]
+fn foreign_seed_prefixes_are_never_adopted() {
+    // Regression: the cache key folds in the workload instantiation seed
+    // and the trial-RNG seed, so a job with a different master seed
+    // sharing the same handle must never adopt the first job's prefixes —
+    // a foreign-identity hit would splice another trial's trajectory into
+    // this run and break the cache-off equivalence contract.
+    let spec = WorkloadSpec::lenet_mnist();
+    let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+    let env_a = ExperimentEnv::distributed(SEED).with_epoch_cache(cache.clone());
+    let first = PipeTune::new(TunerOptions::fast()).run(&env_a, &spec).unwrap();
+    assert!(first.cache_stats.inserts > 0, "the first job should populate the cache");
+
+    let env_b = ExperimentEnv::distributed(SEED + 1).with_epoch_cache(cache);
+    let shared = PipeTune::new(TunerOptions::fast()).run(&env_b, &spec).unwrap();
+    let off_env = ExperimentEnv::distributed(SEED + 1);
+    let off = PipeTune::new(TunerOptions::fast()).run(&off_env, &spec).unwrap();
+
+    assert_eq!(shared.cache_stats.hits, 0, "cross-seed adoption is forbidden");
+    assert!(shared.cache_stats.misses > 0, "lookups still happen against the shared store");
+    assert_verdicts_identical(&shared, &off);
+}
+
+#[test]
+fn foreign_tuner_policy_prefixes_are_never_adopted() {
+    // Regression: TuneV1 derives its scheduler stream from the same
+    // `subseed(0x7453)` basis as PipeTune, so with equal options and seed
+    // it samples the *same* configurations under the *same* trial ids —
+    // only the tuner policy differs (Fixed default vs Pipelined). Without
+    // the tuner-policy discriminant in the cache key, the baseline would
+    // adopt prefixes tuned under PipeTune's policy and its system
+    // configs, time and energy accounting would be contaminated.
+    let spec = WorkloadSpec::lenet_mnist();
+    let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+    let env = ExperimentEnv::distributed(SEED).with_epoch_cache(cache);
+    PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap();
+
+    let shared = TuneV1::new(TunerOptions::fast()).run(&env, &spec).unwrap();
+    let off_env = ExperimentEnv::distributed(SEED);
+    let off = TuneV1::new(TunerOptions::fast()).run(&off_env, &spec).unwrap();
+
+    assert_eq!(shared.cache_stats.hits, 0, "cross-policy adoption is forbidden");
+    assert!(shared.cache_stats.misses > 0, "the baseline still consults the shared store");
+    assert_verdicts_identical(&shared, &off);
 }
 
 #[test]
