@@ -23,10 +23,15 @@
 //! multi-tenant streams run under the pinned
 //! [`pipetune_cluster::ServiceFaultPlan::mixed`] fault schedule with a
 //! deadline SLO — node churn, job crashes with checkpointed resubmission
-//! and shedding all active. The report (default out
-//! `BENCH_pipetune.chaos.json`) adds `multitenant.{policy}.{shed_rate,
-//! abandoned_rate,completed_jobs,recovery_overhead_secs,...}` metrics and
-//! `--check` gates under
+//! and shedding all active. Each chaos stream also runs under live
+//! telemetry with the online monitor's full detector set
+//! ([`pipetune_monitor::MonitorConfig::standard`]): the report (default
+//! out `BENCH_pipetune.chaos.json`) adds `multitenant.{policy}.{shed_rate,
+//! abandoned_rate,completed_jobs,recovery_overhead_secs,...}` and
+//! `multitenant.{policy}.monitor.{alerts_total,stall,crash_loop,...}`
+//! metrics, each stream's incident timeline lands in
+//! `target/incidents.{policy}.json` (the artefact CI uploads on gate
+//! failure), and `--check` gates under
 //! [`pipetune_insight::GateConfig::chaos_defaults`].
 //!
 //! Everything is simulated-deterministic: re-running produces the same
@@ -44,6 +49,7 @@ use pipetune_insight::{
     cache_speedup_metrics, check, headline_metrics, multitenant_metrics, service_fault_metrics,
     BenchReport, GateConfig,
 };
+use pipetune_monitor::{MonitorConfig, MonitorHandle};
 use pipetune_service::{JobOutcome, JobSubmission, SchedulingPolicy, ServiceConfig, TuningService};
 use pipetune_telemetry::{TelemetryHandle, TelemetrySnapshot};
 
@@ -150,12 +156,20 @@ fn main() -> ExitCode {
     };
     for policy in SchedulingPolicy::ALL {
         eprintln!("{label}: running {SERVICE_JOBS}-job service stream ({})...", policy.name());
-        let env = ExperimentEnv::distributed(SEED);
+        let mut env = ExperimentEnv::distributed(SEED);
         let mut config = ServiceConfig::default().with_policy(policy);
+        // Chaos streams run under live telemetry with the online monitor's
+        // full detector set; clean streams stay uninstrumented, keeping
+        // BENCH_pipetune.json byte-identical to monitor-less builds.
+        let mut watch: Option<(TelemetryHandle, MonitorHandle)> = None;
         if chaos {
             config = config
                 .with_service_faults(ServiceFaultPlan::mixed(SEED))
                 .with_deadline(CHAOS_DEADLINE_SECS);
+            let telemetry = TelemetryHandle::enabled();
+            let monitor = MonitorHandle::new(&MonitorConfig::standard());
+            env = env.with_telemetry(telemetry.clone()).with_monitor(monitor.clone());
+            watch = Some((telemetry, monitor));
         }
         let service = TuningService::new(config);
         let outcome = service.run(&env, &submissions, &options).expect("service runs");
@@ -175,6 +189,33 @@ fn main() -> ExitCode {
                 outcome.jobs.len(),
                 completed,
             ));
+        }
+        if let Some((telemetry, monitor)) = watch {
+            let timeline = monitor.finish(&telemetry).expect("live monitor");
+            report
+                .metrics
+                .insert(format!("{prefix}.monitor.alerts_total"), timeline.len() as f64);
+            for detector in ["stall", "crash_loop", "slo_burn", "cache_thrash", "queue_growth"] {
+                report.metrics.insert(
+                    format!("{prefix}.monitor.{detector}"),
+                    timeline.count_for(detector) as f64,
+                );
+            }
+            // The incident timeline artefact CI uploads on chaos-gate
+            // failure (sorted keys: byte-identical across reruns).
+            let incident_path = format!("target/incidents.{}.json", policy.name());
+            let _ = std::fs::create_dir_all("target");
+            if let Err(e) =
+                std::fs::write(&incident_path, format!("{}\n", timeline.to_json_string()))
+            {
+                eprintln!("{label}: cannot write {incident_path}: {e}");
+                return ExitCode::from(1);
+            }
+            eprintln!(
+                "{label}: {} incident(s) under {} -> {incident_path}",
+                timeline.len(),
+                policy.name(),
+            );
         }
     }
 

@@ -4,6 +4,7 @@
 //! pipetune-trace report   <trace.json>           critical-path report
 //! pipetune-trace diff     <a.json> <b.json>      compare two traces
 //! pipetune-trace validate <trace.json>           check the span tree
+//! pipetune-trace watch    <trace.json>           replay the online monitor
 //! ```
 //!
 //! Traces are the JSON dumps written by
@@ -12,14 +13,22 @@
 //! so the output is byte-identical no matter how many executor workers
 //! produced it.
 //!
+//! `watch` re-runs the full [`pipetune_monitor`] detector set
+//! ([`MonitorConfig::standard`]) over the exported trace and prints the
+//! incident timeline as sorted-key JSON — byte-identical to the timeline
+//! a live run of the same trace produced, because the engine's
+//! observation stream is invariant to scan granularity (see
+//! `docs/monitoring.md`).
+//!
 //! Exit codes: `0` success, `1` usage or I/O error, `2` invalid trace.
 
 use std::process::ExitCode;
 
 use pipetune_insight::{TraceDiff, TraceReport};
+use pipetune_monitor::{MonitorConfig, MonitorEngine};
 use pipetune_telemetry::TelemetrySnapshot;
 
-const USAGE: &str = "usage: pipetune-trace <report|diff|validate> <trace.json> [b.json]";
+const USAGE: &str = "usage: pipetune-trace <report|diff|validate|watch> <trace.json> [b.json]";
 
 fn read(path: &str) -> Result<String, ExitCode> {
     std::fs::read_to_string(path).map_err(|e| {
@@ -53,6 +62,21 @@ fn run() -> Result<(), ExitCode> {
             let snap_b = parse(b, &read(b)?)?;
             let diff = TraceDiff::between(&snap_a, &snap_b).map_err(invalid)?;
             print!("{}", diff.render());
+            Ok(())
+        }
+        ["watch", path] => {
+            let snap = parse(path, &read(path)?)?;
+            snap.validate().map_err(invalid)?;
+            let mut engine = MonitorEngine::new(&MonitorConfig::standard());
+            engine.observe_snapshot(&snap);
+            let timeline = engine.finish(&snap.metrics);
+            println!("{}", timeline.to_json_string());
+            eprintln!(
+                "pipetune-trace: {} alert(s) over {} spans, {} events",
+                timeline.len(),
+                snap.spans.len(),
+                snap.events.len()
+            );
             Ok(())
         }
         ["validate", path] => {

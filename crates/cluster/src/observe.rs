@@ -10,30 +10,32 @@ use pipetune_telemetry::{AttrValue, Attrs, MetricsRegistry, RATIO_BUCKETS};
 
 use crate::faults::{FaultKind, FaultReport};
 
-/// Counter: faults injected, all classes (`FaultReport::injected`).
-pub const FAULTS_INJECTED: &str = "faults.injected";
-/// Counter: node crashes injected.
-pub const FAULTS_CRASHES: &str = "faults.crashes";
-/// Counter: epoch- and slot-level stragglers injected.
-pub const FAULTS_STRAGGLERS: &str = "faults.stragglers";
-/// Counter: transient counter-read failures injected.
-pub const FAULTS_COUNTER_READS: &str = "faults.counter_reads";
-/// Counter: preemptions injected.
-pub const FAULTS_PREEMPTIONS: &str = "faults.preemptions";
-/// Counter: retry attempts performed (crash retries, re-probes).
-pub const FAULTS_RETRIED: &str = "faults.retried";
-/// Counter: faults fully recovered from.
-pub const FAULTS_RECOVERED: &str = "faults.recovered";
-/// Counter: trials abandoned after exhausting the retry budget.
-pub const FAULTS_ABANDONED: &str = "faults.abandoned";
-/// Gauge: simulated epoch-seconds destroyed by faults.
-pub const FAULTS_WASTED_SECS: &str = "faults.wasted_epoch_secs";
-/// Gauge: simulated seconds spent on recovery mechanics.
-pub const FAULTS_RECOVERY_SECS: &str = "faults.recovery_overhead_secs";
-/// Histogram: per-round simulated executor slot speed (1.0 = healthy).
-pub const SLOT_SPEED: &str = "slots.speed";
-/// Counter: slot-straggler rounds (at least one slow slot).
-pub const SLOT_STRAGGLER_ROUNDS: &str = "slots.straggler_rounds";
+pipetune_telemetry::metric_names! {
+    /// Counter: faults injected, all classes (`FaultReport::injected`).
+    pub const FAULTS_INJECTED = "faults.injected";
+    /// Counter: node crashes injected.
+    pub const FAULTS_CRASHES = "faults.crashes";
+    /// Counter: epoch- and slot-level stragglers injected.
+    pub const FAULTS_STRAGGLERS = "faults.stragglers";
+    /// Counter: transient counter-read failures injected.
+    pub const FAULTS_COUNTER_READS = "faults.counter_reads";
+    /// Counter: preemptions injected.
+    pub const FAULTS_PREEMPTIONS = "faults.preemptions";
+    /// Counter: retry attempts performed (crash retries, re-probes).
+    pub const FAULTS_RETRIED = "faults.retried";
+    /// Counter: faults fully recovered from.
+    pub const FAULTS_RECOVERED = "faults.recovered";
+    /// Counter: trials abandoned after exhausting the retry budget.
+    pub const FAULTS_ABANDONED = "faults.abandoned";
+    /// Gauge: simulated epoch-seconds destroyed by faults.
+    pub const FAULTS_WASTED_SECS = "faults.wasted_epoch_secs";
+    /// Gauge: simulated seconds spent on recovery mechanics.
+    pub const FAULTS_RECOVERY_SECS = "faults.recovery_overhead_secs";
+    /// Histogram: per-round simulated executor slot speed (1.0 = healthy).
+    pub const SLOT_SPEED = "slots.speed";
+    /// Counter: slot-straggler rounds (at least one slow slot).
+    pub const SLOT_STRAGGLER_ROUNDS = "slots.straggler_rounds";
+}
 
 /// Records a fault report's counters into `metrics` under the canonical
 /// names above. Pass a *delta* report (e.g.

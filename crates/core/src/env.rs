@@ -2,6 +2,7 @@
 
 use pipetune_cluster::{ClusterSpec, CostModel, FaultPlan, RetryPolicy, SystemConfig, SystemSpace};
 use pipetune_energy::PowerModel;
+use pipetune_monitor::MonitorHandle;
 use pipetune_perfmon::Profiler;
 use pipetune_telemetry::TelemetryHandle;
 
@@ -53,6 +54,13 @@ pub struct ExperimentEnv {
     /// traces are byte-identical for every [`ExperimentEnv::workers`]
     /// count (see `docs/telemetry.md`).
     pub telemetry: TelemetryHandle,
+    /// Online monitoring (see `docs/monitoring.md`). Disabled by default —
+    /// a disabled handle is a no-op at every scan site. Enable with
+    /// [`ExperimentEnv::with_monitor`]; the runner then feeds the
+    /// telemetry stream through the configured detectors incrementally,
+    /// after every scheduler round, and the resulting incident timeline
+    /// is byte-identical for every [`ExperimentEnv::workers`] count.
+    pub monitor: MonitorHandle,
     /// Cross-trial epoch-reuse cache (see `docs/reuse.md`). Disabled by
     /// default — a disabled handle bypasses every lookup/insert site and
     /// leaves run results bit-identical to cache-free builds. Enable with
@@ -81,6 +89,7 @@ impl ExperimentEnv {
             profile_overhead: 0.02,
             sampled_profiling: false,
             telemetry: TelemetryHandle::disabled(),
+            monitor: MonitorHandle::disabled(),
             epoch_cache: crate::cache::EpochCacheHandle::disabled(),
             seed,
         }
@@ -107,6 +116,7 @@ impl ExperimentEnv {
             profile_overhead: 0.02,
             sampled_profiling: false,
             telemetry: TelemetryHandle::disabled(),
+            monitor: MonitorHandle::disabled(),
             epoch_cache: crate::cache::EpochCacheHandle::disabled(),
             seed,
         }
@@ -190,6 +200,34 @@ impl ExperimentEnv {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Installs a monitor handle. With a live handle (and a live
+    /// [`ExperimentEnv::with_telemetry`] handle to watch), the runner
+    /// incrementally scans the telemetry stream through the configured
+    /// detectors after every scheduler round; call
+    /// [`pipetune_monitor::MonitorHandle::finish`] afterwards for the
+    /// incident timeline.
+    ///
+    /// ```
+    /// use pipetune::ExperimentEnv;
+    /// use pipetune_monitor::{MonitorConfig, MonitorHandle};
+    /// use pipetune_telemetry::TelemetryHandle;
+    ///
+    /// let telemetry = TelemetryHandle::enabled();
+    /// let monitor = MonitorHandle::new(&MonitorConfig::standard());
+    /// let env = ExperimentEnv::distributed(42)
+    ///     .with_telemetry(telemetry.clone())
+    ///     .with_monitor(monitor.clone());
+    /// assert!(env.monitor.is_enabled());
+    /// // ... run a tuner against `env`, then:
+    /// let timeline = monitor.finish(&telemetry).unwrap();
+    /// assert!(timeline.is_empty()); // nothing ran yet
+    /// ```
+    #[must_use]
+    pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
+        self.monitor = monitor;
         self
     }
 

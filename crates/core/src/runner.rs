@@ -588,6 +588,11 @@ where
         }
         telemetry.close_span(batch_span, clock);
         telemetry.close_span(rung_span, clock);
+        // Online monitoring: stream everything this round recorded through
+        // the configured detectors. Incremental (cursor-based), and a
+        // strict no-op when either handle is disabled — the live scan and
+        // an offline replay of the exported trace see the same stream.
+        env.monitor.scan(telemetry);
     }
 
     let (_, best_id) = best.ok_or_else(|| {

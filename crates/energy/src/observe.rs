@@ -5,12 +5,14 @@ use pipetune_telemetry::{MetricsRegistry, ENERGY_BUCKETS_J};
 
 use crate::pdu::PduTrace;
 
-/// Histogram: per-epoch energy attributed to a trial, joules.
-pub const EPOCH_ENERGY_J: &str = "energy.epoch_j";
-/// Gauge: most recent whole-cluster power draw, watts.
-pub const POWER_WATTS: &str = "energy.power_w";
-/// Counter: PDU samples recorded (1 Hz stream).
-pub const PDU_SAMPLES: &str = "energy.pdu_samples";
+pipetune_telemetry::metric_names! {
+    /// Histogram: per-epoch energy attributed to a trial, joules.
+    pub const EPOCH_ENERGY_J = "energy.epoch_j";
+    /// Gauge: most recent whole-cluster power draw, watts.
+    pub const POWER_WATTS = "energy.power_w";
+    /// Counter: PDU samples recorded (1 Hz stream).
+    pub const PDU_SAMPLES = "energy.pdu_samples";
+}
 
 /// Records one epoch's energy and the power it was drawn at.
 pub fn record_epoch_energy(watts: f64, energy_j: f64, metrics: &mut MetricsRegistry) {

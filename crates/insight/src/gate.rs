@@ -104,6 +104,7 @@ impl GateConfig {
     /// let config = GateConfig::chaos_defaults();
     /// assert!(config.tolerance_for("multitenant.fifo.shed_rate").is_some());
     /// assert!(config.tolerance_for("multitenant.fifo.completed_jobs").is_some());
+    /// assert!(config.tolerance_for("multitenant.fifo.monitor.alerts_total").is_some());
     /// ```
     pub fn chaos_defaults() -> Self {
         let mut config = Self::headline_defaults();
@@ -115,6 +116,14 @@ impl GateConfig {
         config.tolerances.insert("abandoned_rate".into(), Tolerance::lower(0.10));
         config.tolerances.insert("recovery_overhead_secs".into(), Tolerance::lower(0.25));
         config.tolerances.insert("completed_jobs".into(), Tolerance::higher(0.01));
+        // Online-monitor incident counts under the pinned chaos schedule:
+        // the detectors must keep firing (a collapsing count means the
+        // monitor went silently blind, the inverse of a healthy run), with
+        // per-detector bands wider than the total because individual
+        // detectors are noisier.
+        config.tolerances.insert("monitor.alerts_total".into(), Tolerance::higher(0.25));
+        config.tolerances.insert("monitor.crash_loop".into(), Tolerance::higher(0.50));
+        config.tolerances.insert("monitor.slo_burn".into(), Tolerance::higher(0.50));
         config
     }
 

@@ -68,4 +68,6 @@ pub use headline::{
 pub use multitenant::{
     multitenant_metrics, response_stats, service_fault_metrics, ResponseStats,
 };
-pub use report::{DurationStats, PhaseBreakdown, RunReport, RungReport, Straggler, TraceReport};
+pub use report::{
+    DurationStats, IncidentSummary, PhaseBreakdown, RunReport, RungReport, Straggler, TraceReport,
+};

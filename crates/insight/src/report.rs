@@ -158,11 +158,57 @@ impl RunReport {
     pub const MAX_STRAGGLERS: usize = 5;
 }
 
+/// Summary of the online monitor's `alert` events in a trace (the
+/// "Incidents" section; see `docs/monitoring.md`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IncidentSummary {
+    /// Total alert events in the trace.
+    pub total: usize,
+    /// Alert counts per detector name, sorted.
+    pub by_detector: BTreeMap<String, u64>,
+    /// Alert counts per severity name, sorted.
+    pub by_severity: BTreeMap<String, u64>,
+    /// Severity/detector/message of the first alerts in trace order,
+    /// capped at [`IncidentSummary::MAX_SAMPLES`].
+    pub samples: Vec<String>,
+}
+
+impl IncidentSummary {
+    /// How many alert lines the summary quotes verbatim.
+    pub const MAX_SAMPLES: usize = 5;
+
+    fn from_snapshot(snapshot: &TelemetrySnapshot) -> Option<Self> {
+        let mut summary = IncidentSummary::default();
+        for event in &snapshot.events {
+            if event.kind != EventKind::Alert {
+                continue;
+            }
+            summary.total += 1;
+            let detector = attr_str(&event.attrs, "detector").unwrap_or("?");
+            let severity = attr_str(&event.attrs, "severity").unwrap_or("?");
+            *summary.by_detector.entry(detector.to_string()).or_insert(0) += 1;
+            *summary.by_severity.entry(severity.to_string()).or_insert(0) += 1;
+            if summary.samples.len() < Self::MAX_SAMPLES {
+                let message = attr_str(&event.attrs, "message").unwrap_or("?");
+                summary.samples.push(format!(
+                    "[{severity}] {detector} @ {:.3}s: {message}",
+                    event.at_secs
+                ));
+            }
+        }
+        (summary.total > 0).then_some(summary)
+    }
+}
+
 /// The full critical-path report over a trace (one entry per tuning run).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceReport {
     /// Per-run analyses, in root-span order.
     pub runs: Vec<RunReport>,
+    /// Monitor incidents found in the trace; `None` when the trace holds
+    /// no `alert` events, so reports over monitor-less traces render
+    /// exactly as they did before the monitor existed.
+    pub incidents: Option<IncidentSummary>,
 }
 
 impl TraceReport {
@@ -366,7 +412,7 @@ impl TraceReport {
                 epoch_stats: duration_stats(&db, "epoch_secs"),
             });
         }
-        Ok(TraceReport { runs })
+        Ok(TraceReport { runs, incidents: IncidentSummary::from_snapshot(snapshot) })
     }
 
     /// Parses a JSON trace and analyses it in one step.
@@ -384,6 +430,7 @@ impl TraceReport {
         let mut out = String::new();
         if self.runs.is_empty() {
             out.push_str("trace contains no tuning runs\n");
+            self.render_incidents(&mut out);
             return out;
         }
         for run in &self.runs {
@@ -470,7 +517,37 @@ impl TraceReport {
                 );
             }
         }
+        self.render_incidents(&mut out);
         out
+    }
+
+    /// Appends the "Incidents" section when the trace carried alerts;
+    /// alert-free traces render byte-identically to pre-monitor reports.
+    fn render_incidents(&self, out: &mut String) {
+        let Some(incidents) = &self.incidents else { return };
+        let _ = writeln!(out, "incidents: {} alert(s)", incidents.total);
+        let by_detector: Vec<String> = incidents
+            .by_detector
+            .iter()
+            .map(|(detector, n)| format!("{detector} {n}"))
+            .collect();
+        let _ = writeln!(out, "  by detector: {}", by_detector.join(", "));
+        let by_severity: Vec<String> = incidents
+            .by_severity
+            .iter()
+            .map(|(severity, n)| format!("{severity} {n}"))
+            .collect();
+        let _ = writeln!(out, "  by severity: {}", by_severity.join(", "));
+        for sample in &incidents.samples {
+            let _ = writeln!(out, "    {sample}");
+        }
+        if incidents.total > incidents.samples.len() {
+            let _ = writeln!(
+                out,
+                "    ... and {} more (see the incident timeline export)",
+                incidents.total - incidents.samples.len()
+            );
+        }
     }
 }
 
@@ -629,6 +706,42 @@ mod tests {
             assert_eq!(run.wall_secs, 3.0);
             assert_eq!(run.critical_path_secs, 3.0);
         }
+    }
+
+    #[test]
+    fn incidents_section_appears_only_with_alert_events() {
+        // Alert-free trace: no incidents, render byte-identical to the
+        // pre-monitor report format.
+        let clean = TraceReport::from_snapshot(&sample()).unwrap();
+        assert!(clean.incidents.is_none());
+        assert!(!clean.render().contains("incidents:"));
+
+        // The same trace with injected alerts grows an Incidents section.
+        let mut snap = sample();
+        for (at, detector, severity) in
+            [(4.0, "stall", "warning"), (5.0, "stall", "critical"), (6.0, "crash_loop", "critical")]
+        {
+            snap.events.push(pipetune_telemetry::Event {
+                kind: EventKind::Alert,
+                span: None,
+                at_secs: at,
+                attrs: vec![
+                    ("detector", detector.into()),
+                    ("severity", severity.into()),
+                    ("message", format!("{detector} fired").into()),
+                ],
+            });
+        }
+        let report = TraceReport::from_snapshot(&snap).unwrap();
+        let incidents = report.incidents.as_ref().unwrap();
+        assert_eq!(incidents.total, 3);
+        assert_eq!(incidents.by_detector["stall"], 2);
+        assert_eq!(incidents.by_severity["critical"], 2);
+        assert_eq!(incidents.samples.len(), 3);
+        let text = report.render();
+        assert!(text.contains("incidents: 3 alert(s)"), "{text}");
+        assert!(text.contains("by detector: crash_loop 1, stall 2"), "{text}");
+        assert!(text.contains("[critical] crash_loop @ 6.000s"), "{text}");
     }
 
     #[test]

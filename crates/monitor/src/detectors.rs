@@ -1,0 +1,748 @@
+//! The detector catalog: stall watchdog, crash-loop, SLO burn-rate,
+//! cache-thrash and admission/queue-growth (see `docs/monitoring.md` for
+//! the window semantics and the burn-rate math).
+//!
+//! Every detector is a pure stream processor over the deterministic
+//! telemetry stream (the [`crate::Detector`] contract), so its firings
+//! are byte-identical across executor worker counts and scan
+//! granularities. Window parameters are plain public structs — tuning
+//! them only changes *which* alerts fire, never their canonical order.
+
+use pipetune_telemetry::{AttrValue, Event, EventKind, MetricsRegistry, Span, SpanKind};
+
+use crate::alert::{Alert, Severity};
+use crate::engine::{Detector, TraceIndex};
+use crate::window::{count_in_window, RingWindow, TimeWindow};
+
+/// Canonical name of the stall/straggler watchdog.
+pub const STALL: &str = "stall";
+/// Canonical name of the crash-loop detector.
+pub const CRASH_LOOP: &str = "crash_loop";
+/// Canonical name of the SLO burn-rate detector.
+pub const SLO_BURN: &str = "slo_burn";
+/// Canonical name of the cache-thrash detector.
+pub const CACHE_THRASH: &str = "cache_thrash";
+/// Canonical name of the admission/queue-growth detector.
+pub const QUEUE_GROWTH: &str = "queue_growth";
+
+fn attr<'a>(attrs: &'a [(&'static str, AttrValue)], key: &str) -> Option<&'a AttrValue> {
+    attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+fn attr_u64(attrs: &[(&'static str, AttrValue)], key: &str) -> Option<u64> {
+    match attr(attrs, key)? {
+        AttrValue::U64(v) => Some(*v),
+        AttrValue::I64(v) if *v >= 0 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+fn attr_bool(attrs: &[(&'static str, AttrValue)], key: &str) -> Option<bool> {
+    match attr(attrs, key)? {
+        AttrValue::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stall / straggler watchdog
+// ---------------------------------------------------------------------------
+
+/// Window parameters of [`StallDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallConfig {
+    /// Rolling window of committed epoch durations (ring-buffer size).
+    pub window: usize,
+    /// Fire when an epoch runs longer than `factor ×` the rolling mean.
+    pub factor: f64,
+    /// Minimum samples in the window before the watchdog arms.
+    pub min_samples: usize,
+}
+
+impl Default for StallConfig {
+    fn default() -> Self {
+        StallConfig { window: 32, factor: 3.0, min_samples: 8 }
+    }
+}
+
+/// Watches committed epoch durations against a rolling window and flags
+/// epochs that run far beyond the recent norm — the online face of the
+/// paper's per-epoch signals: a straggling node or a pathological
+/// configuration shows up here long before the end-of-run report.
+///
+/// Signal: `epoch` spans (always recorded complete, so reading
+/// `end_secs` is live-safe). The window is global across trials in
+/// record order — scheduler request order, hence deterministic.
+#[derive(Debug)]
+pub struct StallDetector {
+    config: StallConfig,
+    durations: RingWindow,
+}
+
+impl StallDetector {
+    /// A watchdog with the given window parameters.
+    pub fn new(config: StallConfig) -> Self {
+        let window = config.window.max(1);
+        StallDetector { config, durations: RingWindow::new(window) }
+    }
+}
+
+impl Detector for StallDetector {
+    fn name(&self) -> &'static str {
+        STALL
+    }
+
+    fn on_span(&mut self, ctx: &TraceIndex, idx: u32, span: &Span, out: &mut Vec<Alert>) {
+        if span.kind != SpanKind::Epoch || !span.end_secs.is_finite() {
+            return;
+        }
+        let duration = span.end_secs - span.start_secs;
+        if self.durations.len() >= self.config.min_samples.max(1) {
+            let mean = self.durations.mean();
+            if duration > self.config.factor * mean {
+                let severity = if duration > 2.0 * self.config.factor * mean {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                };
+                out.push(Alert {
+                    detector: STALL,
+                    severity,
+                    source: ctx.path(idx),
+                    span: Some(idx),
+                    at_secs: span.end_secs,
+                    message: format!(
+                        "epoch ran {duration:.1}s against a rolling mean of {mean:.1}s"
+                    ),
+                    evidence: vec![
+                        ("duration_secs", duration.into()),
+                        ("window_mean_secs", mean.into()),
+                        ("window_len", self.durations.len().into()),
+                        ("factor", self.config.factor.into()),
+                    ],
+                });
+            }
+        }
+        self.durations.push(duration);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash loop
+// ---------------------------------------------------------------------------
+
+/// Window parameters of [`CrashLoopDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashLoopConfig {
+    /// Sliding horizon, simulated seconds on the source's clock.
+    pub window_secs: f64,
+    /// Fire at the `burst`-th fault/retry on one source within the
+    /// window.
+    pub burst: usize,
+}
+
+impl Default for CrashLoopConfig {
+    fn default() -> Self {
+        CrashLoopConfig { window_secs: 20_000.0, burst: 3 }
+    }
+}
+
+/// Flags sources caught in a crash/retry spiral: `fault` and `retry`
+/// events bucketed per `(job, trial)` source — the nearest `job` or
+/// `trial` ancestor of the event's span — with a firing when one source
+/// accumulates a burst within the sliding window. After a firing the
+/// source's window resets (cool-down), so a steady drizzle refires only
+/// after building a fresh burst.
+#[derive(Debug)]
+pub struct CrashLoopDetector {
+    config: CrashLoopConfig,
+    /// Per-source event-time windows, keyed by source span index.
+    windows: std::collections::BTreeMap<u32, TimeWindow>,
+}
+
+impl CrashLoopDetector {
+    /// A detector with the given burst parameters.
+    pub fn new(config: CrashLoopConfig) -> Self {
+        CrashLoopDetector { config, windows: std::collections::BTreeMap::new() }
+    }
+}
+
+impl Detector for CrashLoopDetector {
+    fn name(&self) -> &'static str {
+        CRASH_LOOP
+    }
+
+    fn on_event(&mut self, ctx: &TraceIndex, _idx: usize, event: &Event, out: &mut Vec<Alert>) {
+        if !matches!(event.kind, EventKind::Fault | EventKind::Retry) {
+            return;
+        }
+        let Some(span) = event.span else { return };
+        // Bucket by job when the event sits under one (service-level
+        // crash/resubmit cycles), else by trial (epoch-level retry
+        // storms), else by the owning span itself. Each bucket lives on
+        // one clock domain, so its window timestamps are monotone.
+        let source = ctx
+            .ancestor_of_kind(span, SpanKind::Job)
+            .or_else(|| ctx.ancestor_of_kind(span, SpanKind::Trial))
+            .unwrap_or(span);
+        let window = self
+            .windows
+            .entry(source)
+            .or_insert_with(|| TimeWindow::new(self.config.window_secs));
+        window.push(event.at_secs, 1.0);
+        if window.len() >= self.config.burst.max(1) {
+            let count = window.len();
+            window.clear();
+            out.push(Alert {
+                detector: CRASH_LOOP,
+                severity: Severity::Critical,
+                source: ctx.path(source),
+                span: Some(source),
+                at_secs: event.at_secs,
+                message: format!(
+                    "{count} fault/retry events within {:.0}s",
+                    self.config.window_secs
+                ),
+                evidence: vec![
+                    ("events_in_window", count.into()),
+                    ("window_secs", self.config.window_secs.into()),
+                    ("burst", self.config.burst.into()),
+                ],
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn rate
+// ---------------------------------------------------------------------------
+
+/// Window parameters of [`SloBurnDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBurnConfig {
+    /// The slow window, simulated seconds on the service clock.
+    pub slow_window_secs: f64,
+    /// The fast window (a fraction of the slow one, SRE-style).
+    pub fast_window_secs: f64,
+    /// Error budget: the shed fraction the SLO tolerates (e.g. `0.1` =
+    /// one job in ten may miss its deadline).
+    pub budget: f64,
+    /// Fire when **both** windows burn at or above this multiple of the
+    /// budget.
+    pub burn_threshold: f64,
+}
+
+impl Default for SloBurnConfig {
+    fn default() -> Self {
+        SloBurnConfig {
+            slow_window_secs: 40_000.0,
+            fast_window_secs: 8_000.0,
+            budget: 0.1,
+            burn_threshold: 1.0,
+        }
+    }
+}
+
+/// Multi-window SLO burn-rate alerts for `ServiceConfig::with_deadline`
+/// jobs, SRE-style: the *burn rate* is the deadline-miss fraction over a
+/// window divided by the error budget, and a firing needs both a fast
+/// window (is it burning **now**?) and a slow window (has it burned
+/// **enough to matter**?) at or above the threshold — short blips and
+/// long-ago incidents both stay quiet.
+///
+/// Signals: `job` spans (arrival = span record; `start_secs` is the
+/// arrival time on the service clock) and `shed` events (a shed *is* a
+/// deadline violation, and carries the `deadline_secs` it enforced).
+/// The burn denominator is the set of jobs whose **deadline fell in the
+/// window** — arrivals shifted forward by the deadline — because that is
+/// when each job's SLO verdict lands; sheds land at exactly their
+/// deadline, so numerator and denominator live on the same axis.
+/// Evaluation happens at each shed, counting only arrivals at or before
+/// it — observations the live engine is guaranteed to have seen, which
+/// is what keeps live scans and offline replay byte-identical.
+#[derive(Debug)]
+pub struct SloBurnDetector {
+    config: SloBurnConfig,
+    /// Arrival times of every job, record order (non-decreasing).
+    arrivals: Vec<f64>,
+    /// Shed times, record order (non-decreasing).
+    sheds: Vec<f64>,
+}
+
+impl SloBurnDetector {
+    /// A detector with the given window pair.
+    pub fn new(config: SloBurnConfig) -> Self {
+        SloBurnDetector { config, arrivals: Vec::new(), sheds: Vec::new() }
+    }
+
+    /// Burn rate over the window `(now - horizon, now]`: sheds in the
+    /// window over jobs *due* in it (arrival + deadline in the window,
+    /// i.e. arrivals in the window shifted back by `deadline`), divided
+    /// by the budget; 0 when no job was due.
+    fn burn(&self, now: f64, horizon: f64, deadline: f64) -> (f64, usize, usize) {
+        let due = count_in_window(&self.arrivals, now - deadline, horizon);
+        let shed = count_in_window(&self.sheds, now, horizon);
+        if due == 0 {
+            return (0.0, 0, shed);
+        }
+        let rate = shed as f64 / due as f64;
+        (rate / self.config.budget.max(f64::MIN_POSITIVE), due, shed)
+    }
+}
+
+impl Detector for SloBurnDetector {
+    fn name(&self) -> &'static str {
+        SLO_BURN
+    }
+
+    fn on_span(&mut self, _ctx: &TraceIndex, _idx: u32, span: &Span, _out: &mut Vec<Alert>) {
+        if span.kind == SpanKind::Job {
+            self.arrivals.push(span.start_secs);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &TraceIndex, _idx: usize, event: &Event, out: &mut Vec<Alert>) {
+        if event.kind != EventKind::Shed {
+            return;
+        }
+        self.sheds.push(event.at_secs);
+        let deadline = attr(&event.attrs, "deadline_secs")
+            .and_then(AttrValue::as_field)
+            .unwrap_or(0.0);
+        let (fast_burn, fast_jobs, fast_sheds) =
+            self.burn(event.at_secs, self.config.fast_window_secs, deadline);
+        let (slow_burn, slow_jobs, slow_sheds) =
+            self.burn(event.at_secs, self.config.slow_window_secs, deadline);
+        if fast_burn >= self.config.burn_threshold && slow_burn >= self.config.burn_threshold {
+            let source = event.span.map(|s| ctx.path(s)).unwrap_or_default();
+            out.push(Alert {
+                detector: SLO_BURN,
+                severity: Severity::Critical,
+                source,
+                span: event.span,
+                at_secs: event.at_secs,
+                message: format!(
+                    "deadline budget burning at {fast_burn:.1}x (fast) / {slow_burn:.1}x (slow)"
+                ),
+                evidence: vec![
+                    ("fast_burn", fast_burn.into()),
+                    ("slow_burn", slow_burn.into()),
+                    ("fast_window_secs", self.config.fast_window_secs.into()),
+                    ("slow_window_secs", self.config.slow_window_secs.into()),
+                    ("fast_jobs", fast_jobs.into()),
+                    ("fast_sheds", fast_sheds.into()),
+                    ("slow_jobs", slow_jobs.into()),
+                    ("slow_sheds", slow_sheds.into()),
+                    ("budget", self.config.budget.into()),
+                ],
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache thrash
+// ---------------------------------------------------------------------------
+
+/// Window parameters of [`CacheThrashDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheThrashConfig {
+    /// Rolling window of `cache_lookup` outcomes (ring-buffer size).
+    pub window: usize,
+    /// Fire when the windowed hit rate drops below this floor.
+    pub min_hit_rate: f64,
+    /// Minimum lookups in the window before the detector arms.
+    pub min_samples: usize,
+    /// End-of-run churn alert when `cache.evict / cache.insert` exceeds
+    /// this ratio.
+    pub max_evict_per_insert: f64,
+}
+
+impl Default for CacheThrashConfig {
+    fn default() -> Self {
+        CacheThrashConfig { window: 16, min_hit_rate: 0.2, min_samples: 8, max_evict_per_insert: 0.5 }
+    }
+}
+
+/// Flags epoch-reuse cache collapse: a rolling window over
+/// `cache_lookup` events fires when the hit rate falls below the floor
+/// (the cache is being consulted and missing — capacity too small or
+/// keys churning), and the finish hook compares the final `cache.evict`
+/// and `cache.insert` counters for eviction churn the event stream alone
+/// cannot see. After a hit-rate firing the window resets (cool-down).
+#[derive(Debug)]
+pub struct CacheThrashDetector {
+    config: CacheThrashConfig,
+    /// 1.0 per hit, 0.0 per miss.
+    lookups: RingWindow,
+}
+
+impl CacheThrashDetector {
+    /// A detector with the given window parameters.
+    pub fn new(config: CacheThrashConfig) -> Self {
+        let window = config.window.max(1);
+        CacheThrashDetector { config, lookups: RingWindow::new(window) }
+    }
+}
+
+impl Detector for CacheThrashDetector {
+    fn name(&self) -> &'static str {
+        CACHE_THRASH
+    }
+
+    fn on_event(&mut self, ctx: &TraceIndex, _idx: usize, event: &Event, out: &mut Vec<Alert>) {
+        if event.kind != EventKind::CacheLookup {
+            return;
+        }
+        let hit = attr_bool(&event.attrs, "hit").unwrap_or(false);
+        self.lookups.push(if hit { 1.0 } else { 0.0 });
+        if self.lookups.len() >= self.config.min_samples.max(1) {
+            let hit_rate = self.lookups.mean();
+            if hit_rate < self.config.min_hit_rate {
+                let window_len = self.lookups.len();
+                self.lookups.clear();
+                let source = event.span.map(|s| ctx.path(s)).unwrap_or_default();
+                out.push(Alert {
+                    detector: CACHE_THRASH,
+                    severity: Severity::Warning,
+                    source,
+                    span: event.span,
+                    at_secs: event.at_secs,
+                    message: format!(
+                        "cache hit rate collapsed to {hit_rate:.2} over the last {window_len} lookups"
+                    ),
+                    evidence: vec![
+                        ("hit_rate", hit_rate.into()),
+                        ("window_len", window_len.into()),
+                        ("min_hit_rate", self.config.min_hit_rate.into()),
+                    ],
+                });
+            }
+        }
+    }
+
+    fn finish(&mut self, _ctx: &TraceIndex, metrics: &MetricsRegistry, out: &mut Vec<Alert>) {
+        let evictions = metrics.counter("cache.evict");
+        let inserts = metrics.counter("cache.insert");
+        if inserts > 0 {
+            let ratio = evictions as f64 / inserts as f64;
+            if ratio > self.config.max_evict_per_insert {
+                out.push(Alert {
+                    detector: CACHE_THRASH,
+                    severity: Severity::Warning,
+                    source: String::new(),
+                    span: None,
+                    at_secs: 0.0,
+                    message: format!(
+                        "eviction churn: {evictions} evictions against {inserts} inserts"
+                    ),
+                    evidence: vec![
+                        ("evictions", evictions.into()),
+                        ("inserts", inserts.into()),
+                        ("evict_per_insert", ratio.into()),
+                        ("max_evict_per_insert", self.config.max_evict_per_insert.into()),
+                    ],
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission / queue growth
+// ---------------------------------------------------------------------------
+
+/// Window parameters of [`QueueGrowthDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueGrowthConfig {
+    /// Fire when a job arrives to a backlog at or beyond this depth
+    /// (queued + running jobs ahead of it).
+    pub depth_threshold: u64,
+    /// Sliding horizon for admission rejections, service-clock seconds.
+    pub window_secs: f64,
+    /// Fire at the `rejected_burst`-th admission rejection within the
+    /// window.
+    pub rejected_burst: usize,
+}
+
+impl Default for QueueGrowthConfig {
+    fn default() -> Self {
+        QueueGrowthConfig { depth_threshold: 4, window_secs: 20_000.0, rejected_burst: 2 }
+    }
+}
+
+/// Flags a service falling behind its arrival stream: a job arriving to
+/// a deep backlog (the `queue_depth` attribute the service stamps on
+/// every job span at arrival) or a burst of admission rejections within
+/// the sliding window. Both signals live entirely on job spans, so the
+/// detector sees them the instant the service records the arrival.
+#[derive(Debug)]
+pub struct QueueGrowthDetector {
+    config: QueueGrowthConfig,
+    rejections: TimeWindow,
+}
+
+impl QueueGrowthDetector {
+    /// A detector with the given thresholds.
+    pub fn new(config: QueueGrowthConfig) -> Self {
+        let window = TimeWindow::new(config.window_secs);
+        QueueGrowthDetector { config, rejections: window }
+    }
+}
+
+impl Detector for QueueGrowthDetector {
+    fn name(&self) -> &'static str {
+        QUEUE_GROWTH
+    }
+
+    fn on_span(&mut self, ctx: &TraceIndex, idx: u32, span: &Span, out: &mut Vec<Alert>) {
+        if span.kind != SpanKind::Job {
+            return;
+        }
+        if attr_bool(&span.attrs, "admitted") == Some(false) {
+            self.rejections.push(span.start_secs, 1.0);
+            if self.rejections.len() >= self.config.rejected_burst.max(1) {
+                let count = self.rejections.len();
+                self.rejections.clear();
+                out.push(Alert {
+                    detector: QUEUE_GROWTH,
+                    severity: Severity::Critical,
+                    source: ctx.path(idx),
+                    span: Some(idx),
+                    at_secs: span.start_secs,
+                    message: format!(
+                        "{count} admission rejections within {:.0}s",
+                        self.config.window_secs
+                    ),
+                    evidence: vec![
+                        ("rejections_in_window", count.into()),
+                        ("window_secs", self.config.window_secs.into()),
+                        ("rejected_burst", self.config.rejected_burst.into()),
+                    ],
+                });
+            }
+            return;
+        }
+        if let Some(depth) = attr_u64(&span.attrs, "queue_depth") {
+            if depth >= self.config.depth_threshold.max(1) {
+                out.push(Alert {
+                    detector: QUEUE_GROWTH,
+                    severity: Severity::Warning,
+                    source: ctx.path(idx),
+                    span: Some(idx),
+                    at_secs: span.start_secs,
+                    message: format!("job arrived to a backlog of {depth}"),
+                    evidence: vec![
+                        ("queue_depth", depth.into()),
+                        ("depth_threshold", self.config.depth_threshold.into()),
+                    ],
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MonitorConfig, MonitorEngine};
+    use pipetune_telemetry::TelemetrySnapshot;
+
+    fn span(kind: SpanKind, label: &str, parent: Option<u32>, start: f64, end: f64) -> Span {
+        Span { kind, label: label.into(), parent, start_secs: start, end_secs: end, attrs: vec![] }
+    }
+
+    fn epoch(parent: u32, start: f64, end: f64) -> Span {
+        Span {
+            kind: SpanKind::Epoch,
+            label: format!("epoch ({start}..{end})"),
+            parent: Some(parent),
+            start_secs: start,
+            end_secs: end,
+            attrs: vec![],
+        }
+    }
+
+    fn run_detectors(
+        config: &MonitorConfig,
+        spans: Vec<Span>,
+        events: Vec<Event>,
+    ) -> crate::IncidentTimeline {
+        let mut engine = MonitorEngine::new(config);
+        let snap = TelemetrySnapshot { spans, events, metrics: MetricsRegistry::new() };
+        engine.observe_snapshot(&snap);
+        engine.finish(&snap.metrics)
+    }
+
+    #[test]
+    fn stall_watchdog_flags_outlier_epochs() {
+        let config = MonitorConfig {
+            stall: Some(StallConfig { window: 8, factor: 3.0, min_samples: 4 }),
+            ..MonitorConfig::none()
+        };
+        let mut spans = vec![span(SpanKind::Trial, "trial 0", None, 0.0, 200.0)];
+        let mut t = 0.0;
+        for _ in 0..6 {
+            spans.push(epoch(0, t, t + 10.0));
+            t += 10.0;
+        }
+        spans.push(epoch(0, t, t + 100.0)); // 10× the rolling mean
+        let timeline = run_detectors(&config, spans.clone(), vec![]);
+        assert_eq!(timeline.len(), 1);
+        let alert = &timeline.alerts[0];
+        assert_eq!(alert.detector, STALL);
+        assert_eq!(alert.severity, Severity::Critical);
+        assert_eq!(alert.span, Some(7));
+        assert!(alert.source.starts_with("trial 0 > "), "{}", alert.source);
+        // Below the arming threshold nothing fires.
+        let quiet = run_detectors(&config, spans[..4].to_vec(), vec![]);
+        assert!(quiet.is_empty());
+    }
+
+    #[test]
+    fn crash_loop_fires_on_bursts_and_cools_down() {
+        let config = MonitorConfig {
+            crash_loop: Some(CrashLoopConfig { window_secs: 100.0, burst: 3 }),
+            ..MonitorConfig::none()
+        };
+        let spans = vec![
+            span(SpanKind::Service, "svc", None, 0.0, 1000.0),
+            span(SpanKind::Job, "job 0", Some(0), 0.0, 900.0),
+        ];
+        let fault = |at: f64| Event { kind: EventKind::Fault, span: Some(1), at_secs: at, attrs: vec![] };
+        let retry = |at: f64| Event { kind: EventKind::Retry, span: Some(1), at_secs: at, attrs: vec![] };
+        // Burst of three inside the window → one alert; the cool-down
+        // resets the window so the fourth event alone stays quiet.
+        let timeline = run_detectors(
+            &config,
+            spans.clone(),
+            vec![fault(10.0), retry(20.0), fault(30.0), retry(90.0)],
+        );
+        assert_eq!(timeline.len(), 1);
+        assert_eq!(timeline.alerts[0].detector, CRASH_LOOP);
+        assert_eq!(timeline.alerts[0].at_secs, 30.0);
+        assert_eq!(timeline.alerts[0].span, Some(1), "bucketed by the job ancestor");
+        // Spread beyond the window → never fires.
+        let quiet = run_detectors(
+            &config,
+            spans,
+            vec![fault(10.0), retry(200.0), fault(400.0), retry(600.0)],
+        );
+        assert!(quiet.is_empty());
+    }
+
+    #[test]
+    fn slo_burn_needs_both_windows() {
+        let config = MonitorConfig {
+            slo_burn: Some(SloBurnConfig {
+                slow_window_secs: 1000.0,
+                fast_window_secs: 100.0,
+                budget: 0.1,
+                burn_threshold: 1.0,
+            }),
+            ..MonitorConfig::none()
+        };
+        let mut spans = vec![span(SpanKind::Service, "svc", None, 0.0, 2000.0)];
+        for i in 0..10 {
+            spans.push(span(SpanKind::Job, &format!("job {i}"), Some(0), i as f64 * 50.0, 1500.0));
+        }
+        let shed = |at: f64, job: u32| Event { kind: EventKind::Shed, span: Some(job), at_secs: at, attrs: vec![] };
+        // A shed right after arrivals: fast window (one arrival, one
+        // shed) and slow window (10 arrivals, 1 shed = budget exactly)
+        // both burn ≥ 1×.
+        let timeline = run_detectors(&config, spans.clone(), vec![shed(480.0, 9)]);
+        assert_eq!(timeline.len(), 1);
+        let alert = &timeline.alerts[0];
+        assert_eq!(alert.detector, SLO_BURN);
+        assert_eq!(alert.severity, Severity::Critical);
+        // A shed long after the last arrival: the fast window holds no
+        // arrivals, so the fast burn is 0 and nothing fires.
+        let quiet = run_detectors(&config, spans.clone(), vec![shed(1400.0, 9)]);
+        assert!(quiet.is_empty());
+        // With a `deadline_secs` attr, the denominator shifts to jobs
+        // *due* in the window: a shed at arrival + 1000 would miss every
+        // arrival in the raw fast window, but two jobs (arrivals 400 and
+        // 450) fall due inside it — so the detector still fires.
+        let late = Event {
+            kind: EventKind::Shed,
+            span: Some(10),
+            at_secs: 1480.0,
+            attrs: vec![("deadline_secs", 1000.0.into())],
+        };
+        let shifted = run_detectors(&config, spans, vec![late]);
+        assert_eq!(shifted.len(), 1);
+        assert_eq!(shifted.alerts[0].detector, SLO_BURN);
+    }
+
+    #[test]
+    fn cache_thrash_flags_hit_rate_collapse_and_eviction_churn() {
+        let config = MonitorConfig {
+            cache_thrash: Some(CacheThrashConfig {
+                window: 8,
+                min_hit_rate: 0.3,
+                min_samples: 4,
+                max_evict_per_insert: 0.5,
+            }),
+            ..MonitorConfig::none()
+        };
+        let spans = vec![span(SpanKind::Trial, "trial 0", None, 0.0, 100.0)];
+        let lookup = |at: f64, hit: bool| Event {
+            kind: EventKind::CacheLookup,
+            span: Some(0),
+            at_secs: at,
+            attrs: vec![("hit", hit.into())],
+        };
+        let misses: Vec<Event> = (0..4).map(|i| lookup(f64::from(i) * 10.0, false)).collect();
+        let timeline = run_detectors(&config, spans.clone(), misses);
+        assert_eq!(timeline.len(), 1);
+        assert_eq!(timeline.alerts[0].detector, CACHE_THRASH);
+        // All hits → quiet.
+        let hits: Vec<Event> = (0..8).map(|i| lookup(f64::from(i) * 10.0, true)).collect();
+        assert!(run_detectors(&config, spans.clone(), hits).is_empty());
+        // Eviction churn from the final counters, via the finish hook.
+        let mut engine = MonitorEngine::new(&config);
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter_add("cache.insert", 10);
+        metrics.counter_add("cache.evict", 8);
+        let snap = TelemetrySnapshot { spans, events: vec![], metrics };
+        engine.observe_snapshot(&snap);
+        let timeline = engine.finish(&snap.metrics);
+        assert_eq!(timeline.len(), 1);
+        assert!(timeline.alerts[0].message.contains("eviction churn"));
+    }
+
+    #[test]
+    fn queue_growth_flags_deep_backlogs_and_rejection_bursts() {
+        let config = MonitorConfig {
+            queue_growth: Some(QueueGrowthConfig {
+                depth_threshold: 3,
+                window_secs: 100.0,
+                rejected_burst: 2,
+            }),
+            ..MonitorConfig::none()
+        };
+        let job = |label: &str, start: f64, attrs: Vec<(&'static str, AttrValue)>| Span {
+            kind: SpanKind::Job,
+            label: label.into(),
+            parent: Some(0),
+            start_secs: start,
+            end_secs: f64::NAN,
+            attrs,
+        };
+        let spans = vec![
+            span(SpanKind::Service, "svc", None, 0.0, f64::NAN),
+            job("job 0", 10.0, vec![("admitted", true.into()), ("queue_depth", 1u64.into())]),
+            job("job 1", 20.0, vec![("admitted", true.into()), ("queue_depth", 5u64.into())]),
+            job("job 2", 30.0, vec![("admitted", false.into())]),
+            job("job 3", 40.0, vec![("admitted", false.into())]),
+        ];
+        let timeline = run_detectors(&config, spans, vec![]);
+        assert_eq!(timeline.len(), 2);
+        // Canonical order: the depth alert (t=20) precedes the rejection
+        // burst (t=40).
+        assert_eq!(timeline.alerts[0].at_secs, 20.0);
+        assert_eq!(timeline.alerts[0].severity, Severity::Warning);
+        assert_eq!(timeline.alerts[1].at_secs, 40.0);
+        assert_eq!(timeline.alerts[1].severity, Severity::Critical);
+    }
+}

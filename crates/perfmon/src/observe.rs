@@ -11,15 +11,17 @@ use pipetune_telemetry::{MetricsRegistry, RATIO_BUCKETS};
 use crate::profiler::EpochProfile;
 use crate::sampling::SampleTrace;
 
-/// Counter: first-epoch profiles collected (closed-form or sampled).
-pub const PROFILES_COLLECTED: &str = "perfmon.profiles";
-/// Counter: profile/probe measurements lost to counter faults.
-pub const PROFILES_LOST: &str = "perfmon.lost_reads";
-/// Histogram: per-event sampling coverage (`time_running/time_enabled`)
-/// of a 1 Hz sample trace; 1.0 means the event was never multiplexed out.
-pub const SAMPLING_COVERAGE: &str = "perfmon.sampling_coverage";
-/// Counter: sample windows recorded by the 1 Hz pipeline.
-pub const SAMPLING_WINDOWS: &str = "perfmon.sampling_windows";
+pipetune_telemetry::metric_names! {
+    /// Counter: first-epoch profiles collected (closed-form or sampled).
+    pub const PROFILES_COLLECTED = "perfmon.profiles";
+    /// Counter: profile/probe measurements lost to counter faults.
+    pub const PROFILES_LOST = "perfmon.lost_reads";
+    /// Histogram: per-event sampling coverage (`time_running/time_enabled`)
+    /// of a 1 Hz sample trace; 1.0 means the event was never multiplexed out.
+    pub const SAMPLING_COVERAGE = "perfmon.sampling_coverage";
+    /// Counter: sample windows recorded by the 1 Hz pipeline.
+    pub const SAMPLING_WINDOWS = "perfmon.sampling_windows";
+}
 
 /// Records a collected first-epoch profile.
 pub fn record_profile(_profile: &EpochProfile, metrics: &mut MetricsRegistry) {

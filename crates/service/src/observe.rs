@@ -2,61 +2,66 @@
 //! `docs/multitenancy.md`).
 //!
 //! Mirrors the per-crate vocabulary convention of
-//! [`pipetune::observe`]: every name lives here so exporters, gates and
-//! tests agree on spelling. The service records through the same
-//! [`pipetune_telemetry::TelemetryHandle`] its jobs' runs do, so one
-//! snapshot holds both the queueing picture and the per-run detail.
+//! [`pipetune::observe`]: every name lives here, declared through
+//! [`pipetune_telemetry::metric_names!`] so exporters, gates and tests
+//! agree on spelling and the metric-name audit can check emissions
+//! against the generated `ALL_METRIC_NAMES` slice. The service records
+//! through the same [`pipetune_telemetry::TelemetryHandle`] its jobs'
+//! runs do, so one snapshot holds both the queueing picture and the
+//! per-run detail.
 
-/// Counter: jobs submitted to the service (admitted or not).
-pub const JOBS_SUBMITTED: &str = "service.jobs_submitted";
+pipetune_telemetry::metric_names! {
+    /// Counter: jobs submitted to the service (admitted or not).
+    pub const JOBS_SUBMITTED = "service.jobs_submitted";
 
-/// Counter: jobs admission control let into the system.
-pub const JOBS_ADMITTED: &str = "service.jobs_admitted";
+    /// Counter: jobs admission control let into the system.
+    pub const JOBS_ADMITTED = "service.jobs_admitted";
 
-/// Counter: jobs admission control turned away (each one also resolves
-/// to a typed `JobOutcome::Rejected` record).
-pub const ADMISSION_REJECTED: &str = "service.admission.rejected";
+    /// Counter: jobs admission control turned away (each one also resolves
+    /// to a typed `JobOutcome::Rejected` record).
+    pub const ADMISSION_REJECTED = "service.admission.rejected";
 
-/// Counter: admitted jobs that ran to completion.
-pub const JOBS_COMPLETED: &str = "service.jobs_completed";
+    /// Counter: admitted jobs that ran to completion.
+    pub const JOBS_COMPLETED = "service.jobs_completed";
 
-/// Counter: jobs shed for exceeding their deadline.
-pub const JOBS_SHED: &str = "service.jobs_shed";
+    /// Counter: jobs shed for exceeding their deadline.
+    pub const JOBS_SHED = "service.jobs_shed";
 
-/// Counter: jobs abandoned after exhausting the resubmission budget.
-pub const JOBS_ABANDONED: &str = "service.jobs_abandoned";
+    /// Counter: jobs abandoned after exhausting the resubmission budget.
+    pub const JOBS_ABANDONED = "service.jobs_abandoned";
 
-/// Counter: nodes that left the shared slot pool (service-level churn).
-pub const NODE_LEAVES: &str = "service.churn.node_leaves";
+    /// Counter: nodes that left the shared slot pool (service-level churn).
+    pub const NODE_LEAVES = "service.churn.node_leaves";
 
-/// Counter: nodes that rejoined the shared slot pool.
-pub const NODE_JOINS: &str = "service.churn.node_joins";
+    /// Counter: nodes that rejoined the shared slot pool.
+    pub const NODE_JOINS = "service.churn.node_joins";
 
-/// Gauge: current pool capacity in slots, updated at every applied churn
-/// event.
-pub const CAPACITY_SLOTS: &str = "service.churn.capacity_slots";
+    /// Gauge: current pool capacity in slots, updated at every applied churn
+    /// event.
+    pub const CAPACITY_SLOTS = "service.churn.capacity_slots";
 
-/// Counter: job-level crashes injected by the service fault plan.
-pub const JOB_CRASHES: &str = "service.faults.job_crashes";
+    /// Counter: job-level crashes injected by the service fault plan.
+    pub const JOB_CRASHES = "service.faults.job_crashes";
 
-/// Counter: crashed jobs resubmitted from their last checkpoint.
-pub const RESUBMISSIONS: &str = "service.faults.resubmissions";
+    /// Counter: crashed jobs resubmitted from their last checkpoint.
+    pub const RESUBMISSIONS = "service.faults.resubmissions";
 
-/// Histogram of service-seconds lost per job crash (work past the last
-/// checkpoint; [`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
-pub const LOST_SERVICE_SECS: &str = "service.faults.lost_service_secs";
+    /// Histogram of service-seconds lost per job crash (work past the last
+    /// checkpoint; [`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
+    pub const LOST_SERVICE_SECS = "service.faults.lost_service_secs";
 
-/// Histogram of per-job queueing delay (start − arrival), seconds
-/// ([`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
-pub const QUEUE_SECS: &str = "service.queue_secs";
+    /// Histogram of per-job queueing delay (start − arrival), seconds
+    /// ([`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
+    pub const QUEUE_SECS = "service.queue_secs";
 
-/// Histogram of per-job response time (completion − arrival), seconds
-/// ([`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
-pub const RESPONSE_SECS: &str = "service.response_secs";
+    /// Histogram of per-job response time (completion − arrival), seconds
+    /// ([`pipetune_telemetry::DURATION_BUCKETS_SECS`]).
+    pub const RESPONSE_SECS = "service.response_secs";
 
-/// Histogram of slot-pool occupancy sampled at every scheduling event
-/// ([`pipetune_telemetry::COUNT_BUCKETS`]).
-pub const SLOTS_IN_USE: &str = "service.slots_in_use";
+    /// Histogram of slot-pool occupancy sampled at every scheduling event
+    /// ([`pipetune_telemetry::COUNT_BUCKETS`]).
+    pub const SLOTS_IN_USE = "service.slots_in_use";
 
-/// Gauge: time the last job completed, seconds on the service clock.
-pub const MAKESPAN_SECS: &str = "service.makespan_secs";
+    /// Gauge: time the last job completed, seconds on the service clock.
+    pub const MAKESPAN_SECS = "service.makespan_secs";
+}

@@ -746,6 +746,11 @@ impl TuningService {
         let mut next_tick: u64 = 1;
 
         loop {
+            // Online monitoring: stream everything recorded since the last
+            // dispatch step through the detectors. A no-op unless both the
+            // telemetry and monitor handles are live, and scan granularity
+            // never changes the timeline (the engine is cursor-based).
+            env.monitor.scan(&telemetry);
             let t_arr = order
                 .get(arr_pos)
                 .map_or(f64::INFINITY, |&j| submissions[j].arrival_secs);
@@ -827,12 +832,16 @@ impl TuningService {
             arr_pos += 1;
             let sub = &submissions[job];
             telemetry.counter_add(observe::JOBS_SUBMITTED, 1);
-            let admitted =
-                self.config.admission.admits(d.engine.active() + d.pending.len());
+            let backlog = d.engine.active() + d.pending.len();
+            let admitted = self.config.admission.admits(backlog);
+            // `queue_depth` is the backlog ahead of this job at its arrival
+            // instant — the signal the monitor's queue-growth detector
+            // watches (see `docs/monitoring.md`).
             let mut attrs = vec![
                 ("job", job.into()),
                 ("workload", sub.spec.name().into()),
                 ("admitted", admitted.into()),
+                ("queue_depth", backlog.into()),
             ];
             if let Some(dl) = deadline {
                 attrs.push(("deadline_secs", dl.into()));

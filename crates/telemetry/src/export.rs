@@ -367,6 +367,81 @@ impl TelemetrySnapshot {
         out
     }
 
+    /// The metrics registry in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers per family, families sorted by exposed
+    /// name, histograms as cumulative `_bucket{le="…"}` series plus
+    /// `_sum` / `_count`.
+    ///
+    /// Canonical dotted names sanitise to the Prometheus charset
+    /// (`cache.hit` → `cache_hit`); the `# HELP` line keeps the canonical
+    /// name so the mapping stays greppable. Like every exporter here the
+    /// output is a pure function of the snapshot: byte-stable across
+    /// calls and invariant under a JSON round trip (pinned by tests).
+    ///
+    /// ```
+    /// use pipetune_telemetry::TelemetryHandle;
+    ///
+    /// let telemetry = TelemetryHandle::enabled();
+    /// telemetry.counter_add("cache.hit", 3);
+    /// let text = telemetry.snapshot().unwrap().to_prometheus();
+    /// assert!(text.contains("# TYPE cache_hit counter"));
+    /// assert!(text.contains("cache_hit 3"));
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        fn exposed(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+                .collect()
+        }
+        // Prometheus spells float samples like Rust's shortest-round-trip
+        // `Display`, except the infinities.
+        fn sample(v: f64) -> String {
+            if v == f64::INFINITY {
+                "+Inf".into()
+            } else if v == f64::NEG_INFINITY {
+                "-Inf".into()
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut families: Vec<(String, String)> = Vec::new();
+        for (name, value) in self.metrics.counters() {
+            let p = exposed(name);
+            let block = format!("# HELP {p} canonical name {name}\n# TYPE {p} counter\n{p} {value}\n");
+            families.push((p, block));
+        }
+        for (name, value) in self.metrics.gauges() {
+            let p = exposed(name);
+            let block = format!(
+                "# HELP {p} canonical name {name}\n# TYPE {p} gauge\n{p} {}\n",
+                sample(value)
+            );
+            families.push((p, block));
+        }
+        for (name, hist) in self.metrics.histograms() {
+            let p = exposed(name);
+            let mut block =
+                format!("# HELP {p} canonical name {name}\n# TYPE {p} histogram\n");
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.bounds().iter().zip(hist.counts()) {
+                cumulative += count;
+                block.push_str(&format!(
+                    "{p}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    sample(*bound)
+                ));
+            }
+            block.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
+            block.push_str(&format!("{p}_sum {}\n", sample(hist.sum())));
+            block.push_str(&format!("{p}_count {}\n", hist.count()));
+            families.push((p, block));
+        }
+        // Stable sort: same-named families (possible only when distinct
+        // canonical names sanitise to one exposed name) keep the
+        // counter → gauge → histogram registry order.
+        families.sort_by(|a, b| a.0.cmp(&b.0));
+        families.into_iter().map(|(_, block)| block).collect()
+    }
+
     /// The human-readable end-of-run summary: span counts per kind, then
     /// every counter, gauge and histogram in sorted order.
     pub fn summary_table(&self) -> String {
@@ -401,6 +476,8 @@ impl TelemetrySnapshot {
                 crate::EventKind::Retry,
                 crate::EventKind::Churn,
                 crate::EventKind::Shed,
+                crate::EventKind::CacheLookup,
+                crate::EventKind::Alert,
             ] {
                 let n = self.events.iter().filter(|e| e.kind == kind).count();
                 if n > 0 {
@@ -609,6 +686,8 @@ mod tests {
                 EventKind::Profile,
                 EventKind::Churn,
                 EventKind::Shed,
+                EventKind::CacheLookup,
+                EventKind::Alert,
             ];
             let n_spans = rng.gen_range(0..12usize);
             let spans: Vec<Span> = (0..n_spans)
@@ -672,6 +751,37 @@ mod tests {
                 prop_assert_eq!(again.to_json_string(), text);
             }
         }
+    }
+
+    #[test]
+    fn prometheus_export_is_sorted_and_round_trip_stable() {
+        let snap = snapshot();
+        let text = snap.to_prometheus();
+        // Byte-stable across calls.
+        assert_eq!(text, snap.to_prometheus());
+        // …and invariant under a JSON round trip.
+        let parsed = TelemetrySnapshot::from_json_str(&snap.to_json_string()).unwrap();
+        assert_eq!(parsed.to_prometheus(), text);
+        // Dotted canonical names sanitise; HELP keeps the original.
+        assert!(text.contains("# HELP epochs_total canonical name epochs.total"));
+        assert!(text.contains("# TYPE epochs_total counter"));
+        assert!(text.contains("epochs_total 12"));
+        assert!(text.contains("# TYPE gt_hit_rate gauge"));
+        assert!(text.contains("gt_hit_rate 0.5"));
+        // Histograms expose cumulative buckets plus sum/count, ending at
+        // +Inf.
+        assert!(text.contains("# TYPE executor_batch_trials histogram"));
+        assert!(text.contains("executor_batch_trials_bucket{le=\"1\"} 0"));
+        assert!(text.contains("executor_batch_trials_bucket{le=\"4\"} 1"));
+        assert!(text.contains("executor_batch_trials_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("executor_batch_trials_sum 3"));
+        assert!(text.contains("executor_batch_trials_count 1"));
+        // Families are sorted by exposed name.
+        let families: Vec<usize> = ["epochs_total", "executor_batch_trials", "gt_hit_rate"]
+            .iter()
+            .map(|f| text.find(&format!("# TYPE {f}")).expect(f))
+            .collect();
+        assert!(families.windows(2).all(|w| w[0] < w[1]), "families out of order:\n{text}");
     }
 
     #[test]

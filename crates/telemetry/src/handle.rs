@@ -218,6 +218,14 @@ impl TelemetryHandle {
         }
     }
 
+    /// Runs `f` against the recorded spans and events under the sink lock,
+    /// without cloning — the hook streaming consumers (the
+    /// `pipetune-monitor` engine's incremental scans) read the trace
+    /// through. `None` when disabled.
+    pub fn visit<R>(&self, f: impl FnOnce(&[Span], &[Event]) -> R) -> Option<R> {
+        self.lock().map(|sink| f(&sink.spans, &sink.events))
+    }
+
     /// Merges a worker-local buffer into the sink, re-parenting the
     /// buffer's root spans/events under `parent` and remapping local span
     /// indices. The executor calls this on the coordinator thread in

@@ -13,11 +13,16 @@
 //!   fixed-bucket [`Histogram`]s — ground-truth hit rates, probe counts,
 //!   retries, epoch durations, energy, queue occupancy.
 //! * **Exporters** turn a [`TelemetrySnapshot`] into a deterministic JSON
-//!   trace, InfluxDB line protocol (via [`pipetune_tsdb`]) or a
+//!   trace, InfluxDB line protocol (via [`pipetune_tsdb`]), Prometheus
+//!   text exposition ([`TelemetrySnapshot::to_prometheus`]) or a
 //!   human-readable summary table. The JSON trace round-trips:
 //!   [`TelemetrySnapshot::from_json_str`] parses a dump back for offline
 //!   analysis, and [`TelemetrySnapshot::validate`] rejects malformed span
 //!   trees with typed [`TraceError`]s.
+//! * **Names** ([`names`], [`metric_names!`]) keep the canonical metric
+//!   vocabulary enumerable: each subsystem's `observe` module declares its
+//!   names through the macro, and [`names::unregistered`] diffs a recorded
+//!   snapshot against the declared union.
 //!
 //! # Determinism
 //!
@@ -50,6 +55,7 @@ mod collector;
 mod export;
 mod handle;
 mod metrics;
+pub mod names;
 mod span;
 mod validate;
 

@@ -65,6 +65,18 @@ pub enum TraceError {
         /// The dangling span id.
         span: u32,
     },
+    /// An event's timestamp falls outside its owning span's interval.
+    /// Events share their owning span's clock domain (see
+    /// [`crate::Event::at_secs`]), so containment is checked for every
+    /// event kind — including the `alert` and `cache_lookup` points the
+    /// monitor and epoch-reuse cache record. An open owning span only
+    /// bounds the event from below.
+    EventOutsideSpan {
+        /// Index of the offending event.
+        event: usize,
+        /// Index of its owning span.
+        span: u32,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -85,6 +97,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::OrphanEventSpan { event, span } => {
                 write!(f, "event {event} references span {span}, which does not exist")
+            }
+            TraceError::EventOutsideSpan { event, span } => {
+                write!(f, "event {event}'s timestamp lies outside its span {span}'s interval")
             }
         }
     }
@@ -131,9 +146,11 @@ impl TelemetrySnapshot {
     /// than they start; same-clock children stay inside their parent's
     /// interval (with a tiny relative tolerance for float re-association);
     /// the `service > job > tuning_run > rung > batch > trial > epoch`
-    /// taxonomy is respected; events point at existing spans. Open spans
-    /// (`NaN` end) skip the interval checks — a snapshot may be taken
-    /// mid-run.
+    /// taxonomy is respected; events point at existing spans and their
+    /// timestamps stay inside the owning span's interval (events share the
+    /// owning span's clock domain). Open spans (`NaN` end) skip the
+    /// interval checks — a snapshot may be taken mid-run — and only bound
+    /// their events from below.
     ///
     /// # Errors
     ///
@@ -187,6 +204,20 @@ impl TelemetrySnapshot {
             if let Some(s) = event.span {
                 if s as usize >= self.spans.len() {
                     return Err(TraceError::OrphanEventSpan { event: i, span: s });
+                }
+                // Events are timestamped on their owning span's clock
+                // (`Event::at_secs`), so every kind — `alert` and
+                // `cache_lookup` included — must fall inside the span's
+                // interval; an open span only bounds from below.
+                let owner = &self.spans[s as usize];
+                let eps = 1e-6
+                    * if owner.end_secs.is_finite() { owner.end_secs } else { owner.start_secs }
+                        .abs()
+                        .max(1.0);
+                if event.at_secs < owner.start_secs - eps
+                    || (owner.end_secs.is_finite() && event.at_secs > owner.end_secs + eps)
+                {
+                    return Err(TraceError::EventOutsideSpan { event: i, span: s });
                 }
             }
         }
@@ -336,6 +367,44 @@ mod tests {
             vec![Event { kind: EventKind::Fault, span: Some(3), at_secs: 0.5, attrs: vec![] }],
         );
         assert_eq!(snap.validate(), Err(TraceError::OrphanEventSpan { event: 0, span: 3 }));
+    }
+
+    #[test]
+    fn event_timestamps_must_stay_inside_their_span() {
+        let spans = vec![span(SpanKind::Trial, None, 900.0, 960.0)];
+        // In range (boundaries included, with eps slack).
+        for at in [900.0, 930.0, 960.0, 960.0 + 1e-7] {
+            let snap = snapshot(
+                spans.clone(),
+                vec![Event { kind: EventKind::CacheLookup, span: Some(0), at_secs: at, attrs: vec![] }],
+            );
+            assert_eq!(snap.validate(), Ok(()), "at_secs {at} should be contained");
+        }
+        // Outside, before or after — `alert` and `cache_lookup` points are
+        // clock-checked like every other kind.
+        for (kind, at) in [(EventKind::Alert, 899.0), (EventKind::CacheLookup, 961.0)] {
+            let snap = snapshot(
+                spans.clone(),
+                vec![Event { kind, span: Some(0), at_secs: at, attrs: vec![] }],
+            );
+            assert_eq!(
+                snap.validate(),
+                Err(TraceError::EventOutsideSpan { event: 0, span: 0 }),
+                "at_secs {at} should be rejected"
+            );
+        }
+        // An open span bounds only from below.
+        let open = vec![span(SpanKind::Trial, None, 900.0, f64::NAN)];
+        let snap = snapshot(
+            open.clone(),
+            vec![Event { kind: EventKind::Alert, span: Some(0), at_secs: 5000.0, attrs: vec![] }],
+        );
+        assert_eq!(snap.validate(), Ok(()));
+        let snap = snapshot(
+            open,
+            vec![Event { kind: EventKind::Alert, span: Some(0), at_secs: 1.0, attrs: vec![] }],
+        );
+        assert_eq!(snap.validate(), Err(TraceError::EventOutsideSpan { event: 0, span: 0 }));
     }
 
     #[test]
