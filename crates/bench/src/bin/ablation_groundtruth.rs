@@ -4,7 +4,8 @@
 //! job from scratch (cold ground truth, never carried across jobs). The gap
 //! is the value of §5.4's history sharing.
 
-use pipetune::{warm_start_ground_truth, ExperimentEnv, PipeTune, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{warm_start_ground_truth};
 use pipetune_bench::{pct, secs, tuner_options, Report};
 
 fn main() {
@@ -14,7 +15,7 @@ fn main() {
     let jobs = 3usize;
 
     // Warm: shared ground truth bootstrapped from the §7.2 campaign.
-    let env = ExperimentEnv::distributed(400);
+    let env = ExperimentEnvBuilder::distributed(400).build().expect("valid experiment config");
     let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options).expect("gt");
     let mut warm = PipeTune::with_ground_truth(options, gt);
     let warm_total: f64 =

@@ -5,7 +5,8 @@
 //! ablation runs all three goals and shows the runtime/energy trade they
 //! make.
 
-use pipetune::{ExperimentEnv, PipeTune, ProbeGoal, TunerOptions, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{ProbeGoal};
 use pipetune_bench::{kj, secs, tuner_options, Report};
 
 fn main() {
@@ -21,7 +22,7 @@ fn main() {
         ("energy-delay", ProbeGoal::EnergyDelay),
     ] {
         let options = TunerOptions { probe_goal: goal, ..base };
-        let env = ExperimentEnv::distributed(420);
+        let env = ExperimentEnvBuilder::distributed(420).build().expect("valid experiment config");
         // Cold tuner: probing (whose goal we ablate) decides the configs.
         let mut tuner = PipeTune::new(options);
         // Two jobs: the second reuses what the first's probes recorded.

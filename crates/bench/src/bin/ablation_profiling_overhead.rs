@@ -4,9 +4,8 @@
 //! gains. This ablation sweeps the profiled-epoch overhead from 0 to 30 %
 //! and finds where PipeTune's advantage over Tune V1 disappears.
 
-use pipetune::{
-    warm_start_ground_truth, ExperimentEnv, PipeTune, TuneV1, WorkloadSpec,
-};
+use pipetune::prelude::*;
+use pipetune::{warm_start_ground_truth};
 use pipetune_bench::{pct, secs, tuner_options, Report};
 
 fn main() {
@@ -17,8 +16,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut series = Vec::new();
     for overhead in [0.0f64, 0.02, 0.10, 0.30] {
-        let mut env = ExperimentEnv::distributed(430);
-        env.profile_overhead = overhead;
+        let env = ExperimentEnvBuilder::distributed(430)
+            .profile_overhead(overhead)
+            .build()
+            .expect("valid experiment config");
         let v1 = TuneV1::new(options).run(&env, &spec).expect("v1 runs");
         let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
             .expect("warm start");

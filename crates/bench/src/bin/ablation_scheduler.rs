@@ -3,9 +3,8 @@
 //! runs the same workload under every supported scheduler and compares the
 //! accuracy/budget/time envelope.
 
-use pipetune::{
-    warm_start_ground_truth, ExperimentEnv, PipeTune, SchedulerKind, TunerOptions, WorkloadSpec,
-};
+use pipetune::prelude::*;
+use pipetune::{warm_start_ground_truth};
 use pipetune_bench::{secs, tuner_options, Report};
 
 fn main() {
@@ -25,7 +24,7 @@ fn main() {
     let mut series = Vec::new();
     for kind in kinds {
         let options = TunerOptions { scheduler: kind, ..base };
-        let env = ExperimentEnv::distributed(440);
+        let env = ExperimentEnvBuilder::distributed(440).build().expect("valid experiment config");
         let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
             .expect("warm start");
         let out =

@@ -4,9 +4,8 @@
 //! clusterers plug in. This compares k-means against DBSCAN as the
 //! ground-truth gate, on the same warm-started history and workload.
 
-use pipetune::{
-    warm_start_ground_truth, ExperimentEnv, PipeTune, SimilarityKind, TunerOptions, WorkloadSpec,
-};
+use pipetune::prelude::*;
+use pipetune::{SimilarityKind, warm_start_ground_truth};
 use pipetune_bench::{secs, tuner_options, Report};
 
 fn main() {
@@ -23,7 +22,7 @@ fn main() {
     let mut series = Vec::new();
     for (name, kind) in kinds {
         let options = TunerOptions { similarity: kind, ..base };
-        let env = ExperimentEnv::distributed(450);
+        let env = ExperimentEnvBuilder::distributed(450).build().expect("valid experiment config");
         let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
             .expect("warm start");
         let out =

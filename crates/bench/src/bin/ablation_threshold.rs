@@ -4,7 +4,8 @@
 //! probes (no reuse), too loose and dissimilar jobs reuse configurations
 //! tuned for someone else.
 
-use pipetune::{warm_start_ground_truth, ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{warm_start_ground_truth};
 use pipetune_bench::{secs, tuner_options, Report};
 
 fn main() {
@@ -16,7 +17,7 @@ fn main() {
     let mut series = Vec::new();
     for factor in [0.0f64, 0.5, 1.0, 3.0, 10.0, 100.0] {
         let options = TunerOptions { threshold_factor: factor, ..base };
-        let env = ExperimentEnv::distributed(410);
+        let env = ExperimentEnvBuilder::distributed(410).build().expect("valid experiment config");
         let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
             .expect("warm start");
         let mut tuner = PipeTune::with_ground_truth(options, gt);

@@ -40,10 +40,8 @@
 
 use std::process::ExitCode;
 
-use pipetune::{
-    warm_start_ground_truth, EpochCacheConfig, EpochCacheHandle, ExperimentEnv, PipeTune, TuneV1,
-    TuneV2, TunerOptions, WorkloadSpec,
-};
+use pipetune::prelude::*;
+use pipetune::{warm_start_ground_truth};
 use pipetune_cluster::{PoissonArrivals, ServiceFaultPlan};
 use pipetune_insight::{
     cache_speedup_metrics, check, headline_metrics, multitenant_metrics, service_fault_metrics,
@@ -70,7 +68,7 @@ where
     F: FnOnce(&ExperimentEnv, &WorkloadSpec),
 {
     let telemetry = TelemetryHandle::enabled();
-    let env = ExperimentEnv::distributed(SEED).with_telemetry(telemetry.clone());
+    let env = ExperimentEnvBuilder::distributed(SEED).telemetry(telemetry.clone()).build().expect("valid experiment config");
     run(&env, spec);
     telemetry.snapshot().expect("enabled handle")
 }
@@ -126,8 +124,8 @@ fn main() -> ExitCode {
         for spec in [WorkloadSpec::lenet_mnist(), WorkloadSpec::lstm_news20()] {
             let key = spec.name().replace('/', "_");
             eprintln!("{label}: running {} (cold/warm epoch cache)...", spec.name());
-            let cache = EpochCacheHandle::new(EpochCacheConfig::default());
-            let env = ExperimentEnv::distributed(SEED).with_epoch_cache(cache);
+            let cache = EpochCacheHandle::with_config(EpochCacheConfig::default());
+            let env = ExperimentEnvBuilder::distributed(SEED).epoch_cache(cache).build().expect("valid experiment config");
             let cold = PipeTune::new(options).run(&env, &spec).expect("cold cache run");
             let warm = PipeTune::new(options).run(&env, &spec).expect("warm cache run");
             assert_eq!(
@@ -156,7 +154,7 @@ fn main() -> ExitCode {
     };
     for policy in SchedulingPolicy::ALL {
         eprintln!("{label}: running {SERVICE_JOBS}-job service stream ({})...", policy.name());
-        let mut env = ExperimentEnv::distributed(SEED);
+        let mut env = ExperimentEnvBuilder::distributed(SEED).build().expect("valid experiment config");
         let mut config = ServiceConfig::default().with_policy(policy);
         // Chaos streams run under live telemetry with the online monitor's
         // full detector set; clean streams stay uninstrumented, keeping
@@ -167,7 +165,7 @@ fn main() -> ExitCode {
                 .with_service_faults(ServiceFaultPlan::mixed(SEED))
                 .with_deadline(CHAOS_DEADLINE_SECS);
             let telemetry = TelemetryHandle::enabled();
-            let monitor = MonitorHandle::new(&MonitorConfig::standard());
+            let monitor = MonitorHandle::with_config(&MonitorConfig::standard());
             env = env.with_telemetry(telemetry.clone()).with_monitor(monitor.clone());
             watch = Some((telemetry, monitor));
         }

@@ -7,7 +7,8 @@
 //! compute time only grows with 1/f), while runtime-goal probing sticks to
 //! the nominal clock.
 
-use pipetune::{ExperimentEnv, PipeTune, ProbeGoal, TunerOptions, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{ProbeGoal};
 use pipetune_bench::{kj, secs, tuner_options, Report};
 use pipetune_cluster::SystemConfig;
 
@@ -25,7 +26,7 @@ fn main() {
         ("energy-delay, DVFS", ProbeGoal::EnergyDelay, true),
     ] {
         let options = TunerOptions { probe_goal: goal, ..base };
-        let mut env = ExperimentEnv::distributed(460);
+        let mut env = ExperimentEnvBuilder::distributed(460).build().expect("valid experiment config");
         if dvfs {
             env.system_space.freq_mhz = vec![1800, 2600, SystemConfig::NOMINAL_FREQ_MHZ];
         }

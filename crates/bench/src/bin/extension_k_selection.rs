@@ -7,7 +7,8 @@
 //! before profiling (§5.3); part (b) measures how much of the 58-event list
 //! actually carries independent information.
 
-use pipetune::{warm_start_ground_truth, ExperimentEnv, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{warm_start_ground_truth};
 use pipetune_bench::{tuner_options, Report};
 use pipetune_clustering::select_k;
 use pipetune_perfmon::decorrelated_events;
@@ -15,7 +16,7 @@ use pipetune_perfmon::decorrelated_events;
 fn main() {
     let mut report = Report::new("extension_k_selection");
     let options = tuner_options();
-    let env = ExperimentEnv::distributed(490);
+    let env = ExperimentEnvBuilder::distributed(490).build().expect("valid experiment config");
     let gt = warm_start_ground_truth(&env, &WorkloadSpec::all_type12(), &options)
         .expect("warm start");
     let features = gt.feature_history();

@@ -7,7 +7,8 @@
 //! quality exactly as the paper warns — while the minutes-long Type-I epochs
 //! are unaffected.
 
-use pipetune::{warm_start_ground_truth, ExperimentEnv, PipeTune, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{warm_start_ground_truth};
 use pipetune_bench::{tuner_options, Report};
 use pipetune_perfmon::WorkloadSignature;
 use rand::rngs::StdRng;
@@ -47,12 +48,12 @@ fn main() {
         ("lenet/mnist (long epochs)", WorkloadSpec::lenet_mnist(), false),
         ("jacobi (short epochs)", WorkloadSpec::jacobi(), true),
     ] {
-        let mut env = if testbed_single {
-            ExperimentEnv::single_node(481)
+        let builder = if testbed_single {
+            ExperimentEnvBuilder::single_node(481)
         } else {
-            ExperimentEnv::distributed(481)
+            ExperimentEnvBuilder::distributed(481)
         };
-        env.sampled_profiling = true;
+        let env = builder.sampled_profiling(true).build().expect("valid experiment config");
         let gt = warm_start_ground_truth(&env, std::slice::from_ref(&spec), &options)
             .expect("warm start");
         let out =

@@ -6,9 +6,8 @@
 //! shorter service times help in both, but sharing compresses the queueing
 //! delay while stretching every job's wall time.
 
-use pipetune::{
-    multi_tenancy, multi_tenancy_shared, ExperimentEnv, MultiTenancyOptions, WorkloadSpec,
-};
+use pipetune::prelude::*;
+use pipetune::{MultiTenancyOptions, multi_tenancy, multi_tenancy_shared};
 use pipetune_bench::{pct, secs, tuner_options, Report};
 
 fn main() {
@@ -21,7 +20,7 @@ fn main() {
         seed: 470,
     };
 
-    let env = ExperimentEnv::distributed(470);
+    let env = ExperimentEnvBuilder::distributed(470).build().expect("valid experiment config");
     let fifo = multi_tenancy(&env, &specs, &options, &mt).expect("fifo trace runs");
     let shared = multi_tenancy_shared(&env, &specs, &options, &mt).expect("shared trace runs");
 

@@ -2,7 +2,7 @@
 //! the number of tuned parameters (LeNet/MNIST, 1–6 parameters × 3 values,
 //! three ML-optimised instance types).
 
-use pipetune::{ExperimentEnv, HyperParams, WorkloadSpec};
+use pipetune::prelude::*;
 use pipetune_bench::{pct, Report};
 use pipetune_search::{GridSearch, ParamSpec, SearchSpace};
 
@@ -15,7 +15,7 @@ const SPEEDUP: [f64; 3] = [1.0, 2.4, 4.4];
 
 fn main() {
     let mut report = Report::new("fig01_grid_explosion");
-    let env = ExperimentEnv::distributed(1);
+    let env = ExperimentEnvBuilder::distributed(1).build().expect("valid experiment config");
     // The six parameters in the order they are added to the grid; each takes
     // 3 values (the paper: "each parameter was configured to take up to 3
     // different values").

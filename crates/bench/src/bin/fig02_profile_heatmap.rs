@@ -5,7 +5,8 @@
 //! 1e8–1e6, 1e6–1e4, 1e4–1e2, <1e2) for the initialisation phase plus five
 //! epochs.
 
-use pipetune::{EpochWorkload, ExperimentEnv, HyperParams, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{EpochWorkload};
 use pipetune_bench::Report;
 use pipetune_perfmon::EVENT_NAMES;
 use rand::rngs::StdRng;
@@ -28,7 +29,7 @@ fn bucket(v: f64) -> char {
 
 fn main() {
     let mut report = Report::new("fig02_profile_heatmap");
-    let env = ExperimentEnv::distributed(2);
+    let env = ExperimentEnvBuilder::distributed(2).build().expect("valid experiment config");
     let spec = WorkloadSpec::cnn_news20().with_scale(0.3);
     let hp = HyperParams { batch_size: 64, embedding_dim: 32, ..HyperParams::default() };
     let workload = spec.instantiate(&hp, 2).expect("workload builds");

@@ -6,7 +6,8 @@
 //! (b) cores impact on duration per batch size vs. 1 core;
 //! (c) cores impact on energy per batch size vs. 1 core.
 
-use pipetune::{EpochWorkload, ExperimentEnv, HyperParams, SystemTuner, TrialExecution, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{EpochWorkload, SystemTuner, TrialExecution};
 use pipetune_bench::{pct, Report};
 use pipetune_cluster::SystemConfig;
 use rand::rngs::StdRng;
@@ -34,7 +35,7 @@ fn main() {
     let scale = if quick { 0.2 } else { 0.6 };
     let epochs = if quick { 4 } else { 10 };
     let mut report = Report::new("fig03_param_impact");
-    let env = ExperimentEnv::distributed(3);
+    let env = ExperimentEnvBuilder::distributed(3).build().expect("valid experiment config");
 
     // (a) batch size at the paper's fixed system configuration.
     let sys = SystemConfig::new(8, 16);

@@ -2,7 +2,7 @@
 //! Tune V1 job, under varying cores × co-located jobs (the paper pins the
 //! tuning job and its background jobs to the same cores).
 
-use pipetune::{ExperimentEnv, TuneV1, TuneV2, WorkloadSpec};
+use pipetune::prelude::*;
 use pipetune_bench::{pct, tuner_options, Report};
 use pipetune_cluster::SystemConfig;
 
@@ -12,7 +12,7 @@ fn main() {
     let spec = WorkloadSpec::lenet_mnist();
 
     // Baseline: one Tune V1 job on dedicated default cores.
-    let env = ExperimentEnv::distributed(55);
+    let env = ExperimentEnvBuilder::distributed(55).build().expect("valid experiment config");
     let base = TuneV1::new(options).run(&env, &spec).expect("baseline runs");
     let base_err = f64::from(1.0 - base.best_accuracy);
     let base_train = base.training_secs;
@@ -32,7 +32,7 @@ fn main() {
             // are capped and its busy time is multiplied by the job count.
             // Each cell is an independent run (own seed), as in the paper's
             // characterization campaign.
-            let mut env = ExperimentEnv::distributed(5500 + u64::from(cores) * 10 + jobs as u64);
+            let mut env = ExperimentEnvBuilder::distributed(5500 + u64::from(cores) * 10 + jobs as u64).build().expect("valid experiment config");
             env.system_space.cores = match cores {
                 1 => vec![1],
                 2 => vec![1, 2],

@@ -1,7 +1,8 @@
 //! Figure 8: k-means (k = 2) over profiling data groups workloads into the
 //! Type-I and Type-II families, both when grouped by model and by dataset.
 
-use pipetune::{warm_start_ground_truth, EpochWorkload, ExperimentEnv, HyperParams, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{EpochWorkload, warm_start_ground_truth};
 use pipetune_bench::{tuner_options, Report};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -9,7 +10,7 @@ use rand::SeedableRng;
 fn main() {
     let mut report = Report::new("fig08_clustering");
     let options = tuner_options();
-    let env = ExperimentEnv::distributed(88);
+    let env = ExperimentEnvBuilder::distributed(88).build().expect("valid experiment config");
     let specs = WorkloadSpec::all_type12();
     let gt = warm_start_ground_truth(&env, &specs, &options).expect("warm start");
 

@@ -1,10 +1,8 @@
 //! Figures 9 & 10: convergence of accuracy and of per-trial time over the
 //! tuning wall clock for the CNN/News20 workload, PipeTune vs Tune V1/V2.
 
-use pipetune::{
-    warm_start_ground_truth, ConvergencePoint, ExperimentEnv, PipeTune, TuneV1, TuneV2,
-    WorkloadSpec,
-};
+use pipetune::prelude::*;
+use pipetune::{ConvergencePoint, warm_start_ground_truth};
 use pipetune_bench::{tuner_options, Report};
 
 /// Wall-clock time at which the running-best accuracy first reaches `target`.
@@ -33,7 +31,7 @@ fn running_best(points: &[ConvergencePoint]) -> Vec<(f64, f32)> {
 fn main() {
     let mut report = Report::new("fig09_accuracy_convergence");
     let options = tuner_options();
-    let env = ExperimentEnv::distributed(99);
+    let env = ExperimentEnvBuilder::distributed(99).build().expect("valid experiment config");
     let spec = WorkloadSpec::cnn_news20();
 
     let v1 = TuneV1::new(options).run(&env, &spec).expect("v1");

@@ -6,7 +6,8 @@
 //! `fig09_accuracy_convergence`, which also prints this figure's trace; this
 //! binary isolates the trial-time statistics and their running envelope.)
 
-use pipetune::{warm_start_ground_truth, ExperimentEnv, PipeTune, TuneV1, TuneV2, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{warm_start_ground_truth};
 use pipetune_bench::{tuner_options, Report};
 
 /// Running mean of trial durations in completion order.
@@ -25,7 +26,8 @@ fn running_mean(points: &[pipetune::ConvergencePoint]) -> Vec<(f64, f64)> {
 fn main() {
     let mut report = Report::new("fig10_trialtime_convergence");
     let options = tuner_options();
-    let env = ExperimentEnv::distributed(99); // same run as fig09
+    // Same run as fig09.
+    let env = ExperimentEnvBuilder::distributed(99).build().expect("valid experiment config");
     let spec = WorkloadSpec::cnn_news20();
 
     let v1 = TuneV1::new(options).run(&env, &spec).expect("v1");

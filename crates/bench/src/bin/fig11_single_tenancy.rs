@@ -2,13 +2,14 @@
 //! tuning duration and tuning energy for the four Type-I/II workloads under
 //! Tune V1, Tune V2 and PipeTune.
 
-use pipetune::{single_tenancy, ExperimentEnv, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{single_tenancy};
 use pipetune_bench::{kj, pct, secs, tuner_options, Report};
 
 fn main() {
     let mut report = Report::new("fig11_single_tenancy");
     let options = tuner_options();
-    let env = ExperimentEnv::distributed(111);
+    let env = ExperimentEnvBuilder::distributed(111).build().expect("valid experiment config");
     let specs = if pipetune_bench::quick_mode() {
         vec![WorkloadSpec::lenet_mnist(), WorkloadSpec::cnn_news20()]
     } else {

@@ -2,13 +2,14 @@
 //! (Jacobi, spk-means, BFS) on the single-node testbed — the short-epoch
 //! stress test for PipeTune's per-epoch profiling.
 
-use pipetune::{single_tenancy, ExperimentEnv, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{single_tenancy};
 use pipetune_bench::{kj, pct, secs, tuner_options, Report};
 
 fn main() {
     let mut report = Report::new("fig12_type3");
     let options = tuner_options();
-    let env = ExperimentEnv::single_node(112);
+    let env = ExperimentEnvBuilder::single_node(112).build().expect("valid experiment config");
     let specs = WorkloadSpec::all_type3();
     let rows = single_tenancy(&env, &specs, &options).expect("type-3 single tenancy runs");
 

@@ -2,7 +2,8 @@
 //! workloads (grouped by type, plus all together), under Poisson arrivals
 //! and FIFO scheduling.
 
-use pipetune::{multi_tenancy, ExperimentEnv, MultiTenancyOptions, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{MultiTenancyOptions, multi_tenancy};
 use pipetune_bench::{pct, secs, tuner_options, Report};
 
 fn main() {
@@ -17,7 +18,7 @@ fn main() {
         ("Type-II", vec![WorkloadSpec::cnn_news20(), WorkloadSpec::lstm_news20()], 132),
         ("all", WorkloadSpec::all_type12(), 133),
     ] {
-        let env = ExperimentEnv::distributed(seed);
+        let env = ExperimentEnvBuilder::distributed(seed).build().expect("valid experiment config");
         let mt = MultiTenancyOptions { jobs, arrival_rate_per_sec: 1.0 / 4000.0, seed };
         let outcomes = multi_tenancy(&env, &specs, &options, &mt).expect("trace runs");
         let mut rows = Vec::new();

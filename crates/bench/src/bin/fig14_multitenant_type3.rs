@@ -1,7 +1,8 @@
 //! Figure 14: multi-tenancy average response time for the Type-III kernels
 //! on the single-node testbed, per kernel and all together.
 
-use pipetune::{multi_tenancy, ExperimentEnv, MultiTenancyOptions, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{MultiTenancyOptions, multi_tenancy};
 use pipetune_bench::{pct, secs, tuner_options, Report};
 
 fn main() {
@@ -18,7 +19,7 @@ fn main() {
         ("all", WorkloadSpec::all_type3(), 144),
     ];
     for (label, specs, seed) in singles {
-        let env = ExperimentEnv::single_node(seed);
+        let env = ExperimentEnvBuilder::single_node(seed).build().expect("valid experiment config");
         let mt = MultiTenancyOptions { jobs: jobs_single, arrival_rate_per_sec: 1.0 / 500.0, seed };
         let outcomes = multi_tenancy(&env, &specs, &options, &mt).expect("trace runs");
         let mut rows = Vec::new();

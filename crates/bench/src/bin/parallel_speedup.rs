@@ -7,11 +7,11 @@
 
 use std::time::Instant;
 
-use pipetune::{ExperimentEnv, PipeTune, TunerOptions, TuningOutcome, WorkloadSpec};
+use pipetune::prelude::*;
 use pipetune_bench::Report;
 
 fn timed_run(workers: usize) -> (TuningOutcome, f64) {
-    let env = ExperimentEnv::distributed(77).with_workers(workers);
+    let env = ExperimentEnvBuilder::distributed(77).workers(workers).build().expect("valid experiment config");
     let mut tuner = PipeTune::new(TunerOptions::fast());
     let start = Instant::now();
     let out = tuner.run(&env, &WorkloadSpec::lenet_mnist()).expect("tuning job runs");

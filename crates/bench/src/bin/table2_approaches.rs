@@ -1,16 +1,14 @@
 //! Table 2: accuracy, training time and tuning time for Arbitrary, Tune V1,
 //! Tune V2 and PipeTune on LeNet/MNIST.
 
-use pipetune::{
-    run_arbitrary, warm_start_ground_truth, ExperimentEnv, HyperParams, PipeTune, TuneV1, TuneV2,
-    WorkloadSpec,
-};
+use pipetune::prelude::*;
+use pipetune::{run_arbitrary, warm_start_ground_truth};
 use pipetune_bench::{tuner_options, Report};
 
 fn main() {
     let mut report = Report::new("table2_approaches");
     let options = tuner_options();
-    let env = ExperimentEnv::distributed(202);
+    let env = ExperimentEnvBuilder::distributed(202).build().expect("valid experiment config");
     let spec = WorkloadSpec::lenet_mnist();
 
     // Arbitrary: deliberately mis-set hyperparameters (too-hot learning

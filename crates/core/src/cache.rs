@@ -664,7 +664,7 @@ struct SavedCache {
 ///
 /// let off = EpochCacheHandle::disabled();
 /// assert!(!off.is_enabled());
-/// let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+/// let cache = EpochCacheHandle::with_config(EpochCacheConfig::default());
 /// assert!(cache.is_enabled());
 /// assert_eq!(cache.stats().unwrap().hits, 0);
 /// ```
@@ -679,16 +679,32 @@ impl EpochCacheHandle {
         EpochCacheHandle { inner: None }
     }
 
+    /// A live handle over a fresh, empty cache with the default
+    /// configuration.
+    pub fn enabled() -> Self {
+        EpochCacheHandle::with_config(EpochCacheConfig::default())
+    }
+
     /// A live handle over a fresh, empty cache.
     ///
     /// # Panics
     ///
     /// Panics when `config` fails [`EpochCacheConfig::validate`] (see
     /// [`EpochCache::new`]).
-    pub fn new(config: EpochCacheConfig) -> Self {
+    pub fn with_config(config: EpochCacheConfig) -> Self {
         EpochCacheHandle {
             inner: Some(Arc::new(parking_lot::RwLock::new(EpochCache::new(config)))),
         }
+    }
+
+    /// A live handle over a fresh, empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`EpochCacheConfig::validate`].
+    #[deprecated(since = "0.1.0", note = "renamed to `EpochCacheHandle::with_config`")]
+    pub fn new(config: EpochCacheConfig) -> Self {
+        EpochCacheHandle::with_config(config)
     }
 
     /// Wraps an existing store (e.g. one rebuilt by [`EpochCache::load`]).
@@ -1056,7 +1072,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid EpochCacheConfig")]
     fn degenerate_reload_factor_handle_panics_at_construction() {
-        let _ = EpochCacheHandle::new(EpochCacheConfig {
+        let _ = EpochCacheHandle::with_config(EpochCacheConfig {
             reload_cost_factor: 1.5,
             ..EpochCacheConfig::default()
         });
@@ -1115,7 +1131,7 @@ mod tests {
 
     #[test]
     fn handle_clones_share_one_store() {
-        let h = EpochCacheHandle::new(EpochCacheConfig::default());
+        let h = EpochCacheHandle::with_config(EpochCacheConfig::default());
         let h2 = h.clone();
         let (k, e) = trained_entry(256, 1, 3);
         h.flush([insert_session(k, e)], 1.0);

@@ -1,10 +1,18 @@
 //! Experiment environment: the simulated testbed every run executes against.
+//!
+//! Construct environments through [`ExperimentEnvBuilder`] (the validating
+//! front door) or the [`ExperimentEnv::distributed`] /
+//! [`ExperimentEnv::single_node`] presets plus `with_*` conveniences, which
+//! are thin infallible wrappers that clamp instead of rejecting.
 
 use pipetune_cluster::{ClusterSpec, CostModel, FaultPlan, RetryPolicy, SystemConfig, SystemSpace};
 use pipetune_energy::PowerModel;
 use pipetune_monitor::MonitorHandle;
 use pipetune_perfmon::Profiler;
 use pipetune_telemetry::TelemetryHandle;
+
+use crate::cache::EpochCacheHandle;
+use crate::error::InvalidConfig;
 
 /// Bundles the simulated infrastructure (§7.1.1): cluster inventory, cost
 /// model, power model, PMU, system-parameter grid, default trial
@@ -216,7 +224,7 @@ impl ExperimentEnv {
     /// use pipetune_telemetry::TelemetryHandle;
     ///
     /// let telemetry = TelemetryHandle::enabled();
-    /// let monitor = MonitorHandle::new(&MonitorConfig::standard());
+    /// let monitor = MonitorHandle::with_config(&MonitorConfig::standard());
     /// let env = ExperimentEnv::distributed(42)
     ///     .with_telemetry(telemetry.clone())
     ///     .with_monitor(monitor.clone());
@@ -239,7 +247,7 @@ impl ExperimentEnv {
     /// ```
     /// use pipetune::{EpochCacheConfig, EpochCacheHandle, ExperimentEnv};
     ///
-    /// let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+    /// let cache = EpochCacheHandle::with_config(EpochCacheConfig::default());
     /// let env = ExperimentEnv::distributed(42).with_epoch_cache(cache.clone());
     /// assert!(env.epoch_cache.is_enabled());
     /// // ... run a tuner against `env`, then:
@@ -263,6 +271,183 @@ impl ExperimentEnv {
 /// Executor threads to use when the caller does not pin a count.
 fn default_workers() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Validating builder for [`ExperimentEnv`]: the single place every
+/// environment invariant is checked.
+///
+/// The `with_*` conveniences on [`ExperimentEnv`] stay infallible by
+/// clamping out-of-range values; this builder instead records exactly what
+/// the caller asked for and rejects contradictions in
+/// [`ExperimentEnvBuilder::build`] with a typed [`InvalidConfig`]. Prefer it
+/// anywhere a bad configuration should be an error rather than silently
+/// repaired — every example and benchmark binary in this repository
+/// constructs its environment through it.
+///
+/// ```
+/// use pipetune::prelude::*;
+///
+/// let env = ExperimentEnvBuilder::distributed(42)
+///     .workers(1)
+///     .parallel_slots(2)
+///     .build()?;
+/// assert_eq!((env.workers, env.parallel_slots), (1, 2));
+///
+/// let err = ExperimentEnvBuilder::distributed(42).workers(0).build();
+/// assert!(err.is_err());
+/// # Ok::<(), pipetune::InvalidConfig>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentEnvBuilder {
+    env: ExperimentEnv,
+}
+
+impl ExperimentEnvBuilder {
+    /// Starts from the distributed Type-I/II testbed preset
+    /// (see [`ExperimentEnv::distributed`]).
+    pub fn distributed(seed: u64) -> Self {
+        ExperimentEnvBuilder { env: ExperimentEnv::distributed(seed) }
+    }
+
+    /// Starts from the single-node Type-III testbed preset
+    /// (see [`ExperimentEnv::single_node`]).
+    pub fn single_node(seed: u64) -> Self {
+        ExperimentEnvBuilder { env: ExperimentEnv::single_node(seed) }
+    }
+
+    /// Starts from an existing environment (e.g. to re-validate or derive a
+    /// variant of one).
+    pub fn from_env(env: ExperimentEnv) -> Self {
+        ExperimentEnvBuilder { env }
+    }
+
+    /// Requests exactly `workers` real executor threads. Unlike
+    /// [`ExperimentEnv::with_workers`] this does not clamp: `0` is rejected
+    /// by [`ExperimentEnvBuilder::build`].
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.env.workers = workers;
+        self
+    }
+
+    /// Requests `slots` simulated concurrent-trial slots. `0` is rejected
+    /// by [`ExperimentEnvBuilder::build`].
+    #[must_use]
+    pub fn parallel_slots(mut self, slots: usize) -> Self {
+        self.env.parallel_slots = slots;
+        self
+    }
+
+    /// Sets the relative wall-clock overhead a profiled epoch pays.
+    /// Negative or non-finite values are rejected by
+    /// [`ExperimentEnvBuilder::build`].
+    #[must_use]
+    pub fn profile_overhead(mut self, overhead: f64) -> Self {
+        self.env.profile_overhead = overhead;
+        self
+    }
+
+    /// Installs a deterministic fault schedule.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.env.fault_plan = plan;
+        self
+    }
+
+    /// Overrides the crash-recovery retry budget and backoff.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.env.retry = retry;
+        self
+    }
+
+    /// Replaces the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.env.seed = seed;
+        self
+    }
+
+    /// Routes profiling through the 1 Hz sampling pipeline.
+    #[must_use]
+    pub fn sampled_profiling(mut self, on: bool) -> Self {
+        self.env.sampled_profiling = on;
+        self
+    }
+
+    /// Replaces the default (pre-tuning) system configuration. A
+    /// configuration with zero cores or memory is rejected by
+    /// [`ExperimentEnvBuilder::build`].
+    #[must_use]
+    pub fn default_system(mut self, sys: SystemConfig) -> Self {
+        self.env.default_system = sys;
+        self
+    }
+
+    /// Installs a telemetry handle (see [`ExperimentEnv::with_telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.env.telemetry = telemetry;
+        self
+    }
+
+    /// Installs a monitor handle. A live monitor without a live telemetry
+    /// handle to watch is rejected by [`ExperimentEnvBuilder::build`].
+    #[must_use]
+    pub fn monitor(mut self, monitor: MonitorHandle) -> Self {
+        self.env.monitor = monitor;
+        self
+    }
+
+    /// Installs an epoch-reuse cache handle
+    /// (see [`ExperimentEnv::with_epoch_cache`]).
+    #[must_use]
+    pub fn epoch_cache(mut self, cache: EpochCacheHandle) -> Self {
+        self.env.epoch_cache = cache;
+        self
+    }
+
+    /// Validates every recorded setting and produces the environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] when:
+    /// * `workers` is 0 — a run needs at least one executor thread;
+    /// * `parallel_slots` is 0 — the scheduler needs at least one slot;
+    /// * `profile_overhead` is negative or non-finite — overhead scales
+    ///   epoch durations and must keep them finite and non-negative;
+    /// * the default system configuration has zero cores or memory;
+    /// * a live monitor is installed without a live telemetry handle — the
+    ///   monitor scans the telemetry stream, so it would silently observe
+    ///   nothing.
+    pub fn build(self) -> Result<ExperimentEnv, InvalidConfig> {
+        let env = self.env;
+        if env.workers == 0 {
+            return Err(InvalidConfig::new("workers must be at least 1"));
+        }
+        if env.parallel_slots == 0 {
+            return Err(InvalidConfig::new("parallel_slots must be at least 1"));
+        }
+        if !env.profile_overhead.is_finite() || env.profile_overhead < 0.0 {
+            return Err(InvalidConfig::new(format!(
+                "profile_overhead must be finite and non-negative, got {}",
+                env.profile_overhead
+            )));
+        }
+        if env.default_system.cores == 0 || env.default_system.memory_gb == 0 {
+            return Err(InvalidConfig::new(format!(
+                "default system configuration must have nonzero cores and memory, got {} cores / {} GiB",
+                env.default_system.cores, env.default_system.memory_gb
+            )));
+        }
+        if env.monitor.is_enabled() && !env.telemetry.is_enabled() {
+            return Err(InvalidConfig::new(
+                "a live monitor requires a live telemetry handle to watch; \
+                 install one with .telemetry(TelemetryHandle::enabled())",
+            ));
+        }
+        Ok(env)
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +476,74 @@ mod tests {
         assert!(slow < nominal, "down-clocking must cut power");
         let idle_floor = env.power.idle_watts * env.cluster.nodes.len() as f64;
         assert!(slow > idle_floor, "idle floor always drawn");
+    }
+
+    #[test]
+    fn builder_accepts_valid_configurations() {
+        let env = ExperimentEnvBuilder::distributed(9)
+            .workers(3)
+            .parallel_slots(2)
+            .profile_overhead(0.1)
+            .seed(11)
+            .sampled_profiling(true)
+            .build()
+            .unwrap();
+        assert_eq!(env.workers, 3);
+        assert_eq!(env.parallel_slots, 2);
+        assert_eq!(env.profile_overhead, 0.1);
+        assert_eq!(env.seed, 11);
+        assert!(env.sampled_profiling);
+        // Presets round-trip unchanged through the builder.
+        let preset = ExperimentEnv::single_node(4);
+        let rebuilt = ExperimentEnvBuilder::from_env(preset.clone()).build().unwrap();
+        assert_eq!(rebuilt.parallel_slots, preset.parallel_slots);
+        assert_eq!(rebuilt.seed, preset.seed);
+    }
+
+    #[test]
+    fn builder_rejects_each_invalid_setting() {
+        let cases: Vec<(ExperimentEnvBuilder, &str)> = vec![
+            (ExperimentEnvBuilder::distributed(1).workers(0), "workers"),
+            (ExperimentEnvBuilder::distributed(1).parallel_slots(0), "parallel_slots"),
+            (ExperimentEnvBuilder::distributed(1).profile_overhead(-0.5), "profile_overhead"),
+            (ExperimentEnvBuilder::distributed(1).profile_overhead(f64::NAN), "profile_overhead"),
+            (
+                ExperimentEnvBuilder::distributed(1)
+                    .profile_overhead(f64::INFINITY),
+                "profile_overhead",
+            ),
+            (
+                ExperimentEnvBuilder::distributed(1).default_system(SystemConfig::new(0, 8)),
+                "default system",
+            ),
+            (
+                ExperimentEnvBuilder::distributed(1).monitor(MonitorHandle::enabled()),
+                "monitor",
+            ),
+        ];
+        for (builder, expect) in cases {
+            let err = builder.build().expect_err(expect);
+            assert!(
+                err.reason().contains(expect),
+                "reason {:?} should mention {expect}",
+                err.reason()
+            );
+        }
+        // The monitor invariant is satisfied once telemetry is live.
+        let ok = ExperimentEnvBuilder::distributed(1)
+            .telemetry(TelemetryHandle::enabled())
+            .monitor(MonitorHandle::enabled())
+            .build()
+            .unwrap();
+        assert!(ok.monitor.is_enabled() && ok.telemetry.is_enabled());
+    }
+
+    #[test]
+    fn with_wrappers_clamp_where_builder_rejects() {
+        // The infallible conveniences repair instead of erroring; the
+        // builder is the strict path.
+        assert_eq!(ExperimentEnv::distributed(1).with_workers(0).workers, 1);
+        assert_eq!(ExperimentEnv::distributed(1).with_parallel_slots(0).parallel_slots, 1);
     }
 
     #[test]

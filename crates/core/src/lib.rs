@@ -58,8 +58,8 @@ pub use cache::{
     fingerprint as epoch_cache_fingerprint, CacheKey, CacheSession, CacheStats, EpochCache,
     EpochCacheConfig, EpochCacheHandle,
 };
-pub use env::ExperimentEnv;
-pub use error::PipeTuneError;
+pub use env::{ExperimentEnv, ExperimentEnvBuilder};
+pub use error::{Error, InvalidConfig, PipeTuneError};
 pub use pipetune_cluster::{FaultKind, FaultPlan, FaultReport, RetryPolicy};
 pub use experiments::{
     multi_tenancy, multi_tenancy_shared, single_tenancy, warm_start_ground_truth,
@@ -80,3 +80,33 @@ pub use tuner::{ConvergencePoint, PipeTune, TunerOptions, TuningOutcome};
 pub use workload::{
     AnyModel, EpochOutcome, EpochWorkload, JobType, WorkloadInstance, WorkloadSpec,
 };
+
+/// One-stop import surface for applications driving PipeTune.
+///
+/// Pulls in the environment builder, the tuners and baselines, the
+/// workload catalogue, the error types, and the observability handles
+/// (telemetry, monitoring, epoch cache) under one `use`:
+///
+/// ```
+/// use pipetune::prelude::*;
+///
+/// let env = ExperimentEnvBuilder::distributed(42).workers(1).build()?;
+/// let spec = WorkloadSpec::lenet_mnist();
+/// assert!(env.workers >= 1 && spec.name() == "lenet/mnist");
+/// # Ok::<(), pipetune::InvalidConfig>(())
+/// ```
+pub mod prelude {
+    pub use crate::baselines::{TuneV1, TuneV2};
+    pub use crate::cache::{CacheStats, EpochCacheConfig, EpochCacheHandle};
+    pub use crate::env::{ExperimentEnv, ExperimentEnvBuilder};
+    pub use crate::error::{Error, InvalidConfig, PipeTuneError};
+    pub use crate::hyper::{HyperParams, HyperSpace};
+    pub use crate::objective::Objective;
+    pub use crate::runner::TrialOutcome;
+    pub use crate::scheduler_choice::SchedulerKind;
+    pub use crate::tuner::{PipeTune, TunerOptions, TuningOutcome};
+    pub use crate::workload::{JobType, WorkloadSpec};
+    pub use pipetune_cluster::{FaultPlan, RetryPolicy, SystemConfig};
+    pub use pipetune_monitor::{MonitorConfig, MonitorHandle};
+    pub use pipetune_telemetry::TelemetryHandle;
+}

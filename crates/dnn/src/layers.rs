@@ -6,7 +6,8 @@
 //! explicitly by the model implementations in [`crate::models`].
 
 use pipetune_tensor::{
-    conv2d, conv2d_backward, conv2d_gemm, max_pool2d, max_pool2d_backward, Tensor, TensorError,
+    conv2d, conv2d_backward, conv2d_gemm_with, max_pool2d, max_pool2d_backward, Tensor,
+    TensorError, Workspace,
 };
 use rand::Rng;
 
@@ -19,6 +20,9 @@ pub struct Dense {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    /// Grow-only scratch arena for the GEMM kernels; clones start empty
+    /// (see the workspace lifetime rules in `docs/performance.md`).
+    ws: Workspace,
 }
 
 impl Dense {
@@ -29,6 +33,7 @@ impl Dense {
             weight: Param::new(Tensor::randn(&[in_dim, out_dim], std, rng)),
             bias: Param::new(Tensor::zeros(&[out_dim])),
             cached_input: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -38,12 +43,17 @@ impl Dense {
     ///
     /// Propagates shape errors from the matrix product.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, TensorError> {
-        let y = x.matmul(self.weight.value())?.add_row_broadcast(self.bias.value())?;
+        let mut y = x.matmul_with(self.weight.value(), &mut self.ws)?;
+        y.add_row_broadcast_inplace(self.bias.value())?;
         self.cached_input = train.then(|| x.clone());
         Ok(y)
     }
 
     /// Backward pass: accumulates weight/bias gradients, returns `∂L/∂x`.
+    ///
+    /// Both products run the fused transposed kernels
+    /// ([`Tensor::matmul_tn`]/[`Tensor::matmul_nt`] semantics), so no
+    /// transposed weight or input matrix is materialised per step.
     ///
     /// # Errors
     ///
@@ -51,11 +61,11 @@ impl Dense {
     /// forward pass; propagates shape errors otherwise.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, TensorError> {
         let x = self.cached_input.as_ref().ok_or(TensorError::Empty)?;
-        let gw = x.transpose()?.matmul(grad_out)?;
+        let gw = x.matmul_tn_with(grad_out, &mut self.ws)?;
         let gb = grad_out.sum_rows()?;
         self.weight.accumulate(&gw)?;
         self.bias.accumulate(&gb)?;
-        grad_out.matmul(&self.weight.value().transpose()?)
+        grad_out.matmul_nt_with(self.weight.value(), &mut self.ws)
     }
 
     /// Visits the layer's parameters (weight then bias).
@@ -76,6 +86,8 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    /// Scratch arena for the im2col + GEMM route; clones start empty.
+    ws: Workspace,
 }
 
 impl Conv2d {
@@ -87,13 +99,15 @@ impl Conv2d {
             weight: Param::new(Tensor::randn(&[out_ch, in_ch, k, k], std, rng)),
             bias: Param::new(Tensor::zeros(&[out_ch])),
             cached_input: None,
+            ws: Workspace::new(),
         }
     }
 
     /// Forward pass; caches the input when `train` is set.
     ///
-    /// Batches of 8+ take the im2col + GEMM route ([`conv2d_gemm`]), which
-    /// amortises the unfold cost; small batches stay on the direct loops.
+    /// Batches of 8+ take the im2col + GEMM route ([`conv2d_gemm_with`]),
+    /// which amortises the unfold cost and recycles its scratch from the
+    /// layer's [`Workspace`]; small batches stay on the direct loops.
     ///
     /// # Errors
     ///
@@ -101,7 +115,7 @@ impl Conv2d {
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, TensorError> {
         let batch = x.shape().dims().first().copied().unwrap_or(0);
         let y = if batch >= 8 {
-            conv2d_gemm(x, self.weight.value(), self.bias.value())?
+            conv2d_gemm_with(x, self.weight.value(), self.bias.value(), &mut self.ws)?
         } else {
             conv2d(x, self.weight.value(), self.bias.value())?
         };

@@ -5,7 +5,7 @@
 //! the backward pass starts from `∂L/∂h_T` and unrolls backwards through every
 //! timestep, producing gradients for both weights and the embedded inputs.
 
-use pipetune_tensor::{Tensor, TensorError};
+use pipetune_tensor::{Tensor, TensorError, Workspace};
 use rand::Rng;
 
 use crate::param::{Param, ParamVisitor};
@@ -36,6 +36,8 @@ pub struct LstmCell {
     input_dim: usize,
     hidden: usize,
     cache: Option<Vec<StepCache>>,
+    /// Scratch arena shared by every per-step GEMM; clones start empty.
+    ws: Workspace,
 }
 
 impl LstmCell {
@@ -58,6 +60,7 @@ impl LstmCell {
             input_dim,
             hidden,
             cache: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -96,10 +99,12 @@ impl LstmCell {
                 xs.extend_from_slice(&x.data()[off..off + d]);
             }
             let x_step = Tensor::from_vec(xs, &[b, d])?;
-            let z = x_step
-                .matmul(self.wx.value())?
-                .add(&h_t.matmul(self.wh.value())?)?
-                .add_row_broadcast(self.bias.value())?;
+            // z = x·Wx + h·Wh + b, fused in place: `axpy(1.0, ·)` and the
+            // in-place bias broadcast are bit-identical to the allocating
+            // `add`/`add_row_broadcast` chain they replaced.
+            let mut z = x_step.matmul_with(self.wx.value(), &mut self.ws)?;
+            z.axpy(1.0, &h_t.matmul_with(self.wh.value(), &mut self.ws)?)?;
+            z.add_row_broadcast_inplace(self.bias.value())?;
             let mut i_g = Tensor::zeros(&[b, h]);
             let mut f_g = Tensor::zeros(&[b, h]);
             let mut g_g = Tensor::zeros(&[b, h]);
@@ -180,10 +185,10 @@ impl LstmCell {
                     dz.data_mut()[bi * 4 * h + 3 * h + j] = dzo.data()[bi * h + j];
                 }
             }
-            gwx.axpy(1.0, &sc.x.transpose()?.matmul(&dz)?)?;
-            gwh.axpy(1.0, &sc.h_prev.transpose()?.matmul(&dz)?)?;
+            gwx.axpy(1.0, &sc.x.matmul_tn_with(&dz, &mut self.ws)?)?;
+            gwh.axpy(1.0, &sc.h_prev.matmul_tn_with(&dz, &mut self.ws)?)?;
             gb.axpy(1.0, &dz.sum_rows()?)?;
-            let dx_step = dz.matmul(&self.wx.value().transpose()?)?;
+            let dx_step = dz.matmul_nt_with(self.wx.value(), &mut self.ws)?;
             for bi in 0..b {
                 let dst = (bi * t + step) * d;
                 let src = bi * d;
@@ -191,7 +196,7 @@ impl LstmCell {
                     dx_all.data_mut()[dst + k] += dx_step.data()[src + k];
                 }
             }
-            dh = dz.matmul(&self.wh.value().transpose()?)?;
+            dh = dz.matmul_nt_with(self.wh.value(), &mut self.ws)?;
             dc = dc_prev;
         }
         self.wx.accumulate(&gwx)?;

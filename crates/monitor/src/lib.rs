@@ -101,7 +101,7 @@ use pipetune_telemetry::TelemetryHandle;
 /// use pipetune_telemetry::TelemetryHandle;
 ///
 /// let telemetry = TelemetryHandle::enabled();
-/// let monitor = MonitorHandle::new(&MonitorConfig::standard());
+/// let monitor = MonitorHandle::with_config(&MonitorConfig::standard());
 /// monitor.scan(&telemetry);
 /// let timeline = monitor.finish(&telemetry).unwrap();
 /// assert!(timeline.is_empty()); // nothing was recorded
@@ -120,9 +120,21 @@ impl MonitorHandle {
         MonitorHandle { engine: None }
     }
 
+    /// A live handle running the standard detector suite
+    /// ([`MonitorConfig::standard`]).
+    pub fn enabled() -> Self {
+        MonitorHandle::with_config(&MonitorConfig::standard())
+    }
+
     /// A live handle running `config`'s detectors.
-    pub fn new(config: &MonitorConfig) -> Self {
+    pub fn with_config(config: &MonitorConfig) -> Self {
         MonitorHandle { engine: Some(Arc::new(Mutex::new(MonitorEngine::new(config)))) }
+    }
+
+    /// A live handle running `config`'s detectors.
+    #[deprecated(since = "0.1.0", note = "renamed to `MonitorHandle::with_config`")]
+    pub fn new(config: &MonitorConfig) -> Self {
+        MonitorHandle::with_config(config)
     }
 
     /// Whether this handle carries a live engine.
@@ -182,7 +194,7 @@ mod tests {
     fn incremental_scans_equal_one_final_scan() {
         let build = |scans: usize| {
             let telemetry = TelemetryHandle::enabled();
-            let monitor = MonitorHandle::new(&MonitorConfig::standard());
+            let monitor = MonitorHandle::with_config(&MonitorConfig::standard());
             let trial =
                 telemetry.open_span(SpanId::NONE, SpanKind::Trial, "trial 0", 0.0, vec![]);
             for e in 0..12u32 {
@@ -208,7 +220,7 @@ mod tests {
 
     #[test]
     fn finish_works_against_disabled_telemetry() {
-        let monitor = MonitorHandle::new(&MonitorConfig::standard());
+        let monitor = MonitorHandle::with_config(&MonitorConfig::standard());
         let timeline = monitor.finish(&TelemetryHandle::disabled()).unwrap();
         assert!(timeline.is_empty());
     }

@@ -739,7 +739,7 @@ impl TuningService {
         // admission order — deterministic). Without sharing each job gets
         // a fresh cache below.
         let shared_cache = match self.config.epoch_cache {
-            Some(cfg) if self.config.share_epoch_cache => Some(EpochCacheHandle::new(cfg)),
+            Some(cfg) if self.config.share_epoch_cache => Some(EpochCacheHandle::with_config(cfg)),
             _ => None,
         };
         let mut arr_pos = 0usize;
@@ -871,7 +871,7 @@ impl TuningService {
             if let Some(handle) = &shared_cache {
                 job_env = job_env.with_epoch_cache(handle.clone());
             } else if let Some(cfg) = self.config.epoch_cache {
-                job_env = job_env.with_epoch_cache(EpochCacheHandle::new(cfg));
+                job_env = job_env.with_epoch_cache(EpochCacheHandle::with_config(cfg));
             }
             let outcome = if self.config.share_ground_truth {
                 shared_tuner.run(&job_env, &sub.spec)?

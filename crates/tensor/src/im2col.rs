@@ -7,17 +7,15 @@
 //! order per output element up to float reassociation) and is what the
 //! `Conv2d` layer uses for batches past a size threshold.
 
-use crate::{Tensor, TensorError};
+use crate::gemm::{gemm, transpose_into};
+use crate::{workspace, Tensor, TensorError, Workspace};
 
-/// Unfolds `[n, c, h, w]` into the im2col matrix
-/// `[n·oh·ow, c·kh·kw]` for a valid stride-1 convolution with a `kh×kw`
-/// kernel.
-///
-/// # Errors
-///
-/// Returns a rank/shape error when the input is not rank 4 or smaller than
-/// the kernel.
-pub fn im2col(input: &Tensor, kh: usize, kw: usize) -> Result<Tensor, TensorError> {
+/// Validates im2col operands and returns `(n, c, h, w)`.
+fn im2col_dims(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+) -> Result<(usize, usize, usize, usize), TensorError> {
     if input.shape().rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: input.shape().rank() });
     }
@@ -26,10 +24,15 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize) -> Result<Tensor, TensorErro
     if kh == 0 || kw == 0 || kh > h || kw > w {
         return Err(TensorError::ShapeMismatch { expected: vec![h, w], actual: vec![kh, kw] });
     }
+    Ok((n, c, h, w))
+}
+
+/// The unfold loop shared by [`im2col`] and [`conv2d_gemm_with`]: writes
+/// every element of `out` (callers may pass recycled scratch).
+#[allow(clippy::too_many_arguments)]
+fn unfold_into(x: &[f32], n: usize, c: usize, h: usize, w: usize, kh: usize, kw: usize, out: &mut [f32]) {
     let (oh, ow) = (h - kh + 1, w - kw + 1);
     let cols = c * kh * kw;
-    let mut out = vec![0.0f32; n * oh * ow * cols];
-    let x = input.data();
     for b in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -44,16 +47,65 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize) -> Result<Tensor, TensorErro
             }
         }
     }
+}
+
+/// Unfolds `[n, c, h, w]` into the im2col matrix
+/// `[n·oh·ow, c·kh·kw]` for a valid stride-1 convolution with a `kh×kw`
+/// kernel.
+///
+/// # Errors
+///
+/// Returns a rank/shape error when the input is not rank 4 or smaller than
+/// the kernel.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize) -> Result<Tensor, TensorError> {
+    let (n, c, h, w) = im2col_dims(input, kh, kw)?;
+    let (oh, ow) = (h - kh + 1, w - kw + 1);
+    let cols = c * kh * kw;
+    let mut out = vec![0.0f32; n * oh * ow * cols];
+    unfold_into(input.data(), n, c, h, w, kh, kw, &mut out);
     Tensor::from_vec(out, &[n * oh * ow, cols])
 }
 
+/// [`im2col`] writing into a preallocated output tensor whose buffer is
+/// grown (never shrunk) to fit. With a warmed buffer the call performs no
+/// allocations; every element is overwritten.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`].
+pub fn im2col_with(input: &Tensor, kh: usize, kw: usize, out: &mut Tensor) -> Result<(), TensorError> {
+    let (n, c, h, w) = im2col_dims(input, kh, kw)?;
+    let (oh, ow) = (h - kh + 1, w - kw + 1);
+    let cols = c * kh * kw;
+    out.reshape_in_place_for_kernel(&[n * oh * ow, cols]);
+    unfold_into(input.data(), n, c, h, w, kh, kw, out.data_mut());
+    Ok(())
+}
+
 /// Valid stride-1 convolution through the im2col + GEMM route. Produces the
-/// same result as [`crate::conv2d`] up to floating-point reassociation.
+/// same result as [`crate::conv2d`] up to floating-point reassociation,
+/// drawing all scratch from this thread's shared [`Workspace`].
 ///
 /// # Errors
 ///
 /// Same conditions as [`crate::conv2d`].
 pub fn conv2d_gemm(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
+    workspace::with_thread_local(|ws| conv2d_gemm_with(input, weight, bias, ws))
+}
+
+/// [`conv2d_gemm`] drawing the im2col matrix, the packed kernel matrix and
+/// the GEMM product from the caller's [`Workspace`]: in steady state the
+/// only allocation is the returned output tensor.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::conv2d`].
+pub fn conv2d_gemm_with(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    ws: &mut Workspace,
+) -> Result<Tensor, TensorError> {
     if weight.shape().rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: weight.shape().rank() });
     }
@@ -73,22 +125,39 @@ pub fn conv2d_gemm(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<Ten
         });
     }
     let (n, h, w) = (d[0], d[2], d[3]);
-    let cols = im2col(input, kh, kw)?; // [n·oh·ow, cin·kh·kw]
-    let wmat = weight.reshape(&[cout, cin * kh * kw])?.transpose()?; // [cin·kh·kw, cout]
-    let prod = cols.matmul(&wmat)?.add_row_broadcast(bias)?; // [n·oh·ow, cout]
-    // Rearrange [n·oh·ow, cout] → [n, cout, oh, ow].
+    im2col_dims(input, kh, kw)?;
     let (oh, ow) = (h - kh + 1, w - kw + 1);
+    let (rows, k) = (n * oh * ow, cin * kh * kw);
+
+    // cols = im2col(input): [n·oh·ow, cin·kh·kw], recycled scratch.
+    let mut cols = ws.take(rows * k);
+    unfold_into(input.data(), n, cin, h, w, kh, kw, &mut cols);
+    // wmat = weight.reshape([cout, k]).transpose(): [k, cout].
+    let mut wmat = ws.take(k * cout);
+    transpose_into(weight.data(), &mut wmat, cout, k);
+    // prod = cols · wmat + bias: [n·oh·ow, cout].
+    let mut prod = ws.take_zeroed(rows * cout);
+    gemm(&cols, &wmat, &mut prod, rows, k, cout, ws);
+    for row in prod.chunks_exact_mut(cout) {
+        for (v, &bv) in row.iter_mut().zip(bias.data()) {
+            *v += bv;
+        }
+    }
+    // Rearrange [n·oh·ow, cout] → [n, cout, oh, ow].
     let mut out = vec![0.0f32; n * cout * oh * ow];
     for b in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
                 let src = ((b * oh + oy) * ow + ox) * cout;
                 for oc in 0..cout {
-                    out[((b * cout + oc) * oh + oy) * ow + ox] = prod.data()[src + oc];
+                    out[((b * cout + oc) * oh + oy) * ow + ox] = prod[src + oc];
                 }
             }
         }
     }
+    ws.give(cols);
+    ws.give(wmat);
+    ws.give(prod);
     Tensor::from_vec(out, &[n, cout, oh, ow])
 }
 

@@ -1,6 +1,7 @@
 //! Element-wise and linear-algebra operations on [`Tensor`].
 
-use crate::{Tensor, TensorError};
+use crate::gemm::{gemm, transpose_into};
+use crate::{workspace, Tensor, TensorError, Workspace};
 
 impl Tensor {
     /// Element-wise sum of two tensors of identical shape.
@@ -111,43 +112,136 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `(m×k) · (k×n) = (m×n)`.
     ///
-    /// Uses a cache-friendly i-k-j loop ordering.
+    /// Runs the cache-blocked kernel (packed B-panels, register-tiled
+    /// rows) through this thread's shared [`Workspace`]; results are
+    /// bit-identical to the historical streaming i-k-j kernel for every
+    /// shape — see the summation-order contract in `docs/performance.md`.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] when either operand is not rank 2
     /// and [`TensorError::ShapeMismatch`] when the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        if self.shape().rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
-        }
-        if other.shape().rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: other.shape().rank() });
-        }
+        workspace::with_thread_local(|ws| self.matmul_with(other, ws))
+    }
+
+    /// [`Tensor::matmul`] drawing scratch from the caller's [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_with(&self, other: &Tensor, ws: &mut Workspace) -> Result<Tensor, TensorError> {
+        let (m, _, n) = matmul_dims(self, other)?;
+        let mut out = vec![0.0f32; m * n];
+        self.matmul_into_slice(other, &mut out, ws);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`Tensor::matmul`] writing into a preallocated output tensor,
+    /// reshaping it to `m×n`. With a warmed `ws` and an `out` whose buffer
+    /// already holds `m·n` elements, the call performs no allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_into(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<(), TensorError> {
+        let (m, _, n) = matmul_dims(self, other)?;
+        out.reshape_in_place_for_kernel(&[m, n]);
+        out.data_mut().fill(0.0);
+        self.matmul_into_slice(other, out.data_mut(), ws);
+        Ok(())
+    }
+
+    /// Accumulates `self · other` into `out` (assumed zeroed, shape-checked
+    /// by the callers above).
+    fn matmul_into_slice(&self, other: &Tensor, out: &mut [f32], ws: &mut Workspace) {
         let (m, k) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let n = other.shape().dims()[1];
+        gemm(self.data(), other.data(), out, m, k, n, ws);
+    }
+
+    /// Transposed matrix product `selfᵀ · other` for `self (k×m)` and
+    /// `other (k×n)`, bit-identical to
+    /// `self.transpose()?.matmul(other)` but without allocating the
+    /// transpose: the packed copy lives in this thread's [`Workspace`].
+    ///
+    /// This is the backward-pass weight-gradient kernel (`∂L/∂W = xᵀ·∂L/∂y`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], applied to the transposed
+    /// left operand.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        workspace::with_thread_local(|ws| self.matmul_tn_with(other, ws))
+    }
+
+    /// [`Tensor::matmul_tn`] drawing scratch from the caller's [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul_tn`].
+    pub fn matmul_tn_with(
+        &self,
+        other: &Tensor,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, TensorError> {
+        check_rank2(self)?;
+        check_rank2(other)?;
+        let (k, m) = (self.shape().dims()[0], self.shape().dims()[1]);
         let (k2, n) = (other.shape().dims()[0], other.shape().dims()[1]);
         if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                expected: vec![k, n],
-                actual: vec![k2, n],
-            });
+            return Err(TensorError::ShapeMismatch { expected: vec![k, n], actual: vec![k2, n] });
         }
-        let a = self.data();
-        let b = other.data();
+        let mut at = ws.take(k * m);
+        transpose_into(self.data(), &mut at, k, m);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let aip = a[i * k + p];
-                if aip == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += aip * bv;
-                }
-            }
+        gemm(&at, other.data(), &mut out, m, k, n, ws);
+        ws.give(at);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transposed matrix product `self · otherᵀ` for `self (m×k)` and
+    /// `other (n×k)`, bit-identical to
+    /// `self.matmul(&other.transpose()?)` but without allocating the
+    /// transpose: the packed copy lives in this thread's [`Workspace`].
+    ///
+    /// This is the backward-pass input-gradient kernel (`∂L/∂x = ∂L/∂y·Wᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], applied to the transposed
+    /// right operand.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        workspace::with_thread_local(|ws| self.matmul_nt_with(other, ws))
+    }
+
+    /// [`Tensor::matmul_nt`] drawing scratch from the caller's [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul_nt`].
+    pub fn matmul_nt_with(
+        &self,
+        other: &Tensor,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, TensorError> {
+        check_rank2(self)?;
+        check_rank2(other)?;
+        let (m, k) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let (n, k2) = (other.shape().dims()[0], other.shape().dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch { expected: vec![k, n], actual: vec![n, k2] });
         }
+        let mut bt = ws.take(k * n);
+        transpose_into(other.data(), &mut bt, n, k);
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), &bt, &mut out, m, k, n, ws);
+        ws.give(bt);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -177,6 +271,21 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when `bias` is not a rank-1
     /// tensor of length `n`.
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = self.clone();
+        out.add_row_broadcast_inplace(bias)?;
+        Ok(out)
+    }
+
+    /// In-place variant of [`Tensor::add_row_broadcast`]: adds the bias row
+    /// to every row of `self` without allocating. This is the `add_bias`
+    /// step of every dense/conv/LSTM forward pass, where the copy made by
+    /// the allocating variant was pure overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `bias` is not a rank-1
+    /// tensor of length `n`.
+    pub fn add_row_broadcast_inplace(&mut self, bias: &Tensor) -> Result<(), TensorError> {
         if self.shape().rank() != 2 {
             return Err(TensorError::RankMismatch { expected: 2, actual: self.shape().rank() });
         }
@@ -187,13 +296,14 @@ impl Tensor {
                 actual: bias.shape().dims().to_vec(),
             });
         }
-        let mut out = self.data().to_vec();
+        let out = self.data_mut();
+        let b = bias.data();
         for i in 0..m {
             for j in 0..n {
-                out[i * n + j] += bias.data()[j];
+                out[i * n + j] += b[j];
             }
         }
-        Tensor::from_vec(out, &[m, n])
+        Ok(())
     }
 
     /// Sums a rank-2 tensor over its rows, producing a length-`n` vector.
@@ -271,6 +381,25 @@ impl Tensor {
     }
 }
 
+fn check_rank2(t: &Tensor) -> Result<(), TensorError> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.shape().rank() });
+    }
+    Ok(())
+}
+
+/// Validates a plain `(m×k)·(k×n)` product and returns `(m, k, n)`.
+fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), TensorError> {
+    check_rank2(a)?;
+    check_rank2(b)?;
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch { expected: vec![k, n], actual: vec![k2, n] });
+    }
+    Ok((m, k, n))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +461,49 @@ mod tests {
         let g = t(&[2.0, 4.0], &[2]);
         a.axpy(-0.5, &g).unwrap();
         assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let x = t(&(0..12).map(|v| v as f32).collect::<Vec<_>>(), &[4, 3]); // k=4, m=3
+        let y = t(&(0..8).map(|v| v as f32 * 0.5).collect::<Vec<_>>(), &[4, 2]); // k=4, n=2
+        let fused = x.matmul_tn(&y).unwrap();
+        let explicit = x.transpose().unwrap().matmul(&y).unwrap();
+        assert_eq!(fused, explicit);
+
+        let g = t(&(0..6).map(|v| v as f32 - 2.0).collect::<Vec<_>>(), &[3, 2]); // m=3, k=2
+        let w = t(&(0..10).map(|v| v as f32 * 0.1).collect::<Vec<_>>(), &[5, 2]); // n=5, k=2
+        let fused = g.matmul_nt(&w).unwrap();
+        let explicit = g.matmul(&w.transpose().unwrap()).unwrap();
+        assert_eq!(fused, explicit);
+
+        // Inner-dimension mismatches surface as typed errors.
+        assert!(x.matmul_tn(&g).is_err());
+        assert!(g.matmul_nt(&x).is_err());
+    }
+
+    #[test]
+    fn matmul_into_reuses_output_and_matches() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let mut ws = crate::Workspace::new();
+        let mut out = Tensor::zeros(&[4]); // wrong shape, right element count
+        a.matmul_into(&b, &mut out, &mut ws).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Second call reuses the same buffer.
+        a.matmul_into(&b, &mut out, &mut ws).unwrap();
+        assert_eq!(out.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_inplace_matches_allocating_variant() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let bias = t(&[10.0, 20.0], &[2]);
+        let mut inplace = a.clone();
+        inplace.add_row_broadcast_inplace(&bias).unwrap();
+        assert_eq!(inplace, a.add_row_broadcast(&bias).unwrap());
+        let bad = t(&[1.0], &[1]);
+        assert!(inplace.add_row_broadcast_inplace(&bad).is_err());
     }
 
     #[test]

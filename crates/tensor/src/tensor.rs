@@ -160,6 +160,18 @@ impl Tensor {
         Ok(Tensor { shape, data: self.data.clone() })
     }
 
+    /// Retargets this tensor's shape and buffer length for a kernel that
+    /// will fully overwrite it, growing the buffer only when the element
+    /// count increases (the grow-only rule of `docs/performance.md`).
+    pub(crate) fn reshape_in_place_for_kernel(&mut self, dims: &[usize]) {
+        if self.shape.dims() == dims {
+            return; // steady state: shape and buffer already match
+        }
+        let shape = Shape::new(dims);
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+    }
+
     /// Copies rows `[start, end)` of a rank-≥1 tensor (outermost axis).
     ///
     /// # Errors

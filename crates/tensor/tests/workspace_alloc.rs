@@ -1,0 +1,111 @@
+//! Proves the workspace contract from `docs/performance.md`: once buffers
+//! are warm, the `_with`/`_into` kernel entry points draw every scratch
+//! buffer from the caller's [`Workspace`] and touch the global allocator
+//! only for the documented output allocation (or not at all).
+//!
+//! The whole file is a single `#[test]` on purpose: the counting
+//! `#[global_allocator]` below is process-global state, and a second test
+//! running in a sibling thread would pollute the armed byte counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use pipetune_tensor::{conv2d_gemm_with, im2col, im2col_with, Tensor, Workspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts bytes requested from the system allocator while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Bytes allocated while running `f`.
+fn allocated_during(f: impl FnOnce()) -> u64 {
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    BYTES.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_workspace_kernels_do_not_allocate() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Tensor::randn(&[24, 96], 1.0, &mut rng);
+    let b = Tensor::randn(&[96, 80], 1.0, &mut rng);
+    let x = Tensor::randn(&[2, 3, 12, 12], 1.0, &mut rng);
+    let w = Tensor::randn(&[8, 3, 3, 3], 0.5, &mut rng);
+    let bias = Tensor::randn(&[8], 0.1, &mut rng);
+
+    let mut ws = Workspace::new();
+    let mut prod = Tensor::zeros(&[1]);
+    let mut cols = Tensor::zeros(&[1]);
+
+    // Warm-up: grows `prod`/`cols` buffers and the workspace pool to
+    // steady state, exactly like a training loop's first iteration.
+    a.matmul_into(&b, &mut prod, &mut ws).expect("matmul_into");
+    im2col_with(&x, 3, 3, &mut cols).expect("im2col_with");
+    let expected_conv = conv2d_gemm_with(&x, &w, &bias, &mut ws).expect("conv2d_gemm_with");
+    let expected_prod = a.matmul(&b).expect("matmul");
+    let expected_cols = im2col(&x, 3, 3).expect("im2col");
+
+    // Steady state: `matmul_into` and `im2col_with` reuse every buffer.
+    let bytes = allocated_during(|| {
+        for _ in 0..10 {
+            a.matmul_into(&b, &mut prod, &mut ws).expect("matmul_into");
+            im2col_with(&x, 3, 3, &mut cols).expect("im2col_with");
+        }
+    });
+    assert_eq!(bytes, 0, "warm matmul_into/im2col_with must not allocate");
+    assert_eq!(prod.data(), expected_prod.data());
+    assert_eq!(cols.data(), expected_cols.data());
+
+    // `conv2d_gemm_with` documents exactly one allocation per call: the
+    // returned output tensor. Scratch (cols, wmat, prod) must all come
+    // from the pool, so per-call bytes stay within the output tensor plus
+    // a small constant for its shape bookkeeping.
+    let out_bytes = expected_conv.data().len() as u64 * 4;
+    let reps = 10u64;
+    let bytes = allocated_during(|| {
+        for _ in 0..reps {
+            let out = conv2d_gemm_with(&x, &w, &bias, &mut ws).expect("conv2d_gemm_with");
+            assert_eq!(out.data(), expected_conv.data());
+        }
+    });
+    assert!(
+        bytes <= reps * (out_bytes + 256),
+        "conv2d_gemm_with allocated {bytes} bytes over {reps} calls; \
+         budget is the output tensor ({out_bytes} bytes) plus shape bookkeeping per call"
+    );
+}

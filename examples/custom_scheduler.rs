@@ -12,7 +12,8 @@
 
 use std::collections::HashMap;
 
-use pipetune::{EpochWorkload, ExperimentEnv, HyperParams, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{EpochWorkload};
 use pipetune_search::{
     Config, ParamSpec, SearchSpace, TrialId, TrialReport, TrialRequest, TrialScheduler,
 };
@@ -115,7 +116,7 @@ impl TrialScheduler for MedianStopping {
 }
 
 fn main() -> Result<(), pipetune::PipeTuneError> {
-    let env = ExperimentEnv::distributed(77);
+    let env = ExperimentEnvBuilder::distributed(77).build()?;
     let spec = WorkloadSpec::lenet_mnist().with_scale(0.3);
     let space = SearchSpace::new(vec![
         ParamSpec::float_range("learning_rate", 0.001, 0.1, true),

@@ -5,10 +5,11 @@
 //! cargo run --release --example image_tuning
 //! ```
 
-use pipetune::{single_tenancy, ExperimentEnv, TunerOptions, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{single_tenancy};
 
 fn main() -> Result<(), pipetune::PipeTuneError> {
-    let env = ExperimentEnv::distributed(7);
+    let env = ExperimentEnvBuilder::distributed(7).build()?;
     let options = TunerOptions::fast();
     let specs = [WorkloadSpec::lenet_mnist(), WorkloadSpec::lenet_fashion()];
 

@@ -5,7 +5,7 @@
 //! cargo run --release --example kernels_type3
 //! ```
 
-use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+use pipetune::prelude::*;
 use pipetune_kernels::{
     Bfs, BfsConfig, IterativeKernel, Jacobi, JacobiConfig, SpKMeans, SpKMeansConfig,
 };
@@ -29,7 +29,7 @@ fn main() -> Result<(), pipetune::PipeTuneError> {
     // Part 2: tune each kernel's parameters on the single-node testbed —
     // the paper's "short epochs" stress test (Fig. 12).
     println!("\n--- PipeTune on the single-node testbed ---");
-    let env = ExperimentEnv::single_node(13);
+    let env = ExperimentEnvBuilder::single_node(13).build()?;
     let mut tuner = PipeTune::new(TunerOptions::fast());
     for spec in WorkloadSpec::all_type3() {
         let out = tuner.run(&env, &spec)?;

@@ -6,10 +6,11 @@
 //! cargo run --release --example multi_tenant
 //! ```
 
-use pipetune::{multi_tenancy, ExperimentEnv, MultiTenancyOptions, TunerOptions, WorkloadSpec};
+use pipetune::prelude::*;
+use pipetune::{MultiTenancyOptions, multi_tenancy};
 
 fn main() -> Result<(), pipetune::PipeTuneError> {
-    let env = ExperimentEnv::distributed(31);
+    let env = ExperimentEnvBuilder::distributed(31).build()?;
     let options = TunerOptions::fast();
     let specs = [WorkloadSpec::lenet_mnist(), WorkloadSpec::cnn_news20()];
     let mt = MultiTenancyOptions { jobs: 4, arrival_rate_per_sec: 1.0 / 2000.0, seed: 31 };

@@ -4,11 +4,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+use pipetune::prelude::*;
 
 fn main() -> Result<(), pipetune::PipeTuneError> {
     // The simulated testbed: 4 nodes, paper system-parameter grid.
-    let env = ExperimentEnv::distributed(42);
+    let env = ExperimentEnvBuilder::distributed(42).build()?;
 
     // LeNet-5 on the synthetic MNIST stand-in (Table 3's first workload).
     let spec = WorkloadSpec::lenet_mnist();

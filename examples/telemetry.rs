@@ -16,7 +16,7 @@
 //! cargo run --release --example telemetry -- --report
 //! ```
 
-use pipetune::{ExperimentEnv, PipeTune, TunerOptions, WorkloadSpec};
+use pipetune::prelude::*;
 use pipetune_insight::TraceReport;
 use pipetune_telemetry::TelemetryHandle;
 
@@ -26,7 +26,7 @@ fn main() -> Result<(), pipetune::PipeTuneError> {
     // Keep a clone of the handle: the environment carries one into the run,
     // ours reads the shared sink back out afterwards.
     let telemetry = TelemetryHandle::enabled();
-    let env = ExperimentEnv::distributed(42).with_telemetry(telemetry.clone());
+    let env = ExperimentEnvBuilder::distributed(42).telemetry(telemetry.clone()).build()?;
 
     // Two jobs on the same workload family so the trace shows both the
     // probing path (job 1) and the ground-truth reuse path (job 2).

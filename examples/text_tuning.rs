@@ -5,15 +5,13 @@
 //! cargo run --release --example text_tuning
 //! ```
 
-use pipetune::{
-    ExperimentEnv, GroundTruth, HyperParams, PipeTune, ProbeGoal, SystemTuner, TrialExecution,
-    TunerOptions, WorkloadSpec,
-};
+use pipetune::prelude::*;
+use pipetune::{GroundTruth, ProbeGoal, SystemTuner, TrialExecution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), pipetune::PipeTuneError> {
-    let env = ExperimentEnv::distributed(21);
+    let env = ExperimentEnvBuilder::distributed(21).build()?;
     let options = TunerOptions::fast();
 
     // Part 1: watch a single pipelined trial make its decisions.

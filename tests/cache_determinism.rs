@@ -46,7 +46,7 @@ fn assert_outcomes_identical(a: &TuningOutcome, b: &TuningOutcome) {
 /// A cold run filling a fresh cache followed by a warm rerun over it,
 /// under the given worker count and cache capacity.
 fn cold_then_warm(workers: usize, capacity: usize) -> (TuningOutcome, TuningOutcome) {
-    let cache = EpochCacheHandle::new(EpochCacheConfig {
+    let cache = EpochCacheHandle::with_config(EpochCacheConfig {
         capacity,
         ..EpochCacheConfig::default()
     });
@@ -74,7 +74,7 @@ fn cached_runs_replay_across_worker_counts() {
 fn cached_traces_are_byte_identical_across_worker_counts() {
     let trace = |workers: usize| {
         let telemetry = TelemetryHandle::enabled();
-        let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+        let cache = EpochCacheHandle::with_config(EpochCacheConfig::default());
         let env = ExperimentEnv::distributed(SEED)
             .with_workers(workers)
             .with_telemetry(telemetry.clone())
@@ -149,7 +149,7 @@ fn foreign_seed_prefixes_are_never_adopted() {
     // a foreign-identity hit would splice another trial's trajectory into
     // this run and break the cache-off equivalence contract.
     let spec = WorkloadSpec::lenet_mnist();
-    let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+    let cache = EpochCacheHandle::with_config(EpochCacheConfig::default());
     let env_a = ExperimentEnv::distributed(SEED).with_epoch_cache(cache.clone());
     let first = PipeTune::new(TunerOptions::fast()).run(&env_a, &spec).unwrap();
     assert!(first.cache_stats.inserts > 0, "the first job should populate the cache");
@@ -174,7 +174,7 @@ fn foreign_tuner_policy_prefixes_are_never_adopted() {
     // adopt prefixes tuned under PipeTune's policy and its system
     // configs, time and energy accounting would be contaminated.
     let spec = WorkloadSpec::lenet_mnist();
-    let cache = EpochCacheHandle::new(EpochCacheConfig::default());
+    let cache = EpochCacheHandle::with_config(EpochCacheConfig::default());
     let env = ExperimentEnv::distributed(SEED).with_epoch_cache(cache);
     PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap();
 
@@ -221,7 +221,7 @@ fn bounded_capacity_evicts_deterministically() {
 #[test]
 fn persisted_caches_resume_exactly_where_live_ones_left_off() {
     let spec = WorkloadSpec::lenet_mnist();
-    let live = EpochCacheHandle::new(EpochCacheConfig::default());
+    let live = EpochCacheHandle::with_config(EpochCacheConfig::default());
     let env = ExperimentEnv::distributed(SEED).with_epoch_cache(live.clone());
     let cold = PipeTune::new(TunerOptions::fast()).run(&env, &spec).unwrap();
     assert!(cold.cache_stats.inserts > 0);

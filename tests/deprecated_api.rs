@@ -1,0 +1,32 @@
+//! The deprecated constructors kept for one release must stay functional:
+//! they compile (with a deprecation warning, silenced here) and behave
+//! exactly like their `with_config` replacements.
+
+use pipetune::prelude::*;
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_handle_constructors_match_with_config() {
+    let cfg = MonitorConfig::standard();
+    let old = MonitorHandle::new(&cfg);
+    let new = MonitorHandle::with_config(&cfg);
+    assert_eq!(old.is_enabled(), new.is_enabled());
+
+    let cache_cfg = EpochCacheConfig::default();
+    let old = EpochCacheHandle::new(cache_cfg);
+    let new = EpochCacheHandle::with_config(cache_cfg);
+    assert_eq!(old.is_enabled(), new.is_enabled());
+    assert!(new.is_enabled());
+}
+
+#[test]
+fn handle_trio_exposes_uniform_states() {
+    // The unified vocabulary: every handle has `disabled()`, an
+    // `enabled()`/`with_config` pair, and `is_enabled()`.
+    assert!(!TelemetryHandle::disabled().is_enabled());
+    assert!(TelemetryHandle::enabled().is_enabled());
+    assert!(!MonitorHandle::disabled().is_enabled());
+    assert!(MonitorHandle::enabled().is_enabled());
+    assert!(!EpochCacheHandle::disabled().is_enabled());
+    assert!(EpochCacheHandle::enabled().is_enabled());
+}

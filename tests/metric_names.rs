@@ -58,7 +58,7 @@ fn faulty_cached_tuning_run_emits_only_registered_names() {
     let env = ExperimentEnv::distributed(41)
         .with_workers(4)
         .with_fault_plan(FaultPlan::mixed(7))
-        .with_epoch_cache(EpochCacheHandle::new(EpochCacheConfig::default()))
+        .with_epoch_cache(EpochCacheHandle::with_config(EpochCacheConfig::default()))
         .with_telemetry(telemetry.clone());
     let mut tuner = PipeTune::new(TunerOptions::fast());
     // Two identical runs: the second exercises ground-truth reuse and
@@ -72,7 +72,7 @@ fn faulty_cached_tuning_run_emits_only_registered_names() {
 #[test]
 fn chaos_service_stream_with_monitor_emits_only_registered_names() {
     let telemetry = TelemetryHandle::enabled();
-    let monitor = MonitorHandle::new(&MonitorConfig::standard());
+    let monitor = MonitorHandle::with_config(&MonitorConfig::standard());
     let env = ExperimentEnv::distributed(41)
         .with_workers(4)
         .with_telemetry(telemetry.clone())

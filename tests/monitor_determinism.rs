@@ -50,7 +50,7 @@ fn run_service(
     config: &MonitorConfig,
 ) -> (IncidentTimeline, TelemetrySnapshot) {
     let telemetry = TelemetryHandle::enabled();
-    let monitor = MonitorHandle::new(config);
+    let monitor = MonitorHandle::with_config(config);
     let mut service_config = ServiceConfig::default().with_policy(SchedulingPolicy::ALL[0]);
     if chaos {
         service_config = service_config
@@ -99,7 +99,7 @@ fn tuner_runs_monitor_identically_across_worker_counts() {
     // tuning run with the watchdog live.
     let run = |workers: usize| {
         let telemetry = TelemetryHandle::enabled();
-        let monitor = MonitorHandle::new(&MonitorConfig::standard());
+        let monitor = MonitorHandle::with_config(&MonitorConfig::standard());
         let env = ExperimentEnv::distributed(SEED)
             .with_workers(workers)
             .with_fault_plan(FaultPlan::mixed(7))
